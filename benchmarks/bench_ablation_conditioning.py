@@ -1,0 +1,124 @@
+"""E10 — Ablation: class-conditional vs unconditional mixed training.
+
+Section 3.2 motivates the conditional model two ways: (1) prior methods
+"cannot determine the class of the generated pattern", and (2) training one
+model per style wastes the mixed dataset while naive mixing conflicts the
+rule decks.  This ablation trains an *unconditional* model on the same
+mixed two-style dataset as the conditional one and measures:
+
+- **style control**: fraction of samples whose (fill, complexity) signature
+  matches the *requested* style's training centroid.  The conditional model
+  should steer reliably; the unconditional model emits whatever mixture it
+  learned (no control input exists — its "accuracy" is the base rate of
+  the nearest style).
+- **legality** under each style's rule deck, where mixed training shows up
+  as samples fitting neither deck perfectly.
+
+A second sweep varies the reverse-chain length K, the CPU-quality knob used
+throughout the benches.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_table, sampling_steps, scale
+from repro.data import STYLES
+from repro.diffusion import (
+    ConditionalDiffusionModel,
+    DiffusionSchedule,
+    NeighborhoodDenoiser,
+)
+from repro.metrics import complexity_of, legalize_batch
+
+SAMPLES = 12 * scale()
+
+
+def _signature(topology) -> np.ndarray:
+    cx, cy = complexity_of(topology)
+    return np.array([topology.mean() * 100.0, cx, cy], dtype=np.float64)
+
+
+def _centroids(topologies, conditions):
+    return {
+        idx: np.mean([_signature(t) for t in topologies[conditions == idx]], axis=0)
+        for idx in range(len(STYLES))
+    }
+
+
+def _classify(topology, centroids) -> int:
+    sig = _signature(topology)
+    return min(centroids, key=lambda idx: np.linalg.norm(sig - centroids[idx]))
+
+
+def _evaluate(train_data, chatpattern_model):
+    topologies, conditions = train_data
+    rng = np.random.default_rng(2)
+    centroids = _centroids(topologies, conditions)
+
+    uncond = ConditionalDiffusionModel(
+        denoiser=NeighborhoodDenoiser(n_classes=0),
+        schedule=DiffusionSchedule.linear(sampling_steps(), 0.003, 0.08),
+        window=128,
+        n_classes=0,
+    )
+    uncond.fit(topologies, None, rng)
+
+    rows = []
+    control = {}
+    for idx, style in enumerate(STYLES):
+        cond_samples = chatpattern_model.sample(SAMPLES, idx, rng)
+        cond_match = np.mean(
+            [_classify(t, centroids) == idx for t in cond_samples]
+        )
+        cond_leg = legalize_batch(list(cond_samples), style).legality
+
+        mixed_samples = uncond.sample(SAMPLES, None, rng)
+        mixed_match = np.mean(
+            [_classify(t, centroids) == idx for t in mixed_samples]
+        )
+        mixed_leg = legalize_batch(list(mixed_samples), style).legality
+        control[style] = (float(cond_match), float(mixed_match))
+        rows.append(
+            [
+                style,
+                f"{cond_match:.0%}", f"{cond_leg:.2%}",
+                f"{mixed_match:.0%}", f"{mixed_leg:.2%}",
+            ]
+        )
+    print_table(
+        f"Ablation: conditioning on the mixed dataset ({SAMPLES}/class)",
+        ["Requested style", "Cond. match", "Cond. leg.",
+         "Uncond. match", "Uncond. leg."],
+        rows,
+    )
+
+    # K sweep: sampling cost vs quality with the same trained denoiser.
+    k_rows = []
+    for steps in (16, 32, 64):
+        model = ConditionalDiffusionModel(
+            denoiser=chatpattern_model.denoiser,
+            schedule=DiffusionSchedule.linear(steps, 0.003, 0.08),
+            window=128,
+            n_classes=2,
+        )
+        model.fitted = True
+        samples = model.sample(max(4, SAMPLES // 3), 0, rng)
+        result = legalize_batch(list(samples), STYLES[0])
+        k_rows.append([steps, f"{result.legality:.2%}", f"{samples.mean():.3f}"])
+    print_table(
+        "Ablation: reverse-chain length K (Layer-10001)",
+        ["K", "Legality", "Fill"],
+        k_rows,
+    )
+    return control
+
+
+def test_ablation_conditioning(benchmark, train_data, chatpattern_model):
+    control = benchmark.pedantic(
+        _evaluate, args=(train_data, chatpattern_model), rounds=1, iterations=1
+    )
+    # The conditional model steers style; the unconditional one cannot
+    # satisfy both requests at once (its outputs are one fixed mixture).
+    cond_total = sum(match for match, _ in control.values())
+    mixed_total = sum(match for _, match in control.values())
+    assert cond_total >= 1.5, f"conditional control too weak: {control}"
+    assert cond_total >= mixed_total

@@ -1,0 +1,130 @@
+"""E1 — Table 1, fixed-size 128x128 block.
+
+Regenerates the fixed-size comparison: Real Patterns, CAE+LegalGAN,
+VCAE+LegalGAN, LayouTransformer (Layer-10001 only, as in the paper),
+DiffPattern (per-style unconditional) and ChatPattern (class-conditional),
+reporting Legality (Eq. 7) and Diversity (Eq. 8) per layer plus the joint
+'Total' column.
+
+Paper reference (10k samples/class):
+  CAE+LegalGAN 3.74% / 5.814 - VCAE+LegalGAN 84.51% / 9.867 -
+  LayouTransformer 89.73% / 10.527 - DiffPattern 99.97% / 10.711 (10001),
+  99.98% / 8.578 (10003) - ChatPattern 99.97% / 10.796, 99.99% / 8.625.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import print_table, scale
+from benchmarks.table1_common import (
+    Cell,
+    generator_cell,
+    real_patterns_cell,
+    total_cell,
+)
+from repro.baselines import CAEGenerator, LayouTransformer, LegalGAN, VCAEGenerator
+from repro.data import STYLES, TILE_NM, MODEL_SIZE
+from repro.drc import rules_for_style
+from repro.metrics import legalize_batch
+
+SAMPLES = 24 * scale()
+
+
+def _evaluate(benchmark, train_data, chatpattern_model, per_style_models):
+    topologies, conditions = train_data
+    rng = np.random.default_rng(1)
+    rows = []
+    libraries = []
+
+    # Real Patterns reference.
+    real = {s: real_patterns_cell(s, MODEL_SIZE, SAMPLES) for s in STYLES}
+    rows.append(_row("Real Patterns", real, None))
+
+    # Auto-encoder baselines + LegalGAN post-processing (Layer-10001 only).
+    data_10001 = topologies[conditions == 0]
+    gan = LegalGAN(rules_for_style("Layer-10001"), cell_nm=TILE_NM / MODEL_SIZE)
+    for name, generator in (
+        ("CAE+LegalGAN", CAEGenerator()),
+        ("VCAE+LegalGAN", VCAEGenerator()),
+    ):
+        generator.fit(data_10001, rng)
+        raw = generator.sample(SAMPLES, rng)
+        cells = {"Layer-10001": generator_cell(list(gan.batch(raw)), "Layer-10001")}
+        rows.append(_row(name, cells, None))
+
+    # LayouTransformer (sequential baseline, Layer-10001 only).
+    lt = LayouTransformer()
+    lt.fit(data_10001, rng)
+    cells = {"Layer-10001": generator_cell(list(lt.sample(SAMPLES, rng)), "Layer-10001")}
+    rows.append(_row("LayouTransformer", cells, None))
+
+    # DiffPattern: one unconditional model per style.
+    dp_cells = {}
+    dp_libs = []
+    for style in STYLES:
+        samples = per_style_models[style].sample(SAMPLES, rng)
+        result = legalize_batch(list(samples), style)
+        dp_cells[style] = Cell(
+            result.legality,
+            _diversity_of(result),
+            SAMPLES,
+        )
+        dp_libs.append(result.legal)
+    rows.append(_row("DiffPattern", dp_cells, total_cell(dp_cells, dp_libs)))
+
+    # ChatPattern: the class-conditional model (no selection, no retries).
+    cp_cells = {}
+    cp_libs = []
+    for idx, style in enumerate(STYLES):
+        samples = chatpattern_model.sample(SAMPLES, idx, rng)
+        result = legalize_batch(list(samples), style)
+        cp_cells[style] = Cell(result.legality, _diversity_of(result), SAMPLES)
+        cp_libs.append(result.legal)
+    rows.append(_row("ChatPattern", cp_cells, total_cell(cp_cells, cp_libs)))
+
+    print_table(
+        f"Table 1 (fixed-size 128x128, {SAMPLES} samples/class)",
+        ["Method", "L-10001 Leg.", "L-10001 Div.",
+         "L-10003 Leg.", "L-10003 Div.", "Total Leg.", "Total Div."],
+        rows,
+    )
+
+    assert rows[-1][0] == "ChatPattern"
+    return rows
+
+
+def _diversity_of(result):
+    from repro.metrics import diversity
+
+    return diversity(result.legal)
+
+
+def _row(name: str, cells: dict, total):
+    def fmt(style, kind):
+        cell = cells.get(style)
+        if cell is None:
+            return "/"
+        return cell.fmt_legality() if kind == "leg" else cell.fmt_diversity()
+
+    return [
+        name,
+        fmt("Layer-10001", "leg"), fmt("Layer-10001", "div"),
+        fmt("Layer-10003", "leg"), fmt("Layer-10003", "div"),
+        total.fmt_legality() if total else "/",
+        total.fmt_diversity() if total else "/",
+    ]
+
+
+def test_table1_fixed_size(benchmark, train_data, chatpattern_model, per_style_models):
+    rows = benchmark.pedantic(
+        _evaluate,
+        args=(benchmark, train_data, chatpattern_model, per_style_models),
+        rounds=1,
+        iterations=1,
+    )
+    # Shape check: diffusion methods dominate the auto-encoder baselines.
+    by_name = {r[0]: r for r in rows}
+    cae_leg = float(by_name["CAE+LegalGAN"][1].rstrip("%"))
+    chat_leg = float(by_name["ChatPattern"][1].rstrip("%"))
+    assert chat_leg >= cae_leg

@@ -1,0 +1,36 @@
+"""E4 — Table 1, free-size 1024x1024 block.
+
+Paper reference (10k samples/class):
+  Real Patterns /13.573 (10001), /12.644 (10003)
+  DiffPattern w/ Concatenation: 0.00% / 0.000 and 0.64% / 6.926
+  ChatPattern:                  1.19% / 6.438 and 94.96% / 11.981
+
+This is the heaviest experiment (an out-painted 1024^2 topology touches
+~225 model windows); the default sample count is intentionally tiny.
+"""
+
+from benchmarks.conftest import scale
+from benchmarks.free_size_common import run_free_size_block
+from repro.data import STYLES
+
+SIZE = 1024
+COUNT = 1 * scale()
+
+
+def test_table1_free_1024(benchmark, chatpattern_model, per_style_models):
+    results = benchmark.pedantic(
+        run_free_size_block,
+        args=(SIZE, COUNT, chatpattern_model, per_style_models),
+        kwargs={"real_count": 4},
+        rounds=1,
+        iterations=1,
+    )
+    # At this size the paper's concat baseline is at (or near) zero; ours
+    # must not *beat* ChatPattern on both styles.
+    better = sum(
+        1
+        for style in STYLES
+        if results["chatpattern"][style].legality
+        >= results["concat"][style].legality
+    )
+    assert better >= 1

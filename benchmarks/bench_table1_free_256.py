@@ -1,0 +1,23 @@
+"""E2 — Table 1, free-size 256x256 block.
+
+Paper reference (10k samples/class):
+  Real Patterns /12.702 (10001), /10.696 (10003)
+  DiffPattern w/ Concatenation: 57.78% / 10.719 and 93.69% / 10.511
+  ChatPattern:                  87.36% / 11.154 and 99.78% / 10.556
+"""
+
+from benchmarks.conftest import scale
+from benchmarks.free_size_common import assert_chatpattern_wins, run_free_size_block
+
+SIZE = 256
+COUNT = 6 * scale()
+
+
+def test_table1_free_256(benchmark, chatpattern_model, per_style_models):
+    results = benchmark.pedantic(
+        run_free_size_block,
+        args=(SIZE, COUNT, chatpattern_model, per_style_models),
+        rounds=1,
+        iterations=1,
+    )
+    assert_chatpattern_wins(results)

@@ -1,0 +1,24 @@
+"""E3 — Table 1, free-size 512x512 block.
+
+Paper reference (10k samples/class):
+  Real Patterns /13.435 (10001), /12.139 (10003)
+  DiffPattern w/ Concatenation: 0.29% / 5.714 and 40.83% / 11.555
+  ChatPattern:                  36.42% / 10.401 and 98.86% / 11.620
+"""
+
+from benchmarks.conftest import scale
+from benchmarks.free_size_common import assert_chatpattern_wins, run_free_size_block
+
+SIZE = 512
+COUNT = 4 * scale()
+
+
+def test_table1_free_512(benchmark, chatpattern_model, per_style_models):
+    results = benchmark.pedantic(
+        run_free_size_block,
+        args=(SIZE, COUNT, chatpattern_model, per_style_models),
+        kwargs={"real_count": 6},
+        rounds=1,
+        iterations=1,
+    )
+    assert_chatpattern_wins(results)

@@ -1,0 +1,75 @@
+"""Shared driver for the Table-1 free-size blocks (E2/E3/E4).
+
+One function evaluates a full size block: Real Patterns reference,
+"DiffPattern w/ Concatenation" (per-style unconditional models, stitched
+legal patches, DRC-checked) and ChatPattern (conditional model + extension,
+method chosen per the agent's experience documents, joint legalization).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from benchmarks.table1_common import (
+    concat_cell,
+    extension_cell,
+    real_patterns_cell,
+)
+from repro.agent import ExperienceDocuments
+from repro.data import STYLES
+
+
+def run_free_size_block(
+    size: int,
+    count: int,
+    chatpattern_model,
+    per_style_models,
+    real_count: int = 8,
+    documents: ExperienceDocuments = None,
+) -> dict:
+    """Evaluate one target size; returns {method: {style: Cell}}."""
+    rng = np.random.default_rng(size)
+    documents = documents or ExperienceDocuments()
+    results = {"real": {}, "concat": {}, "chatpattern": {}}
+    for idx, style in enumerate(STYLES):
+        results["real"][style] = real_patterns_cell(style, size, real_count)
+        results["concat"][style] = concat_cell(
+            per_style_models[style].model, style, None, size, count, rng
+        )
+        method = documents.recommend_extension(style, size=size).lower()
+        results["chatpattern"][style] = extension_cell(
+            chatpattern_model, style, idx, size, count, method, rng
+        )
+
+    rows = []
+    for method, label in (
+        ("real", "Real Patterns"),
+        ("concat", "DiffPattern w/ Concat"),
+        ("chatpattern", "ChatPattern"),
+    ):
+        cells = results[method]
+        rows.append(
+            [
+                label,
+                cells[STYLES[0]].fmt_legality(), cells[STYLES[0]].fmt_diversity(),
+                cells[STYLES[1]].fmt_legality(), cells[STYLES[1]].fmt_diversity(),
+            ]
+        )
+    print_table(
+        f"Table 1 (free-size {size}x{size}, {count} samples/class)",
+        ["Method", "L-10001 Leg.", "L-10001 Div.", "L-10003 Leg.", "L-10003 Div."],
+        rows,
+    )
+    return results
+
+
+def assert_chatpattern_wins(results: dict) -> None:
+    """The paper's headline claim: ChatPattern >= concatenation baseline."""
+    for style in STYLES:
+        chat = results["chatpattern"][style].legality
+        concat = results["concat"][style].legality
+        assert chat is not None and concat is not None
+        assert chat >= concat - 1e-9, (
+            f"{style}: ChatPattern {chat:.2%} < concat {concat:.2%}"
+        )

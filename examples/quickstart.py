@@ -1,0 +1,39 @@
+"""Quickstart: build ChatPattern and request a pattern library in English.
+
+Runs in about a minute on CPU: trains the conditional diffusion back-end on
+the synthetic two-style dataset, then hands a natural-language requirement
+to the LLM agent, which plans sub-tasks, drives the generation tools and
+returns a DRC-clean pattern library.
+
+    python examples/quickstart.py
+"""
+
+from repro import ChatPattern
+from repro.io import ascii_art, save_library
+
+
+def main() -> None:
+    print("training the ChatPattern back-end (synthetic dataset, CPU)...")
+    chat = ChatPattern.pretrained(train_count=48, window=128)
+
+    request = (
+        "Generate 6 layout patterns with 128*128 topology, physical size "
+        "2048nm * 2048nm, in style of 'Layer-10001'."
+    )
+    print(f"\nuser request: {request}\n")
+    result = chat.handle_request(request)
+
+    print(result.summary())
+    print("\nplanned requirement lists:")
+    for requirement in result.plan.requirements:
+        print(requirement.to_text())
+
+    if len(result.library):
+        print("\nfirst generated pattern (topology):")
+        print(ascii_art(result.library[0].topology, max_size=48))
+        path = save_library(result.library, "quickstart_library.npz")
+        print(f"\nlibrary saved to {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Style-conditional generation: one model, two rule decks.
+
+Trains a single class-conditional diffusion model on the mixed two-style
+dataset and shows that the condition flag alone steers generation to
+either layer's distribution — the capability that lets ChatPattern train
+on multi-source data without design-rule conflicts (Sec. 3.2, Fig. 5).
+
+    python examples/style_conditional.py
+"""
+
+import numpy as np
+
+from repro.data import DatasetConfig, STYLES, build_training_set
+from repro.diffusion import ConditionalDiffusionModel
+from repro.io import ascii_art
+from repro.metrics import complexity_of, legalize_batch
+
+SAMPLES = 4
+
+
+def main() -> None:
+    print("training one conditional model on the mixed dataset...")
+    topologies, conditions = build_training_set(
+        list(STYLES), 64, DatasetConfig(topology_size=128)
+    )
+    model = ConditionalDiffusionModel(window=128, n_classes=len(STYLES))
+    model.fit(topologies, conditions, np.random.default_rng(0))
+
+    rng = np.random.default_rng(5)
+    for idx, style in enumerate(STYLES):
+        samples = model.sample(SAMPLES, idx, rng)
+        result = legalize_batch(list(samples), style)
+        fills = samples.mean()
+        print(f"\n=== condition {idx} -> {style} ===")
+        print(f"legality under the {style} rule deck: {result.legality:.0%}")
+        print(f"fill {fills:.3f}, complexity {complexity_of(samples[0])}")
+        print(ascii_art(samples[0], max_size=40))
+
+    # Cross-check: Layer-10003 samples evaluated against the *wrong* deck.
+    samples = model.sample(SAMPLES, 1, rng)
+    wrong = legalize_batch(list(samples), "Layer-10001")
+    right = legalize_batch(list(samples), "Layer-10003")
+    print("\nLayer-10003-conditioned samples:")
+    print(f"  legality under Layer-10003 rules: {right.legality:.0%}")
+    print(f"  legality under Layer-10001 rules: {wrong.legality:.0%}")
+
+
+if __name__ == "__main__":
+    main()

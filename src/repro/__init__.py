@@ -1,0 +1,24 @@
+"""ChatPattern reproduction: layout pattern customization via natural language.
+
+This package reproduces *ChatPattern: Layout Pattern Customization via
+Natural Language* (DAC 2024).  It contains:
+
+- ``repro.geometry`` / ``repro.squish``: rectilinear layout geometry and the
+  squish-pattern representation (topology matrix + delta vectors).
+- ``repro.drc`` / ``repro.legalize``: design-rule checking and the
+  DiffPattern-style non-linear legalization ``f_R(F, T)``.
+- ``repro.diffusion``: a pure-numpy conditional discrete diffusion model
+  (D3PM, 2-state) with trainable denoisers.
+- ``repro.ops``: pattern modification (RePaint-style) and free-size pattern
+  extension via In-Painting / Out-Painting.
+- ``repro.baselines``: CAE, VCAE, LegalGAN, LayouTransformer and DiffPattern
+  baselines used in Table 1.
+- ``repro.agent``: the expert LLM agent front-end (requirement
+  auto-formatting, task planning, tool execution, failure recovery).
+- ``repro.core``: the ``ChatPattern`` facade tying everything together.
+"""
+
+from repro.core.chatpattern import ChatPattern
+
+__all__ = ["ChatPattern"]
+__version__ = "1.0.0"

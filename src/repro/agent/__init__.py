@@ -1,0 +1,42 @@
+"""The expert LLM agent front-end of ChatPattern."""
+
+from repro.agent.backend import LLMBackend, ScriptedLLM, SimulatedLLM
+from repro.agent.documents import (
+    ExperienceDocuments,
+    ExtensionRecord,
+    HistoryEvent,
+    WorkHistory,
+)
+from repro.agent.executor import (
+    ReActStep,
+    SubTaskReport,
+    TaskExecutor,
+    parse_react,
+)
+from repro.agent.planner import Plan, TaskPlanner
+from repro.agent.requirements import RequirementList, parse_requirement_lists
+from repro.agent.session import ChatSession, Turn
+from repro.agent.tools import AgentTools, ToolResult, Workspace
+
+__all__ = [
+    "AgentTools",
+    "ChatSession",
+    "ExperienceDocuments",
+    "ExtensionRecord",
+    "HistoryEvent",
+    "LLMBackend",
+    "Plan",
+    "ReActStep",
+    "RequirementList",
+    "ScriptedLLM",
+    "SimulatedLLM",
+    "SubTaskReport",
+    "TaskExecutor",
+    "TaskPlanner",
+    "ToolResult",
+    "Turn",
+    "Workspace",
+    "WorkHistory",
+    "parse_react",
+    "parse_requirement_lists",
+]

@@ -1,0 +1,159 @@
+"""Documents and experience: the agent's high-level knowledge (Sec. 3.1).
+
+Two knowledge sources the paper equips the agent with:
+
+- a **standard working pipeline** (Fig. 4) injected at agent setup, and
+- **experience documents** holding statistical data on pattern extension
+  (the Fig. 10 measurements): which extension algorithm wins on legality
+  versus diversity per style and size.  The agent consults these when a
+  requirement leaves the extension method open, and appends its own
+  measurements as it works (Learning from Documents and Experience).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+STANDARD_PIPELINE = """\
+Standard working pipeline for one requirement list:
+1. topology = Topology_Generation(seed, style)            # fixed-size basic topology
+2. if target size exceeds the model window:
+       topology = Topology_Extension(topology, target, method)
+3. result = Legalization(topology, physical_size)          # first attempt
+4. if legalization fails:
+       inspect the log; if a failed region is reported, call
+       Topology_Modification on that region and retry Legalization;
+       otherwise regenerate with a fresh seed.
+5. if retries are exhausted and dropping is allowed, drop the case;
+   record the episode in the work history either way.
+"""
+
+
+@dataclass
+class ExtensionRecord:
+    """One measured (style, method, size) data point for the documents."""
+
+    style: str
+    method: str  # "Out" or "In"
+    size: int
+    legality: float
+    diversity: float
+
+
+@dataclass
+class ExperienceDocuments:
+    """The agent's document store: pipeline text + extension statistics."""
+
+    records: List[ExtensionRecord] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def pipeline_text(self) -> str:
+        """The standard working pipeline (#3 Document Learning in Fig. 4)."""
+        return STANDARD_PIPELINE
+
+    def record_extension(self, record: ExtensionRecord) -> None:
+        """Append a measured data point (ongoing refinement)."""
+        self.records.append(record)
+
+    def add_note(self, note: str) -> None:
+        """Free-form experience note."""
+        self.notes.append(note)
+
+    def recommend_extension(
+        self,
+        style: str,
+        size: Optional[int] = None,
+        objective: str = "legality",
+    ) -> str:
+        """Pick 'Out' or 'In' from the recorded statistics.
+
+        With no matching data the paper's documented insight applies:
+        out-painting typically yields better legality, while in-painting
+        excels in diversity under certain conditions.
+        """
+        if objective not in ("legality", "diversity"):
+            raise ValueError("objective must be 'legality' or 'diversity'")
+        candidates = [r for r in self.records if r.style == style]
+        if size is not None:
+            sized = [r for r in candidates if r.size == size]
+            candidates = sized or candidates
+        if not candidates:
+            return "Out" if objective == "legality" else "In"
+        best: Dict[str, float] = {}
+        for rec in candidates:
+            value = rec.legality if objective == "legality" else rec.diversity
+            if rec.method not in best or value > best[rec.method]:
+                best[rec.method] = value
+        return max(best, key=best.get)
+
+    def summary_text(self, style: Optional[str] = None) -> str:
+        """Document text injected into planner prompts."""
+        rows = [
+            r for r in self.records if style is None or r.style == style
+        ]
+        if not rows:
+            return (
+                "Extension experience: out-painting typically yields better "
+                "legality; in-painting excels in diversity."
+            )
+        lines = ["Extension experience (measured):"]
+        for r in rows:
+            lines.append(
+                f"- {r.style} @ {r.size}: {r.method}-painting legality "
+                f"{r.legality:.2%}, diversity {r.diversity:.2f}"
+            )
+        return "\n".join(lines)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Persist documents as JSON."""
+        path = Path(path)
+        payload = {
+            "records": [vars(r) for r in self.records],
+            "notes": self.notes,
+        }
+        path.write_text(json.dumps(payload, indent=2))
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ExperienceDocuments":
+        """Load documents saved by :meth:`save`."""
+        payload = json.loads(Path(path).read_text())
+        docs = cls(notes=list(payload.get("notes", [])))
+        for rec in payload.get("records", []):
+            docs.records.append(ExtensionRecord(**rec))
+        return docs
+
+
+@dataclass
+class HistoryEvent:
+    """One work-history entry (saved for ongoing refinement)."""
+
+    kind: str  # "generated", "modified", "regenerated", "dropped", "legalized"
+    subtask_id: int
+    detail: str
+
+
+@dataclass
+class WorkHistory:
+    """Chronological record of the agent's actions on one request."""
+
+    events: List[HistoryEvent] = field(default_factory=list)
+
+    def record(self, kind: str, subtask_id: int, detail: str) -> None:
+        self.events.append(HistoryEvent(kind, subtask_id, detail))
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def exceptional_cases(self) -> List[HistoryEvent]:
+        """Failure-path events, the cases worth scrutinising (Sec. 3.1)."""
+        return [
+            e for e in self.events
+            if e.kind in ("modified", "regenerated", "dropped")
+        ]

@@ -1,0 +1,113 @@
+"""Requirement auto-formatting and task planning (Sec. 3.1).
+
+The planner owns the agent-setup prompt (Fig. 4, boxes #1-#3): role
+setting, tool documentation and the document/experience summaries.  It asks
+the LLM backend to translate the user's free-form request into standard
+requirement lists — one per sub-task — then parses and validates the reply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.agent.backend import LLMBackend, Message
+from repro.agent.documents import ExperienceDocuments
+from repro.agent.requirements import RequirementList, parse_requirement_lists
+
+AGENT_SETTING = (
+    "You are a layout designer and are required to produce a well-designed "
+    "layout pattern library according to the user's requirements. Decompose "
+    "complex requests into simple sub-tasks, one requirement list each, and "
+    "always fill every Basic Part field."
+)
+
+
+@dataclass
+class Plan:
+    """The planner's output: validated requirement lists + raw LLM text."""
+
+    requirements: List[RequirementList]
+    raw_response: str
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def total_count(self) -> int:
+        return sum(r.count for r in self.requirements)
+
+
+class TaskPlanner:
+    """Builds auto-format prompts and validates the parsed plan."""
+
+    def __init__(
+        self,
+        backend: LLMBackend,
+        documents: Optional[ExperienceDocuments] = None,
+        window: int = 128,
+        tool_documentation: str = "",
+    ):
+        self.backend = backend
+        self.documents = documents or ExperienceDocuments()
+        self.window = window
+        self.tool_documentation = tool_documentation
+
+    def build_prompt(self, user_text: str, objective: str = "legality") -> List[Message]:
+        """Compose the Fig.-4 setup prompt around the user requirement."""
+        recommended = self.documents.recommend_extension(
+            style="Layer-10001", objective=objective
+        )
+        system = "\n\n".join(
+            part
+            for part in (
+                AGENT_SETTING,
+                self.tool_documentation
+                and "During the design process, you have access to the "
+                "following functions:\n" + self.tool_documentation,
+                "There is a standard working pipeline you can refer to:\n"
+                + self.documents.pipeline_text(),
+                "There is some experience you can refer to:\n"
+                + self.documents.summary_text(),
+            )
+            if part
+        )
+        user = (
+            "TASK: AUTO_FORMAT\n"
+            f"MODEL WINDOW: {self.window}\n"
+            f"RECOMMENDED_EXTENSION: {recommended}\n"
+            f"USER REQUIREMENT: {user_text}\n"
+            "Respond with one standard requirement list per sub-task, using "
+            "the exact template:\n"
+            "# Requirement - subtask N\n"
+            "## Basic Part: Topology Size: [H, W], Physical Size: [W, H] nm, "
+            "Style: <style>, Count: <n>,\n"
+            "## Advanced Part: Extension Method: <Out|In|None> (Default: "
+            "Out), Drop Allowed: <True|False> (Default: True), Time "
+            "Limitation: <seconds|None> (Default: None)."
+        )
+        return [
+            {"role": "system", "content": system},
+            {"role": "user", "content": user},
+        ]
+
+    def auto_format(self, user_text: str, objective: str = "legality") -> Plan:
+        """Run requirement auto-formatting through the LLM backend."""
+        reply = self.backend.complete(self.build_prompt(user_text, objective))
+        requirements = parse_requirement_lists(reply)
+        warnings: List[str] = []
+        for i, req in enumerate(requirements):
+            req.seed = 10_007 * (i + 1)
+            if req.needs_extension(self.window) and req.extension_method is None:
+                req.extension_method = self.documents.recommend_extension(
+                    req.style, size=max(req.topology_size), objective=objective
+                )
+                warnings.append(
+                    f"subtask {req.subtask_id}: extension method defaulted "
+                    f"to {req.extension_method} from experience documents"
+                )
+            if not req.needs_extension(self.window) and req.extension_method:
+                warnings.append(
+                    f"subtask {req.subtask_id}: extension method "
+                    f"{req.extension_method} ignored (fits the model window)"
+                )
+                req.extension_method = None
+        return Plan(requirements=requirements, raw_response=reply, warnings=warnings)

@@ -1,0 +1,140 @@
+"""Standard requirement lists: the agent's structured task format.
+
+Requirement auto-formatting (Section 3.1 / 4.2) translates a free-form user
+request into one requirement list per sub-task, each with a Basic part
+(topology size, physical size, style, count) and an Advanced part
+(extension method, drop policy, time limit).  The text template below is the
+exact shape shown in the paper's running example.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class RequirementList:
+    """One sub-task's fully-specified requirements.
+
+    Basic part parameters are mandatory; Advanced part parameters carry
+    defaults (``extension_method`` defaults per the agent's experience
+    documents, ``drop_allowed`` to True, ``time_limit`` to None).
+    """
+
+    topology_size: Tuple[int, int]
+    physical_size: Tuple[int, int]
+    style: str
+    count: int
+    extension_method: Optional[str] = None  # "Out", "In", or None
+    drop_allowed: bool = True
+    time_limit: Optional[float] = None
+    seed: int = 0
+    subtask_id: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError("count must be positive")
+        if self.extension_method not in (None, "Out", "In"):
+            raise ValueError(
+                f"extension_method must be 'Out', 'In' or None, "
+                f"got {self.extension_method!r}"
+            )
+        if min(self.topology_size) <= 0 or min(self.physical_size) <= 0:
+            raise ValueError("sizes must be positive")
+
+    def needs_extension(self, window: int) -> bool:
+        """True if the target topology exceeds the model window."""
+        return max(self.topology_size) > window
+
+    def to_text(self) -> str:
+        """Render in the paper's requirement-list template."""
+        method = self.extension_method if self.extension_method else "None"
+        time_limit = self.time_limit if self.time_limit is not None else "None"
+        return (
+            f"# Requirement - subtask {self.subtask_id}\n"
+            f"## Basic Part: Topology Size: [{self.topology_size[0]}, "
+            f"{self.topology_size[1]}], Physical Size: [{self.physical_size[0]}, "
+            f"{self.physical_size[1]}] nm, Style: {self.style}, "
+            f"Count: {self.count},\n"
+            f"## Advanced Part: Extension Method: {method} (Default: Out), "
+            f"Drop Allowed: {self.drop_allowed} (Default: True), "
+            f"Time Limitation: {time_limit} (Default: None)."
+        )
+
+
+_BLOCK_RE = re.compile(r"# Requirement - subtask (\d+)(.*?)(?=# Requirement - subtask |\Z)", re.S)
+_PAIR_RE = re.compile(r"\[\s*(\d+)\s*,\s*(\d+)\s*\]")
+
+
+def parse_requirement_lists(text: str) -> List[RequirementList]:
+    """Parse one or more requirement lists from template-formatted text.
+
+    Inverse of :meth:`RequirementList.to_text`; tolerant of whitespace and
+    ordering inside each block.  Raises ``ValueError`` when a block misses a
+    Basic-part field.
+    """
+    results: List[RequirementList] = []
+    for match in _BLOCK_RE.finditer(text):
+        subtask_id = int(match.group(1))
+        block = match.group(2)
+        topo = _field_pair(block, "Topology Size")
+        phys = _field_pair(block, "Physical Size")
+        style = _field_str(block, "Style")
+        count = _field_int(block, "Count")
+        method = _field_optional(block, "Extension Method")
+        if method is not None:
+            method = method.capitalize()
+            if method == "None":
+                method = None
+        drop_text = _field_optional(block, "Drop Allowed")
+        drop = True if drop_text is None else drop_text.lower().startswith("t")
+        time_text = _field_optional(block, "Time Limitation")
+        time_limit = None
+        if time_text is not None and time_text.lower() != "none":
+            time_limit = float(time_text)
+        results.append(
+            RequirementList(
+                topology_size=topo,
+                physical_size=phys,
+                style=style,
+                count=count,
+                extension_method=method,
+                drop_allowed=drop,
+                time_limit=time_limit,
+                subtask_id=subtask_id,
+            )
+        )
+    if not results:
+        raise ValueError("no requirement lists found in text")
+    return results
+
+
+def _field_pair(block: str, name: str) -> Tuple[int, int]:
+    match = re.search(rf"{name}:\s*(\[[^\]]*\])", block)
+    if not match:
+        raise ValueError(f"missing field {name!r} in requirement block")
+    pair = _PAIR_RE.search(match.group(1))
+    if not pair:
+        raise ValueError(f"malformed pair for field {name!r}")
+    return (int(pair.group(1)), int(pair.group(2)))
+
+
+def _field_str(block: str, name: str) -> str:
+    match = re.search(rf"{name}:\s*([\w\-']+)", block)
+    if not match:
+        raise ValueError(f"missing field {name!r} in requirement block")
+    return match.group(1).strip("'")
+
+
+def _field_int(block: str, name: str) -> int:
+    match = re.search(rf"{name}:\s*([\d_,]+)", block)
+    if not match:
+        raise ValueError(f"missing field {name!r} in requirement block")
+    return int(match.group(1).replace(",", "").replace("_", ""))
+
+
+def _field_optional(block: str, name: str) -> Optional[str]:
+    match = re.search(rf"{name}:\s*([\w\.\-]+)", block)
+    return match.group(1) if match else None

@@ -1,0 +1,108 @@
+"""Multi-turn chat sessions: the "further improvement" loop of Figure 1.
+
+A :class:`ChatSession` keeps the conversation, the accumulated library and
+the work history across requests, so users can iterate: ask for a library,
+inspect it, then ask for "200 more of the same" or a different style —
+without re-stating the full requirement.  Follow-up requests are resolved
+against the previous turn's requirement text before planning, then flow
+through the ordinary planner/executor stack.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from typing import TYPE_CHECKING
+
+from repro.agent.documents import ExperienceDocuments, WorkHistory
+from repro.squish.pattern import PatternLibrary
+
+if TYPE_CHECKING:  # avoid a circular import (core builds on agent)
+    from repro.core.chatpattern import ChatPattern, ChatResult
+
+_FOLLOW_UP_RE = re.compile(
+    r"\b(more|another|again|additional|same (as|but))\b", re.I
+)
+_COUNT_RE = re.compile(r"(\d[\d,\.]*)\s*(k|m)?\s*(more|additional|extra)", re.I)
+
+
+@dataclass
+class Turn:
+    """One request/response exchange."""
+
+    user_text: str
+    effective_text: str
+    result: "ChatResult"
+
+
+@dataclass
+class ChatSession:
+    """Stateful conversation wrapper around :class:`ChatPattern`."""
+
+    chat: "ChatPattern"
+    turns: List[Turn] = field(default_factory=list)
+    library: PatternLibrary = field(
+        default_factory=lambda: PatternLibrary(name="session-library")
+    )
+    history: WorkHistory = field(default_factory=WorkHistory)
+
+    def request(self, user_text: str, objective: str = "legality") -> "ChatResult":
+        """Handle one turn; follow-ups inherit the previous requirement."""
+        effective = self._resolve(user_text)
+        result = self.chat.handle_request(effective, objective=objective)
+        self.library.extend(list(result.library))
+        self.history.events.extend(result.history.events)
+        self.turns.append(
+            Turn(user_text=user_text, effective_text=effective, result=result)
+        )
+        return result
+
+    def _resolve(self, user_text: str) -> str:
+        """Rewrite a follow-up request into a standalone requirement."""
+        if not self.turns or not self.is_follow_up(user_text):
+            return user_text
+        previous = self.turns[-1].effective_text
+        count_match = _COUNT_RE.search(user_text)
+        if count_match:
+            value = float(count_match.group(1).replace(",", ""))
+            unit = (count_match.group(2) or "").lower()
+            if unit == "k":
+                value *= 1_000
+            elif unit == "m":
+                value *= 1_000_000
+            count_text = f"{int(value)} patterns"
+            previous = re.sub(
+                r"\d[\d,\.]*\s*(k|m|thousand|million)?\s*(layout\s+)?patterns",
+                count_text,
+                previous,
+                count=1,
+                flags=re.I,
+            )
+        # Style overrides mentioned in the follow-up replace the old style.
+        new_styles = re.findall(r"Layer-\d+", user_text)
+        if new_styles:
+            previous = re.sub(r"Layer-\d+", new_styles[0], previous)
+        return previous
+
+    @staticmethod
+    def is_follow_up(user_text: str) -> bool:
+        """Heuristic: the request references the previous turn."""
+        return bool(_FOLLOW_UP_RE.search(user_text))
+
+    def summary(self) -> str:
+        """Session-level report: turns, library size, exceptional cases."""
+        lines = [
+            f"session: {len(self.turns)} turn(s), "
+            f"{len(self.library)} pattern(s) accumulated"
+        ]
+        for i, turn in enumerate(self.turns, start=1):
+            lines.append(
+                f"turn {i}: {turn.user_text!r} -> "
+                f"produced {turn.result.produced}, dropped {turn.result.dropped}"
+            )
+        exceptional = self.history.exceptional_cases()
+        if exceptional:
+            lines.append(f"exceptional cases recorded: {len(exceptional)}")
+        return "\n".join(lines)

@@ -1,0 +1,16 @@
+"""Table-1 baselines: CAE, VCAE, LegalGAN, LayouTransformer, DiffPattern."""
+
+from repro.baselines.base import TopologyGenerator
+from repro.baselines.cae import CAEGenerator, VCAEGenerator
+from repro.baselines.diffpattern import DiffPattern
+from repro.baselines.layoutransformer import LayouTransformer
+from repro.baselines.legalgan import LegalGAN
+
+__all__ = [
+    "CAEGenerator",
+    "DiffPattern",
+    "LayouTransformer",
+    "LegalGAN",
+    "TopologyGenerator",
+    "VCAEGenerator",
+]

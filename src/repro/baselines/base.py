@@ -1,0 +1,19 @@
+"""Common interface for the fixed-size generator baselines of Table 1."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class TopologyGenerator(ABC):
+    """A fixed-size topology generator trained on one style."""
+
+    @abstractmethod
+    def fit(self, topologies: np.ndarray, rng: np.random.Generator) -> dict:
+        """Train on ``(N, H, W)`` clean topologies; returns a metrics dict."""
+
+    @abstractmethod
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Generate ``(count, H, W)`` uint8 topologies."""

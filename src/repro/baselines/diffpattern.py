@@ -1,0 +1,54 @@
+"""DiffPattern baseline: per-style unconditional discrete diffusion.
+
+DiffPattern (the prior SOTA this paper builds on) trains one unconditional
+diffusion model *per style* — mixing styles conflicts their rule decks,
+which is exactly the motivation for ChatPattern's conditional model.  For
+free-size generation DiffPattern can only concatenate fixed-size samples
+("[9] w/ Concatenation" in Table 1); :func:`free_size_concat` implements
+that pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.base import TopologyGenerator
+from repro.diffusion.denoisers.neighborhood import NeighborhoodDenoiser
+from repro.diffusion.model import ConditionalDiffusionModel
+from repro.diffusion.schedule import DiffusionSchedule
+from repro.ops.concat import naive_concat
+
+
+class DiffPattern(TopologyGenerator):
+    """Unconditional discrete diffusion trained on a single style."""
+
+    def __init__(
+        self,
+        window: int = 128,
+        schedule: Optional[DiffusionSchedule] = None,
+        denoiser_kwargs: Optional[dict] = None,
+    ):
+        kwargs = dict(denoiser_kwargs or {})
+        kwargs.setdefault("n_classes", 0)
+        self.model = ConditionalDiffusionModel(
+            denoiser=NeighborhoodDenoiser(**kwargs),
+            schedule=schedule,
+            window=window,
+            n_classes=0,
+        )
+
+    def fit(self, topologies: np.ndarray, rng: np.random.Generator) -> dict:
+        return self.model.fit(topologies, None, rng)
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        return self.model.sample(count, None, rng)
+
+    def free_size_concat(
+        self,
+        target_shape: Tuple[int, int],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Free-size generation by naive concatenation (the Table-1 baseline)."""
+        return naive_concat(self.model, target_shape, None, rng)

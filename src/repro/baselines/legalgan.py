@@ -1,0 +1,121 @@
+"""LegalGAN surrogate: learned legalization post-processor.
+
+Zhang et al.'s LegalGAN is a network trained to snap near-legal topologies
+onto the legal manifold.  This surrogate implements the same input/output
+contract with *bounded* morphological repairs derived from the rule deck:
+like the learned network, it reliably fixes small deviations — specks,
+hairline gaps, corner touches — but cannot re-synthesise structure, so
+inputs far off the manifold (heavily blurred auto-encoder output) keep
+their mid-size violations.  That bounded competence is what produces the
+CAE << VCAE legality gap of Table 1.
+
+``repair_limit`` is the maximum deviation (in cells) the snapper can fix;
+1 mirrors the single-pixel-scale edits a conv net learns most easily.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from repro.drc.rules import DesignRules
+from repro.geometry.grid import as_topology, diagonal_touch_pairs
+
+
+class LegalGAN:
+    """Bounded topology-space legalizer applied before geometric legalization.
+
+    Args:
+        rules: rule deck to target.
+        cell_nm: nominal physical cell pitch (tile nm / topology size); rule
+            distances are converted to cell counts with this pitch.
+        repair_limit: largest defect size (cells) the snapper can fix.
+    """
+
+    def __init__(
+        self, rules: DesignRules, cell_nm: float = 16.0, repair_limit: int = 1
+    ):
+        self.rules = rules
+        self.cell_nm = cell_nm
+        self.repair_limit = int(repair_limit)
+        self.min_width_cells = max(1, round(rules.min_width / cell_nm))
+        self.min_space_cells = max(1, round(rules.min_space / cell_nm))
+        self.min_area_cells = max(1, round(rules.min_area / (cell_nm * cell_nm)))
+
+    def legalize_topology(self, topology: np.ndarray) -> np.ndarray:
+        """Snap one topology toward the legal manifold (single pass)."""
+        t = as_topology(topology).copy()
+        t = self._fill_hairline_gaps(t)
+        t = self._erase_specks(t)
+        t = self._drop_tiny_components(t)
+        t = self._clear_corner_touches(t)
+        return t
+
+    def batch(self, topologies: np.ndarray) -> np.ndarray:
+        """Apply to a ``(B, H, W)`` stack."""
+        return np.stack([self.legalize_topology(t) for t in topologies])
+
+    def _erase_specks(self, t: np.ndarray) -> np.ndarray:
+        """Remove violating 1-runs no longer than the repair limit."""
+        return self._rewrite_runs(
+            t, value=1, min_len=self.min_width_cells,
+            max_fixable=self.repair_limit, fill=0,
+        )
+
+    def _fill_hairline_gaps(self, t: np.ndarray) -> np.ndarray:
+        """Bridge violating interior 0-runs no wider than the repair limit."""
+        return self._rewrite_runs(
+            t, value=0, min_len=self.min_space_cells,
+            max_fixable=self.repair_limit, fill=1, interior_only=True,
+        )
+
+    def _rewrite_runs(
+        self,
+        t: np.ndarray,
+        value: int,
+        min_len: int,
+        max_fixable: int,
+        fill: int,
+        interior_only: bool = False,
+    ) -> np.ndarray:
+        out = t.copy()
+        for axis in (0, 1):
+            view = out if axis == 0 else out.T
+            n = view.shape[1]
+            for line in view:
+                change = np.flatnonzero(np.diff(line)) + 1
+                bounds = np.concatenate(([0], change, [n]))
+                for a, b in zip(bounds[:-1], bounds[1:]):
+                    length = b - a
+                    if line[a] != value or length >= min_len:
+                        continue
+                    if length > max_fixable:
+                        continue  # beyond the snapper's competence
+                    if interior_only and (a == 0 or b == n):
+                        continue
+                    line[a:b] = fill
+        return out
+
+    def _drop_tiny_components(self, t: np.ndarray) -> np.ndarray:
+        structure = np.array([[0, 1, 0], [1, 1, 1], [0, 1, 0]])
+        labels, n = ndimage.label(t, structure=structure)
+        if n == 0:
+            return t
+        limit = min(self.min_area_cells, self.repair_limit * 2)
+        sizes = ndimage.sum_labels(np.ones_like(t), labels, index=range(1, n + 1))
+        out = t.copy()
+        for lab, size in enumerate(sizes, start=1):
+            if size <= limit:
+                out[labels == lab] = 0
+        return out
+
+    def _clear_corner_touches(self, t: np.ndarray) -> np.ndarray:
+        out = t.copy()
+        for row, col in diagonal_touch_pairs(out):
+            # Clearing one diagonal cell of the 2x2 window breaks the touch
+            # (a single-pixel edit, well within the snapper's competence).
+            if out[row, col]:
+                out[row, col] = 0
+            else:
+                out[row, col + 1] = 0
+        return out

@@ -1,0 +1,166 @@
+"""Command-line interface for the ChatPattern reproduction.
+
+Subcommands:
+
+- ``chat``     — natural-language library building (the headline flow).
+- ``generate`` — sample fixed-size topologies of one style and legalize.
+- ``extend``   — free-size synthesis via in/out-painting.
+- ``evaluate`` — legality/diversity report for a saved library.
+- ``export``   — convert a saved library to GDSII.
+
+All subcommands train the back-end on the synthetic dataset at start-up
+(seconds on CPU); pass ``--train-count`` to trade training data for time.
+
+    python -m repro.cli chat "Generate 6 patterns ..." -o library.npz
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.chatpattern import ChatPattern
+from repro.data import STYLES, style_condition
+from repro.io.gds import write_gds
+from repro.io.render import ascii_art
+from repro.io.store import load_library, save_library
+from repro.metrics import diversity, legalize_batch
+from repro.metrics.stats import library_stats
+from repro.ops import extend
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ChatPattern: layout pattern customization via natural language",
+    )
+    parser.add_argument(
+        "--train-count", type=int, default=48,
+        help="training tiles per style for the diffusion back-end",
+    )
+    parser.add_argument("--seed", type=int, default=2024)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    chat = sub.add_parser("chat", help="handle a natural-language request")
+    chat.add_argument("request", help="the requirement, in English")
+    chat.add_argument("-o", "--output", help="save the library (.npz)")
+    chat.add_argument(
+        "--objective", choices=("legality", "diversity"), default="legality"
+    )
+
+    gen = sub.add_parser("generate", help="sample fixed-size patterns")
+    gen.add_argument("--style", choices=STYLES, default=STYLES[0])
+    gen.add_argument("--count", type=int, default=4)
+    gen.add_argument("-o", "--output", help="save the library (.npz)")
+    gen.add_argument("--show", action="store_true", help="print ASCII art")
+
+    ext = sub.add_parser("extend", help="free-size synthesis")
+    ext.add_argument("--style", choices=STYLES, default=STYLES[0])
+    ext.add_argument("--size", type=int, default=256)
+    ext.add_argument("--method", choices=("out", "in"), default="out")
+    ext.add_argument("--count", type=int, default=1)
+    ext.add_argument("-o", "--output", help="save the library (.npz)")
+
+    ev = sub.add_parser("evaluate", help="report stats for a saved library")
+    ev.add_argument("library", help="path to a .npz library")
+
+    ex = sub.add_parser("export", help="convert a saved library to GDSII")
+    ex.add_argument("library", help="path to a .npz library")
+    ex.add_argument("output", help="path of the .gds file to write")
+    return parser
+
+
+def _pretrained(args) -> ChatPattern:
+    print(
+        f"[repro] training back-end ({args.train_count} tiles/style)...",
+        file=sys.stderr,
+    )
+    return ChatPattern.pretrained(train_count=args.train_count, seed=args.seed)
+
+
+def _cmd_chat(args) -> int:
+    chat = _pretrained(args)
+    result = chat.handle_request(args.request, objective=args.objective)
+    print(result.summary())
+    if args.output and len(result.library):
+        save_library(result.library, args.output)
+        print(f"library saved to {args.output}")
+    return 0 if result.produced else 1
+
+
+def _cmd_generate(args) -> int:
+    chat = _pretrained(args)
+    rng = np.random.default_rng(args.seed)
+    condition = style_condition(args.style)
+    samples = chat.model.sample(args.count, condition, rng)
+    result = legalize_batch(list(samples), args.style)
+    print(
+        f"generated {args.count}, legal {len(result.legal)} "
+        f"({result.legality:.0%}); diversity {diversity(result.legal):.3f}"
+    )
+    if args.show and len(result.legal):
+        print(ascii_art(result.legal[0].topology, max_size=48))
+    if args.output and len(result.legal):
+        save_library(result.legal, args.output)
+        print(f"library saved to {args.output}")
+    return 0 if len(result.legal) else 1
+
+
+def _cmd_extend(args) -> int:
+    chat = _pretrained(args)
+    rng = np.random.default_rng(args.seed)
+    condition = style_condition(args.style)
+    topologies = [
+        extend(
+            chat.model, (args.size, args.size), condition, rng, method=args.method
+        ).topology
+        for _ in range(args.count)
+    ]
+    result = legalize_batch(topologies, args.style)
+    print(
+        f"extended {args.count} pattern(s) to {args.size}x{args.size} via "
+        f"{args.method}-painting; legal {len(result.legal)} "
+        f"({result.legality:.0%})"
+    )
+    if args.output and len(result.legal):
+        save_library(result.legal, args.output)
+        print(f"library saved to {args.output}")
+    return 0 if len(result.legal) else 1
+
+
+def _cmd_evaluate(args) -> int:
+    library = load_library(args.library)
+    stats = library_stats(library)
+    print(f"library {library.name!r}: {stats.as_dict()}")
+    for style in library.styles():
+        sub = library.filter_style(style)
+        print(f"  {style}: {library_stats(sub).as_dict()}")
+    return 0
+
+
+def _cmd_export(args) -> int:
+    library = load_library(args.library)
+    path = write_gds(library, args.output)
+    print(f"wrote {len(library)} structure(s) to {path}")
+    return 0
+
+
+_COMMANDS = {
+    "chat": _cmd_chat,
+    "generate": _cmd_generate,
+    "extend": _cmd_extend,
+    "evaluate": _cmd_evaluate,
+    "export": _cmd_export,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

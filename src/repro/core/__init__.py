@@ -1,0 +1,5 @@
+"""ChatPattern facade."""
+
+from repro.core.chatpattern import ChatPattern, ChatResult
+
+__all__ = ["ChatPattern", "ChatResult"]

@@ -1,0 +1,129 @@
+"""The ChatPattern facade: natural language in, legal pattern library out.
+
+Wires the two halves of the system together (Fig. 1): the expert LLM agent
+(planner + executor + tools + documents) as the front end and the
+conditional discrete diffusion generator as the back end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.agent.backend import LLMBackend, SimulatedLLM
+from repro.agent.documents import ExperienceDocuments, WorkHistory
+from repro.agent.executor import SubTaskReport, TaskExecutor
+from repro.agent.planner import Plan, TaskPlanner
+from repro.agent.tools import AgentTools, Workspace
+from repro.data.dataset import DatasetConfig, build_training_set
+from repro.data.styles import STYLES
+from repro.diffusion.model import ConditionalDiffusionModel
+from repro.squish.pattern import PatternLibrary
+
+
+@dataclass
+class ChatResult:
+    """Everything one request produced."""
+
+    plan: Plan
+    reports: List[SubTaskReport]
+    library: PatternLibrary
+    history: WorkHistory
+
+    @property
+    def produced(self) -> int:
+        return sum(r.produced for r in self.reports)
+
+    @property
+    def dropped(self) -> int:
+        return sum(r.dropped for r in self.reports)
+
+    def summary(self) -> str:
+        """Final answer text (#7 in Fig. 4)."""
+        lines = [
+            f"Planned {len(self.plan.requirements)} sub-task(s) for "
+            f"{self.plan.total_count} pattern(s); produced {self.produced} "
+            f"legal pattern(s), dropped {self.dropped}."
+        ]
+        lines.extend(r.summary() for r in self.reports)
+        return "\n".join(lines)
+
+
+class ChatPattern:
+    """LLM-powered layout pattern library builder.
+
+    Args:
+        model: trained conditional diffusion back-end.  Use
+            :meth:`pretrained` to build and train one on the synthetic
+            dataset in a few seconds.
+        backend: LLM backend; defaults to the offline :class:`SimulatedLLM`.
+        documents: experience documents (extension statistics etc.).
+        max_retries: per-pattern legalization recovery budget.
+    """
+
+    def __init__(
+        self,
+        model: ConditionalDiffusionModel,
+        backend: Optional[LLMBackend] = None,
+        documents: Optional[ExperienceDocuments] = None,
+        max_retries: int = 2,
+        base_seed: int = 0,
+    ):
+        if not model.fitted:
+            raise ValueError("model must be fitted; see ChatPattern.pretrained")
+        self.model = model
+        self.backend = backend or SimulatedLLM()
+        self.documents = documents or ExperienceDocuments()
+        self.max_retries = max_retries
+        self.base_seed = base_seed
+
+    @classmethod
+    def pretrained(
+        cls,
+        styles: tuple = STYLES,
+        train_count: int = 48,
+        window: int = 128,
+        seed: int = 2024,
+        backend: Optional[LLMBackend] = None,
+        dataset_config: Optional[DatasetConfig] = None,
+        **kwargs,
+    ) -> "ChatPattern":
+        """Build + train the full system on the synthetic dataset.
+
+        Trains the class-conditional diffusion back-end on ``train_count``
+        tiles per style (seconds on CPU with the default denoiser).
+        """
+        cfg = dataset_config or DatasetConfig(topology_size=window, seed=seed)
+        topologies, conditions = build_training_set(
+            list(styles), train_count, cfg
+        )
+        model = ConditionalDiffusionModel(window=window, n_classes=len(styles))
+        model.fit(topologies, conditions, np.random.default_rng(seed))
+        return cls(model=model, backend=backend, **kwargs)
+
+    def handle_request(
+        self, user_text: str, objective: str = "legality"
+    ) -> ChatResult:
+        """End-to-end: auto-format, plan, execute, summarise (Fig. 4)."""
+        workspace = Workspace()
+        tools = AgentTools(self.model, workspace, base_seed=self.base_seed)
+        planner = TaskPlanner(
+            self.backend,
+            documents=self.documents,
+            window=self.model.window,
+            tool_documentation=tools.documentation(),
+        )
+        plan = planner.auto_format(user_text, objective=objective)
+        history = WorkHistory()
+        executor = TaskExecutor(
+            tools, self.backend, history=history, max_retries=self.max_retries
+        )
+        reports = [executor.execute(req) for req in plan.requirements]
+        return ChatResult(
+            plan=plan,
+            reports=reports,
+            library=workspace.library,
+            history=history,
+        )

@@ -1,0 +1,38 @@
+"""Synthetic dataset substrate (ICCAD-2014 contest map stand-in)."""
+
+from repro.data.dataset import (
+    DatasetConfig,
+    build_library,
+    build_training_set,
+    reference_library,
+    topology_stack,
+)
+from repro.data.layout_map import LayoutMap, generate_layout_map
+from repro.data.styles import (
+    LAYER_10001,
+    LAYER_10003,
+    MODEL_SIZE,
+    STYLES,
+    TILE_NM,
+    StyleSpec,
+    style_condition,
+    style_spec,
+)
+
+__all__ = [
+    "DatasetConfig",
+    "LAYER_10001",
+    "LAYER_10003",
+    "LayoutMap",
+    "MODEL_SIZE",
+    "STYLES",
+    "StyleSpec",
+    "TILE_NM",
+    "build_library",
+    "build_training_set",
+    "generate_layout_map",
+    "reference_library",
+    "style_condition",
+    "style_spec",
+    "topology_stack",
+]

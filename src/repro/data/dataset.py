@@ -1,0 +1,134 @@
+"""Dataset builder: layout map -> squish tiles -> fixed-size topologies.
+
+Follows the paper's data pipeline: split the layout map into overlapping
+square tiles (2048x2048 nm at the base size, and 4x/16x/64x larger windows
+for the free-size references), squish-encode each tile, and normalise the
+topology to a fixed square resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.data.layout_map import LayoutMap, generate_layout_map
+from repro.data.styles import MODEL_SIZE, TILE_NM, StyleSpec, style_spec
+from repro.geometry.rect import Rect
+from repro.squish.encode import encode_rects
+from repro.squish.normalize import NormalizationError, normalize_pattern
+from repro.squish.pattern import PatternLibrary, SquishPattern
+
+
+@dataclass
+class DatasetConfig:
+    """Tiling parameters for one dataset build.
+
+    ``tile_nm`` is the physical window edge and ``topology_size`` the
+    normalised resolution; the defaults reproduce the paper's 2048 nm /
+    128x128 base setting.  ``map_scale`` sizes the synthetic map relative to
+    the tile so windows can be sampled with overlap.
+    """
+
+    tile_nm: int = TILE_NM
+    topology_size: int = MODEL_SIZE
+    map_scale: int = 8
+    seed: int = 2024
+
+    @property
+    def map_nm(self) -> int:
+        return self.tile_nm * self.map_scale
+
+
+def build_library(
+    style: str,
+    count: int,
+    config: Optional[DatasetConfig] = None,
+    layout_map: Optional[LayoutMap] = None,
+) -> PatternLibrary:
+    """Build a library of ``count`` normalised squish tiles of one style.
+
+    Windows are sampled uniformly at random (overlap allowed, as in the
+    paper).  Tiles whose canonical topology exceeds the target resolution
+    are skipped — the same filtering real squish datasets apply when
+    choosing their resolution.
+    """
+    cfg = config or DatasetConfig()
+    spec = style_spec(style)
+    rng = np.random.default_rng(cfg.seed + 7919 * spec.style_index())
+    if layout_map is None:
+        layout_map = generate_layout_map(spec, cfg.map_nm, cfg.map_nm, rng)
+
+    library = PatternLibrary(name=f"{style}-{cfg.topology_size}")
+    attempts = 0
+    max_attempts = count * 20 + 100
+    hi = max(1, layout_map.width - cfg.tile_nm)
+    while len(library) < count and attempts < max_attempts:
+        attempts += 1
+        x0 = int(rng.integers(0, hi))
+        y0 = int(rng.integers(0, max(1, layout_map.height - cfg.tile_nm)))
+        rects = layout_map.window(x0, y0, cfg.tile_nm)
+        window = Rect(0, 0, cfg.tile_nm, cfg.tile_nm)
+        pattern = encode_rects(rects, window, style=style)
+        try:
+            library.add(normalize_pattern(pattern, cfg.topology_size))
+        except NormalizationError:
+            continue
+    if len(library) < count:
+        raise RuntimeError(
+            f"could only extract {len(library)}/{count} tiles for {style}; "
+            "map too small or topology resolution too low"
+        )
+    return library
+
+
+def topology_stack(library: PatternLibrary) -> np.ndarray:
+    """Stack library topologies into a ``(N, H, W)`` uint8 array."""
+    return np.stack([p.topology for p in library.patterns])
+
+
+def build_training_set(
+    styles: List[str],
+    count_per_style: int,
+    config: Optional[DatasetConfig] = None,
+) -> tuple:
+    """Build the mixed multi-style training set used by ChatPattern.
+
+    Returns ``(topologies, conditions)`` where ``conditions`` holds the
+    per-pattern style index (the diffusion class condition).
+    """
+    cfg = config or DatasetConfig()
+    all_topologies = []
+    all_conditions = []
+    for style in styles:
+        library = build_library(style, count_per_style, cfg)
+        all_topologies.append(topology_stack(library))
+        all_conditions.append(
+            np.full(len(library), style_spec(style).style_index(), dtype=np.int64)
+        )
+    return (np.concatenate(all_topologies), np.concatenate(all_conditions))
+
+
+def reference_library(
+    style: str,
+    count: int,
+    topology_size: int,
+    seed: int = 2024,
+) -> PatternLibrary:
+    """'Real Patterns' reference rows of Table 1.
+
+    Scales the physical window proportionally with the topology resolution
+    (2048 nm at 128 up to 16384 nm at 1024), mirroring the paper's 4x/16x/64x
+    larger splits of the same map.
+    """
+    scale = topology_size // MODEL_SIZE
+    if scale * MODEL_SIZE != topology_size:
+        raise ValueError("topology_size must be a multiple of the base 128")
+    cfg = DatasetConfig(
+        tile_nm=TILE_NM * scale,
+        topology_size=topology_size,
+        map_scale=max(3, 8 // scale),
+        seed=seed,
+    )
+    return build_library(style, count, cfg)

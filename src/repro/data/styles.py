@@ -1,0 +1,105 @@
+"""Dataset style definitions.
+
+The paper trains on tiles split from the ICCAD-2014 contest layout map, with
+two styles: ``Layer-10001`` (widely used in prior work; dense routing-like
+geometry) and ``Layer-10003`` (introduced for style-conditioning; sparser,
+blockier geometry).  The contest map is not redistributable, so
+:mod:`repro.data.layout_map` synthesises style-parameterised Manhattan maps
+that are DRC-clean by construction and match the *relative* complexity of
+the two layers, which is what drives every trend in Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.drc.rules import DesignRules, rules_for_style
+
+#: Canonical tile edge in nm (the paper splits 2048x2048 nm tiles).
+TILE_NM = 2048
+
+#: Topology resolution the generative models train on.
+MODEL_SIZE = 128
+
+STYLES: Tuple[str, str] = ("Layer-10001", "Layer-10003")
+
+
+@dataclass(frozen=True)
+class StyleSpec:
+    """Parameters of one synthetic layout style.
+
+    Track-based styles draw wire segments inside orientation-locked strips;
+    block-based styles place isolated rectangles on a jittered grid.  All
+    distances in nm and snapped to ``grid``: real layouts sit on a placement
+    grid, and snapping bounds the scan-line count of any window at
+    ``window_nm / grid`` — the property that makes the 4x/16x/64x larger
+    splits normalizable to proportionally larger topologies.
+    """
+
+    name: str
+    kind: str  # "tracks" or "blocks"
+    rules: DesignRules
+    wire_widths: Tuple[int, ...]
+    space_range: Tuple[int, int]
+    segment_range: Tuple[int, int]
+    gap_range: Tuple[int, int]
+    strip_range: Tuple[int, int]
+    fill_probability: float
+    grid: int = 16
+
+    def style_index(self) -> int:
+        """Stable integer id used as the diffusion class condition."""
+        return STYLES.index(self.name)
+
+    def snap(self, value: float, minimum: int = 0) -> int:
+        """Round ``value`` up to the placement grid, at least ``minimum``."""
+        snapped = int(-(-int(value) // self.grid) * self.grid)
+        if minimum:
+            need = int(-(-minimum // self.grid) * self.grid)
+            snapped = max(snapped, need)
+        return snapped
+
+
+LAYER_10001 = StyleSpec(
+    name="Layer-10001",
+    kind="tracks",
+    rules=rules_for_style("Layer-10001"),
+    wire_widths=(48, 48, 64, 80),
+    space_range=(32, 80),
+    segment_range=(160, 704),
+    gap_range=(32, 160),
+    strip_range=(304, 896),
+    fill_probability=0.88,
+    grid=16,
+)
+
+LAYER_10003 = StyleSpec(
+    name="Layer-10003",
+    kind="blocks",
+    rules=rules_for_style("Layer-10003"),
+    wire_widths=(128, 160, 208, 256, 320),
+    space_range=(96, 320),
+    segment_range=(160, 512),
+    gap_range=(96, 320),
+    strip_range=(160, 416),
+    fill_probability=0.6,
+    grid=16,
+)
+
+_SPECS = {spec.name: spec for spec in (LAYER_10001, LAYER_10003)}
+
+
+def style_spec(name: str) -> StyleSpec:
+    """Look up a style spec by tag."""
+    try:
+        return _SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown style {name!r}; known styles: {sorted(_SPECS)}"
+        ) from None
+
+
+def style_condition(name: str) -> int:
+    """Diffusion class-condition index for a style tag."""
+    return style_spec(name).style_index()

@@ -1,0 +1,25 @@
+"""Conditional discrete diffusion: schedule, losses, denoisers, model."""
+
+from repro.diffusion.denoisers.base import Denoiser, MarginalDenoiser
+from repro.diffusion.denoisers.neighborhood import (
+    NeighborhoodDenoiser,
+    neighborhood_codes,
+)
+from repro.diffusion.denoisers.unet_lite import UNetLite
+from repro.diffusion.loss import bernoulli_kl, bernoulli_nll, diffusion_loss
+from repro.diffusion.model import ConditionalDiffusionModel
+from repro.diffusion.schedule import DiffusionSchedule, linear_beta_schedule
+
+__all__ = [
+    "ConditionalDiffusionModel",
+    "Denoiser",
+    "DiffusionSchedule",
+    "MarginalDenoiser",
+    "NeighborhoodDenoiser",
+    "UNetLite",
+    "bernoulli_kl",
+    "bernoulli_nll",
+    "diffusion_loss",
+    "linear_beta_schedule",
+    "neighborhood_codes",
+]

@@ -1,0 +1,16 @@
+"""Pluggable denoiser backends for the discrete diffusion model."""
+
+from repro.diffusion.denoisers.base import Denoiser, MarginalDenoiser
+from repro.diffusion.denoisers.neighborhood import (
+    NeighborhoodDenoiser,
+    neighborhood_codes,
+)
+from repro.diffusion.denoisers.unet_lite import UNetLite
+
+__all__ = [
+    "Denoiser",
+    "MarginalDenoiser",
+    "NeighborhoodDenoiser",
+    "UNetLite",
+    "neighborhood_codes",
+]

@@ -1,0 +1,166 @@
+"""UNetLite: a small encoder-decoder CNN denoiser in pure numpy.
+
+A faithful-but-tiny stand-in for the paper's U-Net backbone: one
+downsampling level with a skip connection, conditioned on the noise level
+and the class embedding via extra input channels (the paper adds the
+condition embedding to the timestep embedding; broadcasting both as input
+feature maps is the equivalent mechanism for a network this small).
+Training uses the cross-entropy term of Eq. (10) (predicting ``x_0``), the
+standard simplification for discrete diffusion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.diffusion.denoisers.base import Denoiser
+from repro.diffusion.schedule import DiffusionSchedule
+from repro.nn.functional import (
+    avg_pool2,
+    avg_pool2_backward,
+    bce_with_logits,
+    conv2d_backward,
+    conv2d_forward,
+    relu,
+    relu_backward,
+    sigmoid,
+    upsample2,
+    upsample2_backward,
+)
+from repro.nn.optim import Adam
+
+
+class UNetLite(Denoiser):
+    """Encoder-decoder denoiser: enc -> pool -> mid -> upsample+skip -> out.
+
+    Input channels: noisy topology, a constant noise-level plane and one
+    one-hot plane per class.  Output: per-pixel logit of ``P(x_0 = 1)``.
+    """
+
+    def __init__(
+        self,
+        n_classes: int = 0,
+        base_channels: int = 12,
+        seed: int = 0,
+    ):
+        self.n_classes = n_classes
+        self.channels = base_channels
+        c_in = 2 + n_classes
+        c = base_channels
+        rng = np.random.default_rng(seed)
+        self.params: Dict[str, np.ndarray] = {
+            "enc_w": _kaiming(rng, (c, c_in, 3, 3)),
+            "enc_b": np.zeros(c),
+            "mid_w": _kaiming(rng, (2 * c, c, 3, 3)),
+            "mid_b": np.zeros(2 * c),
+            "dec_w": _kaiming(rng, (c, 3 * c, 3, 3)),
+            "dec_b": np.zeros(c),
+            "out_w": _kaiming(rng, (1, c, 3, 3)),
+            "out_b": np.zeros(1),
+        }
+
+    def _input_planes(
+        self, xk: np.ndarray, noise_level: float, condition: int
+    ) -> np.ndarray:
+        b, h, w = xk.shape
+        planes = [xk.astype(np.float64)[:, None], np.full((b, 1, h, w), noise_level)]
+        for c in range(self.n_classes):
+            planes.append(np.full((b, 1, h, w), 1.0 if c == condition else 0.0))
+        return np.concatenate(planes, axis=1)
+
+    def _forward(self, x: np.ndarray) -> tuple:
+        enc_pre, enc_cache = conv2d_forward(x, self.params["enc_w"], self.params["enc_b"])
+        enc = relu(enc_pre)
+        pooled = avg_pool2(enc)
+        mid_pre, mid_cache = conv2d_forward(pooled, self.params["mid_w"], self.params["mid_b"])
+        mid = relu(mid_pre)
+        up = upsample2(mid)
+        merged = np.concatenate([up, enc], axis=1)
+        dec_pre, dec_cache = conv2d_forward(merged, self.params["dec_w"], self.params["dec_b"])
+        dec = relu(dec_pre)
+        logits, out_cache = conv2d_forward(dec, self.params["out_w"], self.params["out_b"])
+        caches = {
+            "enc_pre": enc_pre, "enc_cache": enc_cache, "enc": enc,
+            "mid_pre": mid_pre, "mid_cache": mid_cache,
+            "dec_pre": dec_pre, "dec_cache": dec_cache,
+            "out_cache": out_cache,
+        }
+        return logits[:, 0], caches
+
+    def _backward(self, dlogits: np.ndarray, caches: Dict) -> Dict[str, np.ndarray]:
+        grads: Dict[str, np.ndarray] = {}
+        ddec, grads["out_w"], grads["out_b"] = conv2d_backward(
+            dlogits[:, None], caches["out_cache"]
+        )
+        ddec_pre = relu_backward(ddec, caches["dec_pre"])
+        dmerged, grads["dec_w"], grads["dec_b"] = conv2d_backward(
+            ddec_pre, caches["dec_cache"]
+        )
+        c2 = 2 * self.channels
+        dup = dmerged[:, :c2]
+        denc_skip = dmerged[:, c2:]
+        dmid = upsample2_backward(dup)
+        dmid_pre = relu_backward(dmid, caches["mid_pre"])
+        dpooled, grads["mid_w"], grads["mid_b"] = conv2d_backward(
+            dmid_pre, caches["mid_cache"]
+        )
+        denc = avg_pool2_backward(dpooled) + denc_skip
+        denc_pre = relu_backward(denc, caches["enc_pre"])
+        _, grads["enc_w"], grads["enc_b"] = conv2d_backward(
+            denc_pre, caches["enc_cache"]
+        )
+        return grads
+
+    def predict_x0(
+        self, xk: np.ndarray, noise_level: float, condition: Optional[int] = None
+    ) -> np.ndarray:
+        c = self._validate_condition(condition)
+        batched = xk.ndim == 3
+        arr = xk if batched else xk[None]
+        x = self._input_planes(np.asarray(arr, dtype=np.uint8), noise_level, c)
+        logits, _ = self._forward(x)
+        probs = sigmoid(logits)
+        return probs if batched else probs[0]
+
+    def fit(
+        self,
+        topologies: np.ndarray,
+        conditions: Optional[np.ndarray],
+        schedule: DiffusionSchedule,
+        rng: np.random.Generator,
+        iterations: int = 200,
+        batch_size: int = 8,
+        lr: float = 2e-4,
+    ) -> dict:
+        """Minibatch Adam training on the x0-prediction cross-entropy."""
+        topologies = np.asarray(topologies, dtype=np.uint8)
+        n = topologies.shape[0]
+        cond = (
+            np.zeros(n, dtype=np.int64)
+            if conditions is None
+            else np.asarray(conditions, dtype=np.int64)
+        )
+        optimizer = Adam(self.params, lr=lr, grad_clip=1.0)
+        losses = []
+        for _ in range(iterations):
+            idx = rng.integers(0, n, size=batch_size)
+            # One class per batch: the condition plane is batch-constant.
+            c = int(cond[idx[0]])
+            idx = idx[cond[idx] == c] if self.n_classes else idx
+            x0 = topologies[idx]
+            k = int(rng.integers(1, schedule.steps + 1))
+            xk = schedule.forward_sample(x0, k, rng)
+            x = self._input_planes(xk, schedule.beta_bar(k), c)
+            logits, caches = self._forward(x)
+            loss, dlogits = bce_with_logits(logits, x0)
+            grads = self._backward(dlogits, caches)
+            optimizer.step(grads)
+            losses.append(loss)
+        return {"loss_history": losses, "final_loss": losses[-1] if losses else None}
+
+
+def _kaiming(rng: np.random.Generator, shape: tuple) -> np.ndarray:
+    fan_in = int(np.prod(shape[1:]))
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)

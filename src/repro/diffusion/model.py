@@ -1,0 +1,263 @@
+"""The conditional discrete diffusion generator (back-end of ChatPattern).
+
+Bundles a noise schedule with a pluggable denoiser and exposes the three
+primitives every higher-level tool builds on: batch sampling (Eq. 11), a
+single reverse step (Eq. 9) and forward noising (Eq. 2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.diffusion.denoisers.base import Denoiser
+from repro.diffusion.denoisers.neighborhood import NeighborhoodDenoiser
+from repro.diffusion.schedule import DiffusionSchedule
+
+
+class ConditionalDiffusionModel:
+    """Class-conditional 2-state discrete diffusion over topology matrices.
+
+    Args:
+        denoiser: the learned ``p_theta(x0 | x_k, c)`` backend.
+        schedule: noise schedule; linear ramp as in the paper (Eq. 4).  The
+            default is K=128 with a gentler ramp (0.003 -> 0.08) than the
+            paper's K=1000 / 0.01 -> 0.5: with the paper's parameters the
+            cumulative flip probability saturates at 0.5 within a small
+            fraction of the chain, so only the final ~60 steps carry
+            information — the shorter ramp keeps the same number of
+            *informative* steps at an eighth of the CPU cost.  The denoisers
+            are noise-level- (not step-) indexed, so any schedule can be
+            swapped in at sampling time.
+        window: the model's native output size (the paper's 128).
+    """
+
+    def __init__(
+        self,
+        denoiser: Optional[Denoiser] = None,
+        schedule: Optional[DiffusionSchedule] = None,
+        window: int = 128,
+        n_classes: int = 2,
+        sampler: str = "x0",
+        density_guidance: bool = True,
+        sharpen: float = 2.0,
+        polish_sweeps: int = 4,
+    ):
+        if sampler not in ("x0", "posterior"):
+            raise ValueError("sampler must be 'x0' or 'posterior'")
+        self.denoiser = denoiser or NeighborhoodDenoiser(n_classes=n_classes)
+        self.schedule = schedule or DiffusionSchedule.linear(128, 0.003, 0.08)
+        self.window = window
+        self.sampler = sampler
+        self.density_guidance = density_guidance
+        self.sharpen = float(sharpen)
+        self.polish_sweeps = int(polish_sweeps)
+        self.fitted = False
+
+    @property
+    def n_classes(self) -> int:
+        return self.denoiser.n_classes
+
+    def fit(
+        self,
+        topologies: np.ndarray,
+        conditions: Optional[np.ndarray],
+        rng: np.random.Generator,
+        **fit_kwargs,
+    ) -> dict:
+        """Train the denoiser on clean topologies (+ class conditions)."""
+        info = self.denoiser.fit(
+            np.asarray(topologies, dtype=np.uint8),
+            conditions,
+            self.schedule,
+            rng,
+            **fit_kwargs,
+        )
+        self.fitted = True
+        return info
+
+    def prior_sample(
+        self, shape: Tuple[int, ...], rng: np.random.Generator
+    ) -> np.ndarray:
+        """``T_K``: the fully-noised stationary distribution (fair coin)."""
+        return (rng.random(shape) < 0.5).astype(np.uint8)
+
+    def denoise_step(
+        self,
+        xk: np.ndarray,
+        k: int,
+        condition: Optional[int],
+        rng: np.random.Generator,
+        deterministic: bool = False,
+    ) -> np.ndarray:
+        """One reverse step ``x_k -> x_{k-1}`` (Eq. 9).
+
+        Two samplers implement the step:
+
+        - ``"posterior"`` — the exact Eq. (5)/(9) ancestral step, summing the
+          closed-form posterior over the predicted ``x_0``.
+        - ``"x0"`` (default) — x0-resampling: draw ``x0_hat ~ p_theta(x0|x_k,c)``
+          and re-noise it to level ``k-1`` via the forward process.  Both
+          target the same learned posterior; x0-resampling applies the
+          denoiser at full strength every step, which anneals global
+          structure far more effectively for local (tabular) denoisers and
+          is a standard sampler choice in D3PM implementations.
+
+        ``deterministic`` takes the mode instead of sampling — used for the
+        final step, the discrete analogue of dropping the noise term at k=1.
+        """
+        level = self.schedule.beta_bar(k)
+        p_x0 = self.denoiser.predict_x0(xk, level, condition)
+        if self.sharpen > 0:
+            # Progressive sharpening: as the noise anneals away, raise the
+            # inverse temperature of the x0 posterior.  Wobbling edges (one
+            # cell in/out per row) are the costliest artefact for
+            # legalization — they chain interval constraints across rows —
+            # and near-deterministic late steps straighten them out.
+            gamma = 1.0 + self.sharpen * (1.0 - level / 0.5)
+            p_x0 = p_x0 ** gamma / (p_x0 ** gamma + (1.0 - p_x0) ** gamma)
+        if self.density_guidance:
+            p_x0 = _calibrate_density(p_x0, self.denoiser.target_fill(condition))
+        if self.sampler == "posterior":
+            p_prev = self.schedule.posterior_mix(xk, p_x0, k)
+            if deterministic:
+                return (p_prev > 0.5).astype(np.uint8)
+            return (rng.random(xk.shape) < p_prev).astype(np.uint8)
+        if deterministic:
+            x0_hat = (p_x0 > 0.5).astype(np.uint8)
+        else:
+            x0_hat = (rng.random(xk.shape) < p_x0).astype(np.uint8)
+        if k == 1:
+            return x0_hat
+        return self.schedule.forward_sample(x0_hat, k - 1, rng)
+
+    def polish(
+        self,
+        x0: np.ndarray,
+        condition: Optional[int],
+        sweeps: Optional[int] = None,
+    ) -> np.ndarray:
+        """Deterministic low-noise denoiser sweeps (speckle removal).
+
+        Re-applies the k=1 denoiser in mode-taking form until fixpoint or
+        ``sweeps`` iterations; equivalent to appending extra deterministic
+        final steps to the reverse chain.
+        """
+        if sweeps is None:
+            sweeps = self.polish_sweeps
+        level = self.schedule.beta_bar(1)
+        x = np.asarray(x0, dtype=np.uint8)
+        for _ in range(sweeps):
+            p = self.denoiser.predict_x0(x, level, condition)
+            if self.density_guidance:
+                # Guided mode-taking: threshold at the quantile that keeps
+                # the class fill rate.  A fixed 0.5 threshold would erase
+                # (or flood) the pattern whenever under-trained tables sit
+                # uniformly below (above) one half.
+                target = self.denoiser.target_fill(condition)
+                threshold = float(np.quantile(p, 1.0 - target))
+                threshold = min(max(threshold, 1e-9), 1.0 - 1e-9)
+            else:
+                threshold = 0.5
+            nxt = (p > threshold).astype(np.uint8)
+            if np.array_equal(nxt, x):
+                break
+            x = nxt
+        return self._resolve_corner_touches(x, condition)
+
+    def _resolve_corner_touches(
+        self, x: np.ndarray, condition: Optional[int], max_rounds: int = 8
+    ) -> np.ndarray:
+        """Clear corner-touching polygon pairs from a clean sample.
+
+        Training data contains no corner touches (they are zero-space DRC
+        defects), so they are off-manifold artefacts of the sampler; of each
+        touching diagonal pair the cell with the lower k=1 posterior is
+        cleared.  Only *model output* passes through here — seams created by
+        naive concatenation never do, matching the paper's dynamics.
+        """
+        from repro.geometry.grid import diagonal_touch_pairs
+
+        if x.ndim == 3:
+            return np.stack(
+                [self._resolve_corner_touches(xi, condition, max_rounds) for xi in x]
+            )
+        level = self.schedule.beta_bar(1)
+        out = x.copy()
+        for _ in range(max_rounds):
+            touches = diagonal_touch_pairs(out)
+            if not touches:
+                break
+            p = self.denoiser.predict_x0(out, level, condition)
+            for row, col in touches:
+                # The 2x2 window holds one filled diagonal pair; clear the
+                # less confident of the two filled cells.
+                cells = [
+                    (r, c)
+                    for r, c in (
+                        (row, col), (row + 1, col + 1),
+                        (row, col + 1), (row + 1, col),
+                    )
+                    if out[r, c]
+                ]
+                if not cells:
+                    continue
+                weakest = min(cells, key=lambda rc: p[rc])
+                out[weakest] = 0
+        return out
+
+    def sample(
+        self,
+        count: int,
+        condition: Optional[int],
+        rng: np.random.Generator,
+        shape: Optional[Tuple[int, int]] = None,
+    ) -> np.ndarray:
+        """Sample ``count`` topologies via the full reverse chain (Eq. 11).
+
+        Returns a ``(count, H, W)`` uint8 array.  ``shape`` defaults to the
+        model window; larger shapes should go through
+        :mod:`repro.ops.extend` instead, matching the paper's free-size
+        pipeline.
+        """
+        if not self.fitted:
+            raise RuntimeError("model not fitted; call fit() first")
+        h, w = shape or (self.window, self.window)
+        xk = self.prior_sample((count, h, w), rng)
+        for k in range(self.schedule.steps, 1, -1):
+            xk = self.denoise_step(xk, k, condition, rng)
+        xk = self.denoise_step(xk, 1, condition, rng, deterministic=True)
+        return self.polish(xk, condition)
+
+    def noise_to(
+        self, x0: np.ndarray, k: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Forward-noise clean pixels to step ``k`` (Eq. 2)."""
+        if k == 0:
+            return np.asarray(x0, dtype=np.uint8).copy()
+        return self.schedule.forward_sample(np.asarray(x0, dtype=np.uint8), k, rng)
+
+
+def _calibrate_density(p: np.ndarray, target: float) -> np.ndarray:
+    """Moment-matching density guidance.
+
+    Shifts the probability map in logit space so its mean equals the class's
+    clean-data fill rate.  Local structure (the *relative* ordering of
+    pixels) is untouched; only the global density is pinned, which prevents
+    the density drift local denoisers exhibit over long reverse chains.
+    Solved by bisection on the shared logit offset.
+    """
+    p = np.clip(p, 1e-9, 1.0 - 1e-9)
+    if abs(float(p.mean()) - target) < 1e-4:
+        return p
+    logits = np.log(p / (1.0 - p))
+    lo, hi = -30.0, 30.0
+    for _ in range(40):
+        mid = 0.5 * (lo + hi)
+        mean = float((1.0 / (1.0 + np.exp(-(logits + mid)))).mean())
+        if mean < target:
+            lo = mid
+        else:
+            hi = mid
+    return 1.0 / (1.0 + np.exp(-(logits + 0.5 * (lo + hi))))

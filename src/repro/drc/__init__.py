@@ -1,0 +1,16 @@
+"""Design-rule checking: rules, checker and violation reports."""
+
+from repro.drc.checker import check_pattern, is_legal
+from repro.drc.rules import LAYER_RULES, DesignRules, rules_for_style
+from repro.drc.violations import DRCReport, GridRegion, Violation
+
+__all__ = [
+    "DRCReport",
+    "DesignRules",
+    "GridRegion",
+    "LAYER_RULES",
+    "Violation",
+    "check_pattern",
+    "is_legal",
+    "rules_for_style",
+]

@@ -1,0 +1,101 @@
+"""Design-rule checking on squish patterns.
+
+Checks run directly on the squish representation, which is exact for
+Manhattan geometry: run extents along rows/columns give widths and spaces,
+and connected components give polygon areas.  Corner-touching polygons are a
+zero-space violation that no geometry assignment can repair.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.drc.rules import DesignRules
+from repro.drc.violations import DRCReport, GridRegion, Violation
+from repro.geometry.grid import all_column_runs, all_row_runs, diagonal_touch_pairs
+from repro.geometry.polygon import extract_polygons
+from repro.squish.pattern import SquishPattern
+
+
+def check_pattern(pattern: SquishPattern, rules: DesignRules) -> DRCReport:
+    """Run all rule checks and return the full violation report."""
+    report = DRCReport()
+    report.violations.extend(_check_runs(pattern, rules))
+    report.violations.extend(_check_corners(pattern))
+    report.violations.extend(_check_areas(pattern, rules))
+    return report
+
+
+def is_legal(pattern: SquishPattern, rules: DesignRules) -> bool:
+    """Definition 1: the pattern is legal iff DRC-clean."""
+    return check_pattern(pattern, rules).is_clean
+
+
+def _check_runs(pattern: SquishPattern, rules: DesignRules) -> List[Violation]:
+    """Width of 1-runs and space of interior 0-runs, both axes."""
+    violations: List[Violation] = []
+    xs = np.concatenate(([0], np.cumsum(pattern.dx)))
+    ys = np.concatenate(([0], np.cumsum(pattern.dy)))
+    rows, cols = pattern.shape
+
+    # Runs touching the window border are exempt from Width: the clipped
+    # shape continues outside the pattern (standard window-DRC convention).
+    for run in all_row_runs(pattern.topology):
+        length = int(xs[run.stop] - xs[run.start])
+        interior = 0 < run.start and run.stop < cols
+        region = GridRegion(run.index, run.start, run.index, run.stop - 1)
+        if run.value == 1 and interior and length < rules.min_width:
+            violations.append(
+                Violation("width", region, length, rules.min_width, axis="x")
+            )
+        elif run.value == 0 and interior and length < rules.min_space:
+            violations.append(
+                Violation("space", region, length, rules.min_space, axis="x")
+            )
+
+    for run in all_column_runs(pattern.topology):
+        length = int(ys[run.stop] - ys[run.start])
+        interior = 0 < run.start and run.stop < rows
+        region = GridRegion(run.start, run.index, run.stop - 1, run.index)
+        if run.value == 1 and interior and length < rules.min_width:
+            violations.append(
+                Violation("width", region, length, rules.min_width, axis="y")
+            )
+        elif run.value == 0 and interior and length < rules.min_space:
+            violations.append(
+                Violation("space", region, length, rules.min_space, axis="y")
+            )
+    return violations
+
+
+def _check_corners(pattern: SquishPattern) -> List[Violation]:
+    """Distinct polygons touching only at a corner (zero spacing)."""
+    violations: List[Violation] = []
+    for row, col in diagonal_touch_pairs(pattern.topology):
+        region = GridRegion(row, col, row + 1, col + 1)
+        violations.append(Violation("corner", region, 0, 1))
+    return violations
+
+
+def _check_areas(pattern: SquishPattern, rules: DesignRules) -> List[Violation]:
+    """Polygon area against ``min_area`` (border-touching polygons exempt)."""
+    violations: List[Violation] = []
+    n_rows, n_cols = pattern.shape
+    for poly in extract_polygons(pattern.topology, pattern.dx, pattern.dy):
+        rows = [r for r, _ in poly.cells]
+        cols = [c for _, c in poly.cells]
+        touches_border = (
+            min(rows) == 0
+            or min(cols) == 0
+            or max(rows) == n_rows - 1
+            or max(cols) == n_cols - 1
+        )
+        if touches_border:
+            continue
+        area = poly.area
+        if area < rules.min_area:
+            region = GridRegion(min(rows), min(cols), max(rows), max(cols))
+            violations.append(Violation("area", region, area, rules.min_area))
+    return violations

@@ -1,0 +1,61 @@
+"""Design rules: Space, Width and Area (Figure 3 of the paper).
+
+A pattern is *legal* iff it is DRC-clean under these rules (Definition 1).
+Per-layer presets mirror the two dataset styles: Layer-10001 is a dense
+routing-like layer with a tight pitch, Layer-10003 a sparser blocky layer
+with a relaxed pitch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class DesignRules:
+    """Minimum-dimension design rules in nm (and nm^2 for area).
+
+    Attributes:
+        min_space: minimum separation between adjacent polygons.
+        min_width: minimum extent of any shape span in either direction.
+        min_area: minimum polygon area.
+        name: rule-deck label, used in logs and reports.
+    """
+
+    min_space: int
+    min_width: int
+    min_area: int
+    name: str = "default"
+
+    def __post_init__(self) -> None:
+        if self.min_space <= 0 or self.min_width <= 0 or self.min_area <= 0:
+            raise ValueError("design rule values must be positive")
+
+    @property
+    def min_pitch(self) -> int:
+        """Smallest legal line pitch (width + space)."""
+        return self.min_width + self.min_space
+
+
+#: Rule decks for the two dataset styles.  Values are chosen so that patterns
+#: synthesised by :mod:`repro.data` are clean by construction while leaving
+#: realistic headroom for generated topologies to violate them.
+LAYER_RULES: Dict[str, DesignRules] = {
+    "Layer-10001": DesignRules(
+        min_space=30, min_width=40, min_area=4000, name="Layer-10001"
+    ),
+    "Layer-10003": DesignRules(
+        min_space=60, min_width=80, min_area=16000, name="Layer-10003"
+    ),
+}
+
+
+def rules_for_style(style: str) -> DesignRules:
+    """Look up the rule deck for a dataset style tag."""
+    try:
+        return LAYER_RULES[style]
+    except KeyError:
+        raise KeyError(
+            f"unknown style {style!r}; known styles: {sorted(LAYER_RULES)}"
+        ) from None

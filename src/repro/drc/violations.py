@@ -1,0 +1,134 @@
+"""Violation records produced by the DRC checker.
+
+Each violation localises the offence on the squish grid (cell coordinates)
+so the LLM agent can target a repair via ``Topology_Modification``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class GridRegion:
+    """Inclusive cell-coordinate bounding box ``(upper, left, bottom, right)``.
+
+    Row indices grow downward in matrix order; ``upper <= bottom`` and
+    ``left <= right``.
+    """
+
+    upper: int
+    left: int
+    bottom: int
+    right: int
+
+    def __post_init__(self) -> None:
+        if self.bottom < self.upper or self.right < self.left:
+            raise ValueError("inverted grid region")
+
+    @property
+    def rows(self) -> int:
+        return self.bottom - self.upper + 1
+
+    @property
+    def cols(self) -> int:
+        return self.right - self.left + 1
+
+    def union(self, other: "GridRegion") -> "GridRegion":
+        """Smallest region covering both."""
+        return GridRegion(
+            min(self.upper, other.upper),
+            min(self.left, other.left),
+            max(self.bottom, other.bottom),
+            max(self.right, other.right),
+        )
+
+    def expanded(self, margin: int, shape: Tuple[int, int]) -> "GridRegion":
+        """Grow by ``margin`` cells on every side, clamped to ``shape``."""
+        rows, cols = shape
+        return GridRegion(
+            max(0, self.upper - margin),
+            max(0, self.left - margin),
+            min(rows - 1, self.bottom + margin),
+            min(cols - 1, self.right + margin),
+        )
+
+    def as_tuple(self) -> Tuple[int, int, int, int]:
+        return (self.upper, self.left, self.bottom, self.right)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One design-rule violation.
+
+    Attributes:
+        rule: one of ``"space"``, ``"width"``, ``"area"``, ``"corner"``.
+        region: offending cells on the squish grid.
+        measured: measured value in nm (or nm^2 for area); 0 for corner.
+        required: rule threshold the measurement fails.
+        axis: ``"x"``/``"y"`` for directional rules, ``None`` otherwise.
+    """
+
+    rule: str
+    region: GridRegion
+    measured: int
+    required: int
+    axis: Optional[str] = None
+
+    def describe(self) -> str:
+        """Human/agent readable one-line description."""
+        where = self.region.as_tuple()
+        if self.rule == "corner":
+            return f"corner-touching polygons at cells {where}"
+        unit = "nm^2" if self.rule == "area" else "nm"
+        axis = f" along {self.axis}" if self.axis else ""
+        return (
+            f"{self.rule} violation{axis} at cells {where}: "
+            f"{self.measured} {unit} < required {self.required} {unit}"
+        )
+
+
+@dataclass
+class DRCReport:
+    """Outcome of a full DRC run over one pattern."""
+
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def is_clean(self) -> bool:
+        """True iff no rule is violated (Definition 1 legality)."""
+        return not self.violations
+
+    def count_by_rule(self) -> dict:
+        """Histogram of violations per rule kind."""
+        counts: dict = {}
+        for v in self.violations:
+            counts[v.rule] = counts.get(v.rule, 0) + 1
+        return counts
+
+    def worst_region(self) -> Optional[GridRegion]:
+        """Bounding region around the densest violation cluster.
+
+        Used by the agent as the modification target: the union of the
+        regions of the most common rule kind keeps the repair local.
+        """
+        if not self.violations:
+            return None
+        counts = self.count_by_rule()
+        dominant = max(counts, key=counts.get)
+        regions = [v.region for v in self.violations if v.rule == dominant]
+        merged = regions[0]
+        for region in regions[1:]:
+            merged = merged.union(region)
+        return merged
+
+    def summary(self) -> str:
+        """Multi-line log text consumed by the LLM agent."""
+        if self.is_clean:
+            return "DRC clean"
+        lines = [f"{len(self.violations)} violation(s): {self.count_by_rule()}"]
+        lines.extend(v.describe() for v in self.violations[:8])
+        if len(self.violations) > 8:
+            lines.append(f"... and {len(self.violations) - 8} more")
+        return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Rectilinear geometry primitives (rects, grids, polygons)."""
+
+from repro.geometry.grid import (
+    Run,
+    all_column_runs,
+    all_row_runs,
+    as_topology,
+    column_runs,
+    component_count,
+    diagonal_touch_pairs,
+    label_components,
+    row_runs,
+)
+from repro.geometry.polygon import GridPolygon, extract_polygons
+from repro.geometry.rect import Rect, bounding_box, clip_rects, merge_touching_rects
+
+__all__ = [
+    "Rect",
+    "Run",
+    "GridPolygon",
+    "as_topology",
+    "all_column_runs",
+    "all_row_runs",
+    "bounding_box",
+    "clip_rects",
+    "column_runs",
+    "component_count",
+    "diagonal_touch_pairs",
+    "extract_polygons",
+    "label_components",
+    "merge_touching_rects",
+    "row_runs",
+]

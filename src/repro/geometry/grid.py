@@ -1,0 +1,122 @@
+"""Binary-grid utilities shared by the squish codec, DRC and legalizer.
+
+A topology matrix ``T`` is a 2-D ``uint8`` array whose entries mark filled
+(1) versus empty (0) squish cells.  Rows index the y axis (row 0 is the
+bottom scan stripe) and columns index the x axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+from scipy import ndimage
+
+
+@dataclass(frozen=True)
+class Run:
+    """A maximal run of equal cells inside one row or column.
+
+    ``index`` is the row (for horizontal runs) or column (for vertical runs),
+    ``start``/``stop`` delimit the half-open cell span ``[start, stop)`` and
+    ``value`` is the cell value (0 or 1).
+    """
+
+    index: int
+    start: int
+    stop: int
+    value: int
+
+    @property
+    def length(self) -> int:
+        return self.stop - self.start
+
+
+def as_topology(array: np.ndarray) -> np.ndarray:
+    """Validate and canonicalise a topology matrix to 2-D ``uint8`` of {0,1}."""
+    t = np.asarray(array)
+    if t.ndim != 2:
+        raise ValueError(f"topology must be 2-D, got shape {t.shape}")
+    if t.size == 0:
+        raise ValueError("topology must be non-empty")
+    t = t.astype(np.uint8, copy=False)
+    if not np.isin(t, (0, 1)).all():
+        raise ValueError("topology entries must be 0 or 1")
+    return t
+
+
+def row_runs(topology: np.ndarray, row: int) -> List[Run]:
+    """Maximal constant runs along one row (scans the x axis)."""
+    return _runs_1d(topology[row, :], row)
+
+
+def column_runs(topology: np.ndarray, col: int) -> List[Run]:
+    """Maximal constant runs along one column (scans the y axis)."""
+    return _runs_1d(topology[:, col], col)
+
+
+def _runs_1d(line: np.ndarray, index: int) -> List[Run]:
+    change = np.flatnonzero(np.diff(line)) + 1
+    bounds = np.concatenate(([0], change, [line.shape[0]]))
+    return [
+        Run(index=index, start=int(a), stop=int(b), value=int(line[a]))
+        for a, b in zip(bounds[:-1], bounds[1:])
+    ]
+
+
+def all_row_runs(topology: np.ndarray) -> List[Run]:
+    """Runs for every row, concatenated."""
+    out: List[Run] = []
+    for row in range(topology.shape[0]):
+        out.extend(row_runs(topology, row))
+    return out
+
+
+def all_column_runs(topology: np.ndarray) -> List[Run]:
+    """Runs for every column, concatenated."""
+    out: List[Run] = []
+    for col in range(topology.shape[1]):
+        out.extend(column_runs(topology, col))
+    return out
+
+
+def label_components(topology: np.ndarray, connectivity: int = 4) -> np.ndarray:
+    """Label 4- or 8-connected components of filled cells.
+
+    Returns an ``int32`` array of the same shape where 0 marks empty cells and
+    components are numbered from 1.
+    """
+    if connectivity == 4:
+        structure = np.array([[0, 1, 0], [1, 1, 1], [0, 1, 0]])
+    elif connectivity == 8:
+        structure = np.ones((3, 3), dtype=int)
+    else:
+        raise ValueError("connectivity must be 4 or 8")
+    labels, _ = ndimage.label(as_topology(topology), structure=structure)
+    return labels.astype(np.int32)
+
+
+def component_count(topology: np.ndarray, connectivity: int = 4) -> int:
+    """Number of connected polygons in the topology."""
+    labels = label_components(topology, connectivity)
+    return int(labels.max())
+
+
+def diagonal_touch_pairs(topology: np.ndarray) -> List[tuple]:
+    """Cells of *different* polygons touching only at a corner.
+
+    Returns a list of ``(row, col)`` positions naming the lower-left cell of
+    each offending 2x2 window.  Corner-touching polygons have zero physical
+    spacing, which every space rule forbids.
+    """
+    t = as_topology(topology)
+    labels = label_components(t, connectivity=4)
+    a = labels[:-1, :-1]
+    b = labels[1:, 1:]
+    c = labels[:-1, 1:]
+    d = labels[1:, :-1]
+    diag1 = (a > 0) & (b > 0) & (a != b) & (c == 0) & (d == 0)
+    diag2 = (c > 0) & (d > 0) & (c != d) & (a == 0) & (b == 0)
+    rows, cols = np.nonzero(diag1 | diag2)
+    return [(int(r), int(cc)) for r, cc in zip(rows, cols)]

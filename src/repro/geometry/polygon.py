@@ -1,0 +1,135 @@
+"""Rectilinear polygons extracted from squish-grid cells.
+
+A polygon is a 4-connected component of filled cells in a topology matrix,
+carrying the physical delta vectors so its real dimensions can be computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.grid import as_topology, label_components
+from repro.geometry.rect import Rect
+
+
+@dataclass
+class GridPolygon:
+    """One rectilinear polygon on the squish grid.
+
+    ``cells`` holds ``(row, col)`` pairs; physical geometry is resolved
+    against ``dx``/``dy`` delta vectors (nm per column / per row) together
+    with the cumulative offsets implied by them.
+    """
+
+    label: int
+    cells: List[Tuple[int, int]]
+    dx: np.ndarray
+    dy: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.dx = np.asarray(self.dx, dtype=np.int64)
+        self.dy = np.asarray(self.dy, dtype=np.int64)
+        if not self.cells:
+            raise ValueError("polygon must contain at least one cell")
+        self._xs = np.concatenate(([0], np.cumsum(self.dx)))
+        self._ys = np.concatenate(([0], np.cumsum(self.dy)))
+
+    @property
+    def area(self) -> int:
+        """Physical area in nm^2 (sum of cell areas)."""
+        return int(
+            sum(int(self.dx[c]) * int(self.dy[r]) for r, c in self.cells)
+        )
+
+    @property
+    def bbox(self) -> Rect:
+        """Physical bounding box in nm."""
+        rows = [r for r, _ in self.cells]
+        cols = [c for _, c in self.cells]
+        return Rect(
+            int(self._xs[min(cols)]),
+            int(self._ys[min(rows)]),
+            int(self._xs[max(cols) + 1]),
+            int(self._ys[max(rows) + 1]),
+        )
+
+    def cell_rects(self) -> List[Rect]:
+        """One physical rectangle per grid cell (not merged)."""
+        return [
+            Rect(
+                int(self._xs[c]),
+                int(self._ys[r]),
+                int(self._xs[c + 1]),
+                int(self._ys[r + 1]),
+            )
+            for r, c in self.cells
+        ]
+
+    def horizontal_extents(self) -> List[Tuple[int, int, int]]:
+        """Per-row maximal spans as ``(row, x0_nm, x1_nm)``."""
+        by_row: dict = {}
+        for r, c in self.cells:
+            by_row.setdefault(r, []).append(c)
+        spans: List[Tuple[int, int, int]] = []
+        for r, cols in sorted(by_row.items()):
+            cols.sort()
+            start = prev = cols[0]
+            for c in cols[1:]:
+                if c == prev + 1:
+                    prev = c
+                    continue
+                spans.append((r, int(self._xs[start]), int(self._xs[prev + 1])))
+                start = prev = c
+            spans.append((r, int(self._xs[start]), int(self._xs[prev + 1])))
+        return spans
+
+    def vertical_extents(self) -> List[Tuple[int, int, int]]:
+        """Per-column maximal spans as ``(col, y0_nm, y1_nm)``."""
+        by_col: dict = {}
+        for r, c in self.cells:
+            by_col.setdefault(c, []).append(r)
+        spans: List[Tuple[int, int, int]] = []
+        for c, rows in sorted(by_col.items()):
+            rows.sort()
+            start = prev = rows[0]
+            for r in rows[1:]:
+                if r == prev + 1:
+                    prev = r
+                    continue
+                spans.append((c, int(self._ys[start]), int(self._ys[prev + 1])))
+                start = prev = r
+            spans.append((c, int(self._ys[start]), int(self._ys[prev + 1])))
+        return spans
+
+    def min_width(self) -> int:
+        """Smallest span extent in either direction (the DRC width)."""
+        widths = [x1 - x0 for _, x0, x1 in self.horizontal_extents()]
+        heights = [y1 - y0 for _, y0, y1 in self.vertical_extents()]
+        return int(min(widths + heights))
+
+
+def extract_polygons(
+    topology: np.ndarray, dx: Sequence[int], dy: Sequence[int]
+) -> List[GridPolygon]:
+    """Split a topology matrix into its connected rectilinear polygons."""
+    t = as_topology(topology)
+    dx_arr = np.asarray(dx, dtype=np.int64)
+    dy_arr = np.asarray(dy, dtype=np.int64)
+    if dx_arr.shape[0] != t.shape[1]:
+        raise ValueError(
+            f"dx length {dx_arr.shape[0]} != topology columns {t.shape[1]}"
+        )
+    if dy_arr.shape[0] != t.shape[0]:
+        raise ValueError(
+            f"dy length {dy_arr.shape[0]} != topology rows {t.shape[0]}"
+        )
+    labels = label_components(t, connectivity=4)
+    polygons: List[GridPolygon] = []
+    for lab in range(1, int(labels.max()) + 1):
+        rows, cols = np.nonzero(labels == lab)
+        cells = [(int(r), int(c)) for r, c in zip(rows, cols)]
+        polygons.append(GridPolygon(label=lab, cells=cells, dx=dx_arr, dy=dy_arr))
+    return polygons

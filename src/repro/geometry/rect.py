@@ -1,0 +1,169 @@
+"""Axis-aligned rectangles in integer nanometre coordinates.
+
+All layout geometry in this package is Manhattan (rectilinear).  A ``Rect``
+is the primitive shape; polygons are unions of cell rectangles on the squish
+grid (see :mod:`repro.geometry.polygon`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Rect:
+    """A closed axis-aligned rectangle ``[x0, x1] x [y0, y1]`` in nm.
+
+    Coordinates are stored as integers; ``x0 <= x1`` and ``y0 <= y1`` are
+    enforced at construction time.
+    """
+
+    x0: int
+    y0: int
+    x1: int
+    y1: int
+
+    def __post_init__(self) -> None:
+        if self.x1 < self.x0 or self.y1 < self.y0:
+            raise ValueError(
+                f"degenerate rect: ({self.x0},{self.y0})-({self.x1},{self.y1})"
+            )
+
+    @property
+    def width(self) -> int:
+        """Extent along the x axis in nm."""
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> int:
+        """Extent along the y axis in nm."""
+        return self.y1 - self.y0
+
+    @property
+    def area(self) -> int:
+        """Area in nm^2."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        """Geometric centre ``(cx, cy)``."""
+        return ((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+
+    def translated(self, dx: int, dy: int) -> "Rect":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return Rect(self.x0 + dx, self.y0 + dy, self.x1 + dx, self.y1 + dy)
+
+    def intersects(self, other: "Rect") -> bool:
+        """True if the two closed rectangles share any point."""
+        return not (
+            self.x1 < other.x0
+            or other.x1 < self.x0
+            or self.y1 < other.y0
+            or other.y1 < self.y0
+        )
+
+    def overlaps_interior(self, other: "Rect") -> bool:
+        """True if the *open* interiors intersect (touching edges do not count)."""
+        return not (
+            self.x1 <= other.x0
+            or other.x1 <= self.x0
+            or self.y1 <= other.y0
+            or other.y1 <= self.y0
+        )
+
+    def intersection(self, other: "Rect") -> Optional["Rect"]:
+        """Return the intersection rectangle, or ``None`` if disjoint."""
+        if not self.intersects(other):
+            return None
+        return Rect(
+            max(self.x0, other.x0),
+            max(self.y0, other.y0),
+            min(self.x1, other.x1),
+            min(self.y1, other.y1),
+        )
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """True if ``(x, y)`` lies inside or on the boundary."""
+        return self.x0 <= x <= self.x1 and self.y0 <= y <= self.y1
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True if ``other`` lies fully inside this rectangle."""
+        return (
+            self.x0 <= other.x0
+            and self.y0 <= other.y0
+            and other.x1 <= self.x1
+            and other.y1 <= self.y1
+        )
+
+    def distance(self, other: "Rect") -> float:
+        """Euclidean separation between the two rectangles (0 if touching)."""
+        dx = max(self.x0 - other.x1, other.x0 - self.x1, 0)
+        dy = max(self.y0 - other.y1, other.y0 - self.y1, 0)
+        return float((dx * dx + dy * dy) ** 0.5)
+
+
+def bounding_box(rects: Iterable[Rect]) -> Rect:
+    """Smallest rectangle covering every rectangle in ``rects``.
+
+    Raises ``ValueError`` on an empty iterable.
+    """
+    rect_list = list(rects)
+    if not rect_list:
+        raise ValueError("bounding_box of empty rect collection")
+    return Rect(
+        min(r.x0 for r in rect_list),
+        min(r.y0 for r in rect_list),
+        max(r.x1 for r in rect_list),
+        max(r.y1 for r in rect_list),
+    )
+
+
+def clip_rects(rects: Iterable[Rect], window: Rect) -> List[Rect]:
+    """Clip every rectangle to ``window``, dropping empty intersections.
+
+    Rectangles that degenerate to a zero-area sliver on the window border are
+    dropped as well, since they carry no shape information.
+    """
+    clipped: List[Rect] = []
+    for rect in rects:
+        inter = rect.intersection(window)
+        if inter is not None and inter.area > 0:
+            clipped.append(inter)
+    return clipped
+
+
+def merge_touching_rects(rects: List[Rect]) -> List[List[Rect]]:
+    """Group rectangles into connected clusters (touching or overlapping).
+
+    Returns a list of clusters; rectangles that merely touch at a corner are
+    considered connected, matching the polygon semantics of a layout layer.
+    Uses a union-find over a sweep to stay near ``O(n log n)`` for typical
+    layout inputs.
+    """
+    n = len(rects)
+    parent = list(range(n))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[ri] = rj
+
+    order = sorted(range(n), key=lambda i: rects[i].x0)
+    for idx, i in enumerate(order):
+        for j in order[idx + 1 :]:
+            if rects[j].x0 > rects[i].x1:
+                break
+            if rects[i].intersects(rects[j]):
+                union(i, j)
+
+    clusters: dict = {}
+    for i in range(n):
+        clusters.setdefault(find(i), []).append(rects[i])
+    return list(clusters.values())

@@ -1,0 +1,14 @@
+"""Library persistence (npz, GDSII) and topology rendering."""
+
+from repro.io.gds import read_gds, write_gds
+from repro.io.render import ascii_art, write_pgm
+from repro.io.store import load_library, save_library
+
+__all__ = [
+    "ascii_art",
+    "load_library",
+    "read_gds",
+    "save_library",
+    "write_gds",
+    "write_pgm",
+]

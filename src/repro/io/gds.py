@@ -1,0 +1,200 @@
+"""Minimal GDSII stream writer/reader for pattern libraries.
+
+Downstream DFM tools consume layouts, not numpy arrays; this module writes
+each pattern of a library as one structure of BOUNDARY elements in a real
+GDSII binary stream (and reads it back).  Only the subset of the format
+needed for rectilinear single-layer patterns is implemented: HEADER,
+BGNLIB/LIBNAME/UNITS, BGNSTR/STRNAME, BOUNDARY/LAYER/DATATYPE/XY/ENDEL,
+ENDSTR, ENDLIB.
+
+Record framing: ``[u16 length][u8 record type][u8 data type][payload]``,
+big-endian, as per the GDSII stream format.
+"""
+
+from __future__ import annotations
+
+import struct
+from datetime import datetime
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.geometry.rect import Rect
+from repro.squish.encode import encode_rects
+from repro.squish.pattern import PatternLibrary, SquishPattern
+
+# Record types (subset).
+HEADER = 0x00
+BGNLIB = 0x01
+LIBNAME = 0x02
+UNITS = 0x03
+ENDLIB = 0x04
+BGNSTR = 0x05
+STRNAME = 0x06
+ENDSTR = 0x07
+BOUNDARY = 0x08
+LAYER = 0x0D
+DATATYPE = 0x0E
+XY = 0x10
+ENDEL = 0x11
+
+# Data types.
+DT_NONE = 0x00
+DT_I16 = 0x02
+DT_I32 = 0x03
+DT_F64 = 0x05
+DT_ASCII = 0x06
+
+#: GDS layer numbers for the dataset styles.
+STYLE_LAYERS: Dict[str, int] = {"Layer-10001": 10001 % 256, "Layer-10003": 10003 % 256}
+_LAYER_STYLES = {v: k for k, v in STYLE_LAYERS.items()}
+
+
+def _record(rtype: int, dtype: int, payload: bytes = b"") -> bytes:
+    if len(payload) % 2:
+        payload += b"\0"  # records are word-aligned
+    return struct.pack(">HBB", 4 + len(payload), rtype, dtype) + payload
+
+
+def _ascii(text: str) -> bytes:
+    return text.encode("ascii")
+
+
+def _gds_timestamp() -> bytes:
+    now = datetime(2024, 1, 1)  # fixed for reproducible byte output
+    fields = (now.year, now.month, now.day, now.hour, now.minute, now.second)
+    return struct.pack(">12h", *(fields * 2))
+
+
+def _float_to_gds64(value: float) -> bytes:
+    """Encode an IEEE double as GDSII 8-byte excess-64 real."""
+    if value == 0.0:
+        return b"\0" * 8
+    sign = 0
+    if value < 0:
+        sign = 0x80
+        value = -value
+    exponent = 64
+    # Normalise mantissa into [1/16, 1).
+    while value >= 1.0:
+        value /= 16.0
+        exponent += 1
+    while value < 1.0 / 16.0:
+        value *= 16.0
+        exponent -= 1
+    mantissa = int(value * (1 << 56))
+    return struct.pack(">BB", sign | exponent, (mantissa >> 48) & 0xFF) + struct.pack(
+        ">HI", (mantissa >> 32) & 0xFFFF, mantissa & 0xFFFFFFFF
+    )
+
+
+def _gds64_to_float(data: bytes) -> float:
+    sign = -1.0 if data[0] & 0x80 else 1.0
+    exponent = (data[0] & 0x7F) - 64
+    mantissa = int.from_bytes(data[1:8], "big") / float(1 << 56)
+    return sign * mantissa * (16.0 ** exponent)
+
+
+def write_gds(
+    library: PatternLibrary,
+    path: Union[str, Path],
+    unit_nm: float = 1.0,
+) -> Path:
+    """Write a pattern library as a GDSII stream file.
+
+    Each pattern becomes one structure (``PAT_<index>``); every decoded
+    rectangle becomes a BOUNDARY on the layer mapped from the pattern's
+    style tag (layer 0 when untagged).  Coordinates are database units of
+    ``unit_nm`` nanometres.
+    """
+    path = Path(path)
+    chunks: List[bytes] = [
+        _record(HEADER, DT_I16, struct.pack(">h", 600)),
+        _record(BGNLIB, DT_I16, _gds_timestamp()),
+        _record(LIBNAME, DT_ASCII, _ascii(library.name or "repro")),
+        # UNITS: db unit in user units, db unit in metres.
+        _record(
+            UNITS, DT_F64,
+            _float_to_gds64(1e-3) + _float_to_gds64(unit_nm * 1e-9),
+        ),
+    ]
+    for index, pattern in enumerate(library):
+        layer = STYLE_LAYERS.get(pattern.style or "", 0)
+        chunks.append(_record(BGNSTR, DT_I16, _gds_timestamp()))
+        chunks.append(_record(STRNAME, DT_ASCII, _ascii(f"PAT_{index:06d}")))
+        for rect in pattern.to_rects():
+            chunks.append(_record(BOUNDARY, DT_NONE))
+            chunks.append(_record(LAYER, DT_I16, struct.pack(">h", layer)))
+            chunks.append(_record(DATATYPE, DT_I16, struct.pack(">h", 0)))
+            ring = [
+                (rect.x0, rect.y0), (rect.x1, rect.y0),
+                (rect.x1, rect.y1), (rect.x0, rect.y1),
+                (rect.x0, rect.y0),
+            ]
+            payload = b"".join(struct.pack(">ii", x, y) for x, y in ring)
+            chunks.append(_record(XY, DT_I32, payload))
+            chunks.append(_record(ENDEL, DT_NONE))
+        chunks.append(_record(ENDSTR, DT_NONE))
+    chunks.append(_record(ENDLIB, DT_NONE))
+    path.write_bytes(b"".join(chunks))
+    return path
+
+
+def _iter_records(data: bytes):
+    offset = 0
+    while offset + 4 <= len(data):
+        length, rtype, dtype = struct.unpack_from(">HBB", data, offset)
+        if length < 4:
+            raise ValueError(f"corrupt GDS record at byte {offset}")
+        payload = data[offset + 4 : offset + length]
+        yield rtype, dtype, payload
+        offset += length
+
+
+def read_gds(path: Union[str, Path]) -> PatternLibrary:
+    """Read a GDSII stream written by :func:`write_gds`.
+
+    Rectangular BOUNDARY elements are re-encoded into squish patterns; the
+    window of each structure is the bounding box of its shapes.
+    """
+    data = Path(path).read_bytes()
+    library_name = "gds"
+    library = PatternLibrary()
+    current_rects: List[Rect] = []
+    current_layer = 0
+    pending_xy: List[Tuple[int, int]] = []
+    in_structure = False
+
+    def close_structure():
+        nonlocal current_rects, current_layer
+        if not current_rects:
+            current_rects = []
+            return
+        x1 = max(r.x1 for r in current_rects)
+        y1 = max(r.y1 for r in current_rects)
+        window = Rect(0, 0, x1, y1)
+        style = _LAYER_STYLES.get(current_layer)
+        library.add(encode_rects(current_rects, window, style=style))
+        current_rects = []
+
+    for rtype, _dtype, payload in _iter_records(data):
+        if rtype == LIBNAME:
+            library_name = payload.rstrip(b"\0").decode("ascii")
+        elif rtype == BGNSTR:
+            in_structure = True
+        elif rtype == ENDSTR:
+            close_structure()
+            in_structure = False
+        elif rtype == LAYER and in_structure:
+            current_layer = struct.unpack(">h", payload[:2])[0]
+        elif rtype == XY and in_structure:
+            count = len(payload) // 8
+            pending_xy = [
+                struct.unpack_from(">ii", payload, 8 * i) for i in range(count)
+            ]
+            xs = [p[0] for p in pending_xy]
+            ys = [p[1] for p in pending_xy]
+            current_rects.append(Rect(min(xs), min(ys), max(xs), max(ys)))
+        elif rtype == ENDLIB:
+            break
+    library.name = library_name
+    return library

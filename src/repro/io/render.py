@@ -1,0 +1,44 @@
+"""ASCII / PGM rendering of topology matrices (for the figure benches)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.geometry.grid import as_topology
+
+
+def ascii_art(topology: np.ndarray, max_size: int = 64) -> str:
+    """Render a topology as ASCII art, downsampling to ``max_size``.
+
+    Filled regions print as ``#``; downsampling takes block means with a 0.5
+    threshold so structure stays readable at terminal width.
+    """
+    t = as_topology(topology).astype(np.float64)
+    rows, cols = t.shape
+    factor = max(1, (max(rows, cols) + max_size - 1) // max_size)
+    if factor > 1:
+        pad_r = (-rows) % factor
+        pad_c = (-cols) % factor
+        t = np.pad(t, ((0, pad_r), (0, pad_c)))
+        t = t.reshape(
+            t.shape[0] // factor, factor, t.shape[1] // factor, factor
+        ).mean(axis=(1, 3))
+    lines = []
+    for row in t[::-1]:  # row 0 is the bottom stripe; print top-down
+        lines.append("".join("#" if v >= 0.5 else "." for v in row))
+    return "\n".join(lines)
+
+
+def write_pgm(topology: np.ndarray, path: Union[str, Path]) -> Path:
+    """Write the topology as a binary PGM image (viewable anywhere)."""
+    t = as_topology(topology)
+    path = Path(path)
+    rows, cols = t.shape
+    pixels = ((1 - t[::-1]) * 255).astype(np.uint8)  # filled = black, top-down
+    with open(path, "wb") as fh:
+        fh.write(f"P5\n{cols} {rows}\n255\n".encode("ascii"))
+        fh.write(pixels.tobytes())
+    return path

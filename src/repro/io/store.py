@@ -1,0 +1,50 @@
+"""Persistence of squish patterns and pattern libraries.
+
+Libraries serialise to a single ``.npz`` (topologies and deltas are ragged,
+so each pattern gets indexed keys) plus embedded JSON metadata.  This is the
+format the agent's ``save_library`` tool writes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.squish.pattern import PatternLibrary, SquishPattern
+
+
+def save_library(library: PatternLibrary, path: Union[str, Path]) -> Path:
+    """Write a pattern library to ``path`` (``.npz``)."""
+    path = Path(path)
+    arrays = {}
+    meta = {"name": library.name, "count": len(library), "styles": []}
+    for i, pattern in enumerate(library):
+        arrays[f"t{i}"] = pattern.topology
+        arrays[f"dx{i}"] = pattern.dx
+        arrays[f"dy{i}"] = pattern.dy
+        meta["styles"].append(pattern.style)
+    arrays["_meta"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_library(path: Union[str, Path]) -> PatternLibrary:
+    """Read a pattern library written by :func:`save_library`."""
+    with np.load(Path(path)) as data:
+        meta = json.loads(bytes(data["_meta"].tobytes()).decode("utf-8"))
+        library = PatternLibrary(name=meta["name"])
+        for i in range(meta["count"]):
+            library.add(
+                SquishPattern(
+                    topology=data[f"t{i}"],
+                    dx=data[f"dx{i}"],
+                    dy=data[f"dy{i}"],
+                    style=meta["styles"][i],
+                )
+            )
+    return library

@@ -1,0 +1,101 @@
+"""Geometry constraints extracted from a topology matrix.
+
+Legalization (Eq. 13) assigns delta vectors to a topology so every design
+rule holds.  For Manhattan geometry the Space and Width rules reduce to
+lower bounds on *interval sums* of the delta vectors: every maximal 1-run
+must stretch to at least ``min_width`` and every interior 0-run to at least
+``min_space``.  Constraints from different rows over the same column span are
+deduplicated, keeping the tightest bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.drc.rules import DesignRules
+from repro.geometry.grid import all_column_runs, all_row_runs, as_topology
+
+
+@dataclass(frozen=True)
+class IntervalConstraint:
+    """Lower bound on the physical length of a half-open cell span.
+
+    ``sum(deltas[start:stop]) >= min_length`` must hold; ``kind`` records the
+    originating rule for diagnostics.
+    """
+
+    start: int
+    stop: int
+    min_length: int
+    kind: str = "width"
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start < self.stop:
+            raise ValueError(f"bad span [{self.start}, {self.stop})")
+        if self.min_length <= 0:
+            raise ValueError("min_length must be positive")
+
+
+def extract_axis_constraints(
+    topology: np.ndarray, axis: str, rules: DesignRules
+) -> List[IntervalConstraint]:
+    """Collect deduplicated interval constraints for one axis.
+
+    ``axis="x"`` constrains the column deltas ``dx`` (scanning rows);
+    ``axis="y"`` constrains the row deltas ``dy`` (scanning columns).
+    """
+    t = as_topology(topology)
+    if axis == "x":
+        runs = all_row_runs(t)
+        n_cells = t.shape[1]
+    elif axis == "y":
+        runs = all_column_runs(t)
+        n_cells = t.shape[0]
+    else:
+        raise ValueError("axis must be 'x' or 'y'")
+
+    best: Dict[Tuple[int, int], IntervalConstraint] = {}
+    for run in runs:
+        interior = 0 < run.start and run.stop < n_cells
+        if not interior:
+            # Border runs are exempt (the shape/space continues outside the
+            # window), matching the DRC convention in repro.drc.checker.
+            continue
+        if run.value == 1:
+            bound, kind = rules.min_width, "width"
+        else:
+            bound, kind = rules.min_space, "space"
+        key = (run.start, run.stop)
+        current = best.get(key)
+        if current is None or current.min_length < bound:
+            best[key] = IntervalConstraint(run.start, run.stop, bound, kind)
+    return sorted(best.values(), key=lambda c: (c.start, c.stop))
+
+
+def requirement_per_line(
+    topology: np.ndarray, axis: str, rules: DesignRules, min_delta: int = 1
+) -> np.ndarray:
+    """Physical length each scan line needs on its own.
+
+    For every row (``axis="x"``) or column (``axis="y"``) this sums the rule
+    bounds of its runs, giving a fast per-line lower bound on the axis budget.
+    The line with the largest requirement is the natural infeasibility
+    witness reported back to the agent.
+    """
+    t = as_topology(topology)
+    runs = all_row_runs(t) if axis == "x" else all_column_runs(t)
+    n_lines = t.shape[0] if axis == "x" else t.shape[1]
+    n_cells = t.shape[1] if axis == "x" else t.shape[0]
+    req = np.zeros(n_lines, dtype=np.int64)
+    for run in runs:
+        interior = 0 < run.start and run.stop < n_cells
+        if not interior:
+            req[run.index] += run.length * min_delta
+        elif run.value == 1:
+            req[run.index] += max(rules.min_width, run.length * min_delta)
+        else:
+            req[run.index] += max(rules.min_space, run.length * min_delta)
+    return req

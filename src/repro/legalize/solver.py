@@ -1,0 +1,164 @@
+"""Delta-vector solvers for interval-sum constraint systems.
+
+The constraint system ``sum(d[a:b]) >= L`` with ``d >= min_delta`` and
+``sum(d) == total`` is a system of difference constraints on the cumulative
+scan-line positions ``X`` (``X_b - X_a >= L``).  Because every constraint
+points forward (``a < b``), the graph is a DAG and the tightest feasible
+positions are a single longest-path sweep — orders of magnitude faster than
+a general LP while remaining exact.  A scipy ``linprog`` solver is kept as a
+cross-check backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.legalize.constraints import IntervalConstraint
+
+
+class AxisInfeasibleError(ValueError):
+    """The axis budget cannot satisfy the constraint system.
+
+    Attributes:
+        required: minimum feasible total length in nm.
+        total: available budget in nm.
+        critical_span: cell span ``(start, stop)`` of the binding chain.
+    """
+
+    def __init__(self, required: int, total: int, critical_span: Tuple[int, int]):
+        self.required = required
+        self.total = total
+        self.critical_span = critical_span
+        super().__init__(
+            f"axis needs {required} nm but only {total} nm available "
+            f"(critical span {critical_span})"
+        )
+
+
+@dataclass
+class AxisSolution:
+    """Solved deltas plus solver diagnostics."""
+
+    deltas: np.ndarray
+    slack: int
+    required: int
+
+
+def solve_axis(
+    n_cells: int,
+    total: int,
+    constraints: Sequence[IntervalConstraint],
+    min_delta: int = 1,
+    spread_slack: bool = True,
+) -> AxisSolution:
+    """Solve one axis via DAG longest path over cumulative positions.
+
+    Returns deltas with ``sum == total`` and every constraint satisfied, or
+    raises :class:`AxisInfeasibleError` carrying the critical span.
+
+    When ``spread_slack`` is set the surplus budget is distributed
+    monotonically across the axis instead of being dumped on the last cell,
+    which keeps legalized patterns visually uniform (monotone offsets never
+    invalidate a forward difference constraint).
+    """
+    if n_cells <= 0:
+        raise ValueError("n_cells must be positive")
+    if total < n_cells * min_delta:
+        raise AxisInfeasibleError(n_cells * min_delta, total, (0, n_cells))
+
+    outgoing: List[List[Tuple[int, int]]] = [[] for _ in range(n_cells + 1)]
+    for c in constraints:
+        if c.stop > n_cells:
+            raise ValueError(f"constraint {c} exceeds axis length {n_cells}")
+        outgoing[c.start].append((c.stop, c.min_length))
+
+    # Longest path over node order 0..n; predecessor tracking recovers the
+    # binding chain when the budget is exceeded.
+    dist = np.zeros(n_cells + 1, dtype=np.int64)
+    pred = np.arange(n_cells + 1) - 1
+    for node in range(n_cells):
+        step = dist[node] + min_delta
+        if step > dist[node + 1]:
+            dist[node + 1] = step
+            pred[node + 1] = node
+        for stop, length in outgoing[node]:
+            reach = dist[node] + length
+            if reach > dist[stop]:
+                dist[stop] = reach
+                pred[stop] = node
+
+    required = int(dist[n_cells])
+    if required > total:
+        raise AxisInfeasibleError(
+            required, total, _critical_span(pred, n_cells, dist)
+        )
+
+    positions = dist.copy()
+    slack = total - required
+    if spread_slack and slack > 0:
+        offsets = (np.arange(n_cells + 1, dtype=np.int64) * slack) // n_cells
+        positions = positions + offsets
+    positions[n_cells] = total
+    deltas = np.diff(positions)
+    return AxisSolution(deltas=deltas, slack=slack, required=required)
+
+
+def _critical_span(pred: np.ndarray, n_cells: int, dist: np.ndarray) -> Tuple[int, int]:
+    """Span covered by the densest section of the binding chain.
+
+    Walk the predecessor chain back from the terminal node and return the
+    sub-span whose requirement density (nm per cell) is highest; this is the
+    region the agent should regenerate.
+    """
+    chain = [n_cells]
+    node = n_cells
+    while node > 0:
+        node = int(pred[node])
+        chain.append(node)
+    chain.reverse()
+    best = (0, n_cells)
+    best_density = -1.0
+    for a, b in zip(chain[:-1], chain[1:]):
+        density = float(dist[b] - dist[a]) / max(1, b - a)
+        if density > best_density:
+            best_density = density
+            best = (a, b)
+    return best
+
+
+def solve_axis_lp(
+    n_cells: int,
+    total: int,
+    constraints: Sequence[IntervalConstraint],
+    min_delta: int = 1,
+) -> Optional[np.ndarray]:
+    """Reference LP backend (scipy HiGHS); returns ``None`` when infeasible.
+
+    Exists to cross-validate :func:`solve_axis` in tests and for users who
+    want to add objectives the longest-path formulation cannot express.
+    """
+    from scipy.optimize import linprog
+
+    n_con = len(constraints)
+    a_ub = np.zeros((n_con, n_cells))
+    b_ub = np.zeros(n_con)
+    for i, c in enumerate(constraints):
+        a_ub[i, c.start : c.stop] = -1.0
+        b_ub[i] = -float(c.min_length)
+    a_eq = np.ones((1, n_cells))
+    b_eq = np.array([float(total)])
+    res = linprog(
+        c=np.zeros(n_cells),
+        A_ub=a_ub if n_con else None,
+        b_ub=b_ub if n_con else None,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=[(float(min_delta), None)] * n_cells,
+        method="highs",
+    )
+    if not res.success:
+        return None
+    return np.round(res.x).astype(np.int64)

@@ -1,0 +1,48 @@
+"""Pattern-library diversity: Shannon entropy over complexities (Def. 2).
+
+``H = -sum_ij P(cx_i, cy_j) log2 P(cx_i, cy_j)`` where ``(cx, cy)`` are the
+scan-line complexities of each pattern.  Following the paper, diversity is
+reported on *legal* patterns only.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.squish.complexity import topology_complexity
+from repro.squish.pattern import PatternLibrary, SquishPattern
+
+TopologyLike = Union[np.ndarray, SquishPattern]
+
+
+def complexity_of(item: TopologyLike) -> Tuple[int, int]:
+    """Complexity of a topology array or squish pattern."""
+    if isinstance(item, SquishPattern):
+        return topology_complexity(item.topology)
+    return topology_complexity(np.asarray(item))
+
+
+def complexity_distribution(
+    items: Union[PatternLibrary, Iterable[TopologyLike]]
+) -> Dict[Tuple[int, int], int]:
+    """Histogram of ``(cx, cy)`` over a collection of patterns."""
+    return dict(Counter(complexity_of(item) for item in items))
+
+
+def shannon_entropy(counts: Sequence[int]) -> float:
+    """Entropy in bits of an empirical distribution given by counts."""
+    arr = np.asarray(list(counts), dtype=np.float64)
+    arr = arr[arr > 0]
+    if arr.size == 0:
+        return 0.0
+    probs = arr / arr.sum()
+    return float(-(probs * np.log2(probs)).sum())
+
+
+def diversity(items: Union[PatternLibrary, Iterable[TopologyLike]]) -> float:
+    """Definition 2: entropy of the complexity distribution, in bits."""
+    histogram = complexity_distribution(items)
+    return shannon_entropy(list(histogram.values()))

@@ -1,0 +1,83 @@
+"""Legality evaluation pipeline (Eq. 7).
+
+``Legality = #legal / #generated`` *without* topology selection: every
+generated topology goes through legalization exactly once (plus the agent's
+optional modification retries, which the Table-1 protocol disables) and
+failures count against the method — matching the paper's fair-comparison
+protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.styles import MODEL_SIZE, TILE_NM
+from repro.drc.rules import DesignRules, rules_for_style
+from repro.legalize.legalizer import LegalizationResult, legalize
+from repro.squish.pattern import PatternLibrary, SquishPattern
+
+
+def physical_size_for(shape: Tuple[int, int]) -> Tuple[int, int]:
+    """Physical target in nm for a topology shape.
+
+    Scales the paper's base setting (2048 nm at 128 cells) linearly, so a
+    512x512 topology legalizes into an 8192x8192 nm window.
+    """
+    rows, cols = shape
+    return (cols * TILE_NM // MODEL_SIZE, rows * TILE_NM // MODEL_SIZE)
+
+
+@dataclass
+class LegalityResult:
+    """Outcome of legalizing a batch of generated topologies."""
+
+    total: int
+    legal: PatternLibrary
+    failure_causes: Dict[str, int] = field(default_factory=dict)
+    failures: List[LegalizationResult] = field(default_factory=list)
+
+    @property
+    def legality(self) -> float:
+        """Eq. 7: fraction of generated patterns that are DRC-clean."""
+        if self.total == 0:
+            return 0.0
+        return len(self.legal) / self.total
+
+
+def legalize_batch(
+    topologies: Sequence[np.ndarray],
+    style: str,
+    rules: Optional[DesignRules] = None,
+    physical_size: Optional[Tuple[int, int]] = None,
+    keep_failures: bool = False,
+) -> LegalityResult:
+    """Legalize every topology and collect legality statistics."""
+    rules = rules or rules_for_style(style)
+    legal = PatternLibrary(name=f"legal-{style}")
+    causes: Dict[str, int] = {}
+    failures: List[LegalizationResult] = []
+    total = 0
+    for topology in topologies:
+        total += 1
+        target = physical_size or physical_size_for(topology.shape)
+        result = legalize(topology, target, rules, style=style)
+        if result.ok:
+            legal.add(result.pattern)
+        else:
+            cause = _failure_cause(result)
+            causes[cause] = causes.get(cause, 0) + 1
+            if keep_failures:
+                failures.append(result)
+    return LegalityResult(
+        total=total, legal=legal, failure_causes=causes, failures=failures
+    )
+
+
+def _failure_cause(result: LegalizationResult) -> str:
+    for line in result.log:
+        if line.startswith("FAIL"):
+            return line.split(":")[0].replace("FAIL ", "").strip()
+    return "unknown"

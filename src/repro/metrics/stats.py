@@ -1,0 +1,51 @@
+"""Aggregate statistics over pattern libraries (Table-1 style rows)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.metrics.diversity import complexity_distribution, diversity
+from repro.squish.pattern import PatternLibrary
+
+
+@dataclass
+class LibraryStats:
+    """Summary row for one (method, style, size) cell of Table 1."""
+
+    count: int
+    diversity: float
+    legality: Optional[float]
+    mean_fill: float
+    mean_complexity: tuple
+
+    def as_dict(self) -> Dict:
+        return {
+            "count": self.count,
+            "diversity": round(self.diversity, 3),
+            "legality": None if self.legality is None else round(self.legality, 4),
+            "mean_fill": round(self.mean_fill, 4),
+            "mean_complexity": self.mean_complexity,
+        }
+
+
+def library_stats(
+    library: PatternLibrary, legality: Optional[float] = None
+) -> LibraryStats:
+    """Compute the summary row for a library of legal patterns."""
+    if len(library) == 0:
+        return LibraryStats(0, 0.0, legality, 0.0, (0.0, 0.0))
+    hist = complexity_distribution(library)
+    total = sum(hist.values())
+    mean_cx = sum(cx * n for (cx, _), n in hist.items()) / total
+    mean_cy = sum(cy * n for (_, cy), n in hist.items()) / total
+    fills = [p.fill_ratio for p in library]
+    return LibraryStats(
+        count=len(library),
+        diversity=diversity(library),
+        legality=legality,
+        mean_fill=float(np.mean(fills)),
+        mean_complexity=(round(mean_cx, 2), round(mean_cy, 2)),
+    )

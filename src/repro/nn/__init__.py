@@ -1,0 +1,33 @@
+"""Pure-numpy neural-network substrate (conv, pooling, Adam, backprop)."""
+
+from repro.nn.functional import (
+    avg_pool2,
+    avg_pool2_backward,
+    bce_with_logits,
+    col2im,
+    conv2d_backward,
+    conv2d_forward,
+    im2col,
+    relu,
+    relu_backward,
+    sigmoid,
+    upsample2,
+    upsample2_backward,
+)
+from repro.nn.optim import Adam
+
+__all__ = [
+    "Adam",
+    "avg_pool2",
+    "avg_pool2_backward",
+    "bce_with_logits",
+    "col2im",
+    "conv2d_backward",
+    "conv2d_forward",
+    "im2col",
+    "relu",
+    "relu_backward",
+    "sigmoid",
+    "upsample2",
+    "upsample2_backward",
+]

@@ -1,0 +1,124 @@
+"""Functional building blocks of the pure-numpy neural network.
+
+Implements exactly what :class:`repro.diffusion.denoisers.unet_lite.UNetLite`
+needs: stride-1 same-padded convolution (via im2col), 2x average pooling,
+2x nearest upsampling, ReLU, sigmoid and binary cross-entropy — each with a
+hand-written backward pass.  Tensors are ``(B, C, H, W)`` float64.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+def im2col(x: np.ndarray, kh: int, kw: int) -> np.ndarray:
+    """Unfold same-padded ``(B, C, H, W)`` into ``(B, H*W, C*kh*kw)``."""
+    b, c, h, w = x.shape
+    ph, pw = kh // 2, kw // 2
+    padded = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    windows = np.lib.stride_tricks.sliding_window_view(
+        padded, (kh, kw), axis=(2, 3)
+    )  # (B, C, H, W, kh, kw)
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(b, h * w, c * kh * kw)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(cols: np.ndarray, x_shape: Tuple[int, ...], kh: int, kw: int) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add columns back to image layout."""
+    b, c, h, w = x_shape
+    ph, pw = kh // 2, kw // 2
+    padded = np.zeros((b, c, h + 2 * ph, w + 2 * pw))
+    cols6 = cols.reshape(b, h, w, c, kh, kw)
+    for dr in range(kh):
+        for dc in range(kw):
+            padded[:, :, dr : dr + h, dc : dc + w] += cols6[:, :, :, :, dr, dc].transpose(
+                0, 3, 1, 2
+            )
+    return padded[:, :, ph : ph + h, pw : pw + w]
+
+
+def conv2d_forward(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray
+) -> Tuple[np.ndarray, Dict]:
+    """Same-padded stride-1 convolution.
+
+    ``weight`` has shape ``(C_out, C_in, kh, kw)``, ``bias`` ``(C_out,)``.
+    """
+    c_out, c_in, kh, kw = weight.shape
+    b, _, h, w = x.shape
+    cols = im2col(x, kh, kw)  # (B, HW, C_in*kh*kw)
+    wmat = weight.reshape(c_out, -1)  # (C_out, C_in*kh*kw)
+    out = cols @ wmat.T + bias  # (B, HW, C_out)
+    out = out.transpose(0, 2, 1).reshape(b, c_out, h, w)
+    cache = {"cols": cols, "weight": weight, "x_shape": x.shape}
+    return out, cache
+
+
+def conv2d_backward(
+    dout: np.ndarray, cache: Dict
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gradients of conv2d w.r.t. input, weight and bias."""
+    cols = cache["cols"]
+    weight = cache["weight"]
+    c_out, c_in, kh, kw = weight.shape
+    b, _, h, w = dout.shape
+    dmat = dout.reshape(b, c_out, h * w).transpose(0, 2, 1)  # (B, HW, C_out)
+    dweight = np.tensordot(dmat, cols, axes=([0, 1], [0, 1])).reshape(weight.shape)
+    dbias = dmat.sum(axis=(0, 1))
+    dcols = dmat @ weight.reshape(c_out, -1)
+    dx = col2im(dcols, cache["x_shape"], kh, kw)
+    return dx, dweight, dbias
+
+
+def avg_pool2(x: np.ndarray) -> np.ndarray:
+    """2x2 average pooling (even H and W required)."""
+    b, c, h, w = x.shape
+    if h % 2 or w % 2:
+        raise ValueError("avg_pool2 requires even spatial dims")
+    return x.reshape(b, c, h // 2, 2, w // 2, 2).mean(axis=(3, 5))
+
+
+def avg_pool2_backward(dout: np.ndarray) -> np.ndarray:
+    """Backward of 2x2 average pooling."""
+    return upsample2(dout) / 4.0
+
+
+def upsample2(x: np.ndarray) -> np.ndarray:
+    """2x nearest-neighbour upsampling."""
+    return x.repeat(2, axis=2).repeat(2, axis=3)
+
+
+def upsample2_backward(dout: np.ndarray) -> np.ndarray:
+    """Backward of nearest upsampling: sum each 2x2 block."""
+    b, c, h, w = dout.shape
+    return dout.reshape(b, c, h // 2, 2, w // 2, 2).sum(axis=(3, 5))
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def relu_backward(dout: np.ndarray, x: np.ndarray) -> np.ndarray:
+    return dout * (x > 0.0)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def bce_with_logits(logits: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean binary cross-entropy from logits; returns ``(loss, dlogits)``.
+
+    Uses the numerically stable ``max(z,0) - z*y + log(1+exp(-|z|))`` form.
+    """
+    t = targets.astype(np.float64)
+    loss = np.maximum(logits, 0.0) - logits * t + np.log1p(np.exp(-np.abs(logits)))
+    grad = (sigmoid(logits) - t) / logits.size
+    return float(loss.mean()), grad

@@ -1,0 +1,55 @@
+"""Adam optimiser over flat parameter dictionaries."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+class Adam:
+    """Adam (Kingma & Ba) with optional gradient clipping.
+
+    Parameters live in a ``name -> ndarray`` dict owned by the model; the
+    optimiser updates them in place.
+    """
+
+    def __init__(
+        self,
+        params: Dict[str, np.ndarray],
+        lr: float = 2e-4,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        grad_clip: float = 1.0,
+    ):
+        self.params = params
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.grad_clip = grad_clip
+        self._m = {k: np.zeros_like(v) for k, v in params.items()}
+        self._v = {k: np.zeros_like(v) for k, v in params.items()}
+        self._t = 0
+
+    def step(self, grads: Dict[str, np.ndarray]) -> None:
+        """Apply one update from ``grads`` (same keys as params)."""
+        self._t += 1
+        if self.grad_clip is not None:
+            norm = float(
+                np.sqrt(sum(float((g ** 2).sum()) for g in grads.values()))
+            )
+            if norm > self.grad_clip:
+                scale = self.grad_clip / (norm + 1e-12)
+                grads = {k: g * scale for k, g in grads.items()}
+        for key, grad in grads.items():
+            m = self._m[key]
+            v = self._v[key]
+            m *= self.beta1
+            m += (1 - self.beta1) * grad
+            v *= self.beta2
+            v += (1 - self.beta2) * grad * grad
+            m_hat = m / (1 - self.beta1 ** self._t)
+            v_hat = v / (1 - self.beta2 ** self._t)
+            self.params[key] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

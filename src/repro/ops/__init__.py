@@ -1,0 +1,33 @@
+"""Generation operators: modification, extension, concatenation."""
+
+from repro.ops.concat import (
+    ConcatResult,
+    concat_legalized_patterns,
+    concat_samplings,
+    naive_concat,
+)
+from repro.ops.extend import (
+    ExtensionResult,
+    extend,
+    in_paint,
+    n_in_samplings,
+    n_out_samplings,
+    out_paint,
+)
+from repro.ops.modify import modify, modify_region, region_mask
+
+__all__ = [
+    "ConcatResult",
+    "ExtensionResult",
+    "concat_legalized_patterns",
+    "concat_samplings",
+    "extend",
+    "in_paint",
+    "modify",
+    "modify_region",
+    "n_in_samplings",
+    "n_out_samplings",
+    "naive_concat",
+    "out_paint",
+    "region_mask",
+]

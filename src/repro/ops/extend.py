@@ -1,0 +1,217 @@
+"""Free-size pattern extension via In-Painting and Out-Painting (Fig. 7).
+
+Both methods synthesise a ``target_shape`` topology from a window-sized
+model, touching only one model window at a time (the paper's
+memory-friendly "working space"):
+
+- **Out-Painting** grows an existing pattern outward: windows slide with a
+  stride and each new window is re-painted conditioned on its already-known
+  overlap.  ``N_out = (ceil((W-L)/S)+1) * (ceil((H-L)/S)+1)`` samplings.
+- **In-Painting** first lays independent tiles on a grid, then re-paints the
+  seams (vertical, horizontal, then the corner crossings) so adjacent tiles
+  merge.  ``N_in = (2*ceil(W/L)-1) * (2*ceil(H/L)-1)`` samplings.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.diffusion.model import ConditionalDiffusionModel
+from repro.ops.modify import modify
+
+
+def n_in_samplings(width: int, height: int, window: int) -> int:
+    """Paper formula: samplings used by In-Painting extension."""
+    gx = math.ceil(width / window)
+    gy = math.ceil(height / window)
+    return (2 * gx - 1) * (2 * gy - 1)
+
+
+def n_out_samplings(width: int, height: int, window: int, stride: int) -> int:
+    """Paper formula: samplings used by Out-Painting extension."""
+    nx = math.ceil(max(0, width - window) / stride) + 1
+    ny = math.ceil(max(0, height - window) / stride) + 1
+    return nx * ny
+
+
+@dataclass
+class ExtensionResult:
+    """Extended topology plus bookkeeping for the agent's documents."""
+
+    topology: np.ndarray
+    method: str
+    samplings: int
+    windows: List[Tuple[int, int]] = field(default_factory=list)
+
+
+def _window_starts(extent: int, window: int, stride: int) -> List[int]:
+    """Window start offsets covering ``[0, extent)`` with a final flush fit."""
+    if extent <= window:
+        return [0]
+    starts = list(range(0, extent - window, stride))
+    starts.append(extent - window)
+    return starts
+
+
+def out_paint(
+    model: ConditionalDiffusionModel,
+    seed_topology: np.ndarray,
+    target_shape: Tuple[int, int],
+    condition: Optional[int],
+    rng: np.random.Generator,
+    stride: Optional[int] = None,
+) -> ExtensionResult:
+    """Extend ``seed_topology`` to ``target_shape`` by Out-Painting.
+
+    The seed is placed at the origin; windows are visited in raster order so
+    every new window overlaps already-known cells on its top/left border.
+    """
+    seed = np.asarray(seed_topology, dtype=np.uint8)
+    window = model.window
+    stride = window // 2 if stride is None else stride
+    if not 0 < stride <= window:
+        raise ValueError("stride must be in (0, window]")
+    height, width = target_shape
+    if seed.shape[0] > height or seed.shape[1] > width:
+        raise ValueError("seed larger than target shape")
+
+    canvas = np.zeros((height, width), dtype=np.uint8)
+    known = np.zeros((height, width), dtype=np.uint8)
+    canvas[: seed.shape[0], : seed.shape[1]] = seed
+    known[: seed.shape[0], : seed.shape[1]] = 1
+
+    samplings = 0
+    visited: List[Tuple[int, int]] = []
+    for r0 in _window_starts(height, window, stride):
+        for c0 in _window_starts(width, window, stride):
+            sub_known = known[r0 : r0 + window, c0 : c0 + window]
+            if sub_known.min() == 1:
+                continue  # fully known, nothing to generate
+            sub_canvas = canvas[r0 : r0 + window, c0 : c0 + window]
+            painted = modify(model, sub_canvas, sub_known, condition, rng)
+            canvas[r0 : r0 + window, c0 : c0 + window] = painted
+            known[r0 : r0 + window, c0 : c0 + window] = 1
+            samplings += 1
+            visited.append((r0, c0))
+    return ExtensionResult(
+        topology=canvas, method="out", samplings=samplings, windows=visited
+    )
+
+
+def in_paint(
+    model: ConditionalDiffusionModel,
+    target_shape: Tuple[int, int],
+    condition: Optional[int],
+    rng: np.random.Generator,
+    seed_topology: Optional[np.ndarray] = None,
+    seam_band: Optional[int] = None,
+) -> ExtensionResult:
+    """Synthesise a ``target_shape`` topology by In-Painting.
+
+    Independent window tiles are laid on a grid (the optional seed becomes
+    tile (0, 0)); the adjacency borders and corners of the concatenated
+    matrix are then re-painted (Fig. 7).  The canvas is generated at the
+    tile-aligned size and cropped to ``target_shape``.
+    """
+    window = model.window
+    band = seam_band or window // 2
+    if not 0 < band < window:
+        raise ValueError("seam_band must be in (0, window)")
+    height, width = target_shape
+    gy = math.ceil(height / window)
+    gx = math.ceil(width / window)
+    full_h, full_w = gy * window, gx * window
+
+    canvas = np.zeros((full_h, full_w), dtype=np.uint8)
+    samplings = 0
+    visited: List[Tuple[int, int]] = []
+    for j in range(gy):
+        for i in range(gx):
+            if i == 0 and j == 0 and seed_topology is not None:
+                seed = np.asarray(seed_topology, dtype=np.uint8)
+                if seed.shape != (window, window):
+                    raise ValueError("seed must match the model window")
+                tile = seed
+            else:
+                tile = model.sample(1, condition, rng)[0]
+                samplings += 1
+            canvas[j * window : (j + 1) * window, i * window : (i + 1) * window] = tile
+            visited.append((j * window, i * window))
+
+    half = band // 2
+
+    def repaint(r0: int, c0: int, keep: np.ndarray) -> None:
+        nonlocal samplings
+        sub = canvas[r0 : r0 + window, c0 : c0 + window]
+        canvas[r0 : r0 + window, c0 : c0 + window] = modify(
+            model, sub, keep, condition, rng
+        )
+        samplings += 1
+        visited.append((r0, c0))
+
+    # Vertical seams: windows centred on each internal tile boundary.
+    for i in range(1, gx):
+        c0 = i * window - window // 2
+        for j in range(gy):
+            keep = np.ones((window, window), dtype=np.uint8)
+            mid = window // 2
+            keep[:, mid - half : mid + half] = 0
+            repaint(j * window, c0, keep)
+    # Horizontal seams.
+    for j in range(1, gy):
+        r0 = j * window - window // 2
+        for i in range(gx):
+            keep = np.ones((window, window), dtype=np.uint8)
+            mid = window // 2
+            keep[mid - half : mid + half, :] = 0
+            repaint(r0, i * window, keep)
+    # Corner crossings.
+    for j in range(1, gy):
+        for i in range(1, gx):
+            keep = np.ones((window, window), dtype=np.uint8)
+            mid = window // 2
+            keep[mid - half : mid + half, mid - half : mid + half] = 0
+            repaint(j * window - window // 2, i * window - window // 2, keep)
+
+    return ExtensionResult(
+        topology=canvas[:height, :width],
+        method="in",
+        samplings=samplings,
+        windows=visited,
+    )
+
+
+def extend(
+    model: ConditionalDiffusionModel,
+    target_shape: Tuple[int, int],
+    condition: Optional[int],
+    rng: np.random.Generator,
+    method: str = "out",
+    seed_topology: Optional[np.ndarray] = None,
+    stride: Optional[int] = None,
+) -> ExtensionResult:
+    """Dispatch to In-Painting or Out-Painting extension.
+
+    When no seed is given one window-sized sample is drawn first (counted in
+    ``samplings``), matching the agent's standard pipeline (Fig. 4).
+    """
+    if method not in ("in", "out"):
+        raise ValueError(f"unknown extension method {method!r}")
+    extra = 0
+    if seed_topology is None:
+        seed_topology = model.sample(1, condition, rng)[0]
+        extra = 1
+    if method == "out":
+        result = out_paint(
+            model, seed_topology, target_shape, condition, rng, stride=stride
+        )
+    else:
+        result = in_paint(
+            model, target_shape, condition, rng, seed_topology=seed_topology
+        )
+    result.samplings += extra
+    return result

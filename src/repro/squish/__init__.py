@@ -1,0 +1,25 @@
+"""Squish pattern representation: encode, decode, normalise, complexity."""
+
+from repro.squish.complexity import pattern_complexity, topology_complexity
+from repro.squish.encode import encode_rects, resquish, scan_lines
+from repro.squish.normalize import (
+    NormalizationError,
+    normalize_pattern,
+    split_axis,
+    uniform_deltas,
+)
+from repro.squish.pattern import PatternLibrary, SquishPattern
+
+__all__ = [
+    "NormalizationError",
+    "PatternLibrary",
+    "SquishPattern",
+    "encode_rects",
+    "normalize_pattern",
+    "pattern_complexity",
+    "resquish",
+    "scan_lines",
+    "split_axis",
+    "topology_complexity",
+    "uniform_deltas",
+]

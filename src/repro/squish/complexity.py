@@ -1,0 +1,34 @@
+"""Pattern complexity: the diversity metric's coordinate system.
+
+The paper defines complexity ``(cx, cy)`` as the number of scan lines minus
+one along x and y (Definition 2).  For a topology matrix this is the number
+of *distinct* adjacent columns / rows after re-squishing, i.e. redundant scan
+lines introduced by normalisation do not count.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.geometry.grid import as_topology
+from repro.squish.pattern import SquishPattern
+
+
+def topology_complexity(topology: np.ndarray) -> Tuple[int, int]:
+    """Return ``(cx, cy)`` for a raw topology matrix.
+
+    ``cx`` counts transitions between distinct adjacent columns (the number
+    of interior vertical scan lines of the canonical squish form) and ``cy``
+    the same for rows.
+    """
+    t = as_topology(topology)
+    col_changes = int(np.any(t[:, 1:] != t[:, :-1], axis=0).sum())
+    row_changes = int(np.any(t[1:, :] != t[:-1, :], axis=1).sum())
+    return (col_changes, row_changes)
+
+
+def pattern_complexity(pattern: SquishPattern) -> Tuple[int, int]:
+    """Complexity of a squish pattern (delegates to the topology)."""
+    return topology_complexity(pattern.topology)

@@ -1,0 +1,112 @@
+"""Encoding a rectangle layout into a squish pattern.
+
+Scan lines are drawn along every polygon edge inside the window; intervals
+between consecutive scan lines become the delta vectors and each grid cell is
+marked filled iff it is covered by a shape (Figure 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.rect import Rect, clip_rects
+from repro.squish.pattern import SquishPattern
+
+
+def scan_lines(rects: Sequence[Rect], window: Rect) -> tuple:
+    """Compute x and y scan-line coordinates for ``rects`` inside ``window``.
+
+    The window edges are always included, so an empty window still yields a
+    valid 1x1 squish grid.
+    """
+    xs = {window.x0, window.x1}
+    ys = {window.y0, window.y1}
+    for r in rects:
+        xs.update((r.x0, r.x1))
+        ys.update((r.y0, r.y1))
+    return (np.array(sorted(xs), dtype=np.int64), np.array(sorted(ys), dtype=np.int64))
+
+
+def encode_rects(
+    rects: Iterable[Rect],
+    window: Rect,
+    style: Optional[str] = None,
+) -> SquishPattern:
+    """Squish-encode rectangles clipped to ``window``.
+
+    The resulting pattern's origin is the window's lower-left corner; deltas
+    sum exactly to the window dimensions.
+    """
+    clipped = clip_rects(rects, window)
+    xs, ys = scan_lines(clipped, window)
+    dx = np.diff(xs)
+    dy = np.diff(ys)
+    topology = np.zeros((dy.shape[0], dx.shape[0]), dtype=np.uint8)
+    # Mark cells covered by each rect via searchsorted on scan lines; rect
+    # edges are scan lines by construction so coverage is exact.
+    for r in clipped:
+        c0 = int(np.searchsorted(xs, r.x0))
+        c1 = int(np.searchsorted(xs, r.x1))
+        r0 = int(np.searchsorted(ys, r.y0))
+        r1 = int(np.searchsorted(ys, r.y1))
+        topology[r0:r1, c0:c1] = 1
+    return SquishPattern(topology=topology, dx=dx, dy=dy, style=style)
+
+
+def resquish(pattern: SquishPattern) -> SquishPattern:
+    """Remove redundant scan lines (identical adjacent rows/columns).
+
+    A generated topology matrix often contains adjacent duplicate columns or
+    rows; the canonical squish form merges them, summing their deltas.  The
+    physical layout is unchanged.
+    """
+    t = pattern.topology
+    dx = pattern.dx.astype(np.int64).copy()
+    dy = pattern.dy.astype(np.int64).copy()
+
+    keep_cols = _distinct_mask(t.T)
+    new_cols = []
+    new_dx = []
+    acc = 0
+    for c in range(t.shape[1]):
+        acc += int(dx[c])
+        if keep_cols[c]:
+            new_cols.append(c)
+            new_dx.append(acc)
+            acc = 0
+    t2 = t[:, new_cols]
+
+    keep_rows = _distinct_mask(t2)
+    new_rows = []
+    new_dy = []
+    acc = 0
+    for r in range(t2.shape[0]):
+        acc += int(dy[r])
+        if keep_rows[r]:
+            new_rows.append(r)
+            new_dy.append(acc)
+            acc = 0
+    t3 = t2[new_rows, :]
+
+    return SquishPattern(
+        topology=t3.copy(),
+        dx=np.array(new_dx, dtype=np.int64),
+        dy=np.array(new_dy, dtype=np.int64),
+        style=pattern.style,
+    )
+
+
+def _distinct_mask(t: np.ndarray) -> np.ndarray:
+    """Mask of rows that differ from the *next* row (last row always kept).
+
+    When merging duplicates we keep the last row of each duplicate block so
+    accumulated deltas attach to it.
+    """
+    rows = t.shape[0]
+    keep = np.ones(rows, dtype=bool)
+    for r in range(rows - 1):
+        if np.array_equal(t[r], t[r + 1]):
+            keep[r] = False
+    return keep

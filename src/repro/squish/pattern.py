@@ -1,0 +1,162 @@
+"""The squish pattern: topology matrix + geometry delta vectors.
+
+A layout patch is encoded as a binary topology matrix ``T`` plus delta
+vectors ``dx`` (nm per column) and ``dy`` (nm per row), exactly the
+representation of Gennari & Lai's squish pattern used throughout the paper
+(Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.grid import as_topology
+from repro.geometry.polygon import GridPolygon, extract_polygons
+from repro.geometry.rect import Rect
+
+
+@dataclass
+class SquishPattern:
+    """A squish-encoded layout pattern.
+
+    Attributes:
+        topology: 2-D ``uint8`` matrix of {0, 1}; rows index y, columns x.
+        dx: physical width of each column in nm (length = #columns).
+        dy: physical height of each row in nm (length = #rows).
+        style: optional dataset style tag (e.g. ``"Layer-10001"``).
+    """
+
+    topology: np.ndarray
+    dx: np.ndarray
+    dy: np.ndarray
+    style: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        self.topology = as_topology(self.topology)
+        self.dx = np.asarray(self.dx, dtype=np.int64)
+        self.dy = np.asarray(self.dy, dtype=np.int64)
+        rows, cols = self.topology.shape
+        if self.dx.shape != (cols,):
+            raise ValueError(f"dx must have length {cols}, got {self.dx.shape}")
+        if self.dy.shape != (rows,):
+            raise ValueError(f"dy must have length {rows}, got {self.dy.shape}")
+        if (self.dx <= 0).any() or (self.dy <= 0).any():
+            raise ValueError("delta entries must be positive")
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Topology shape as ``(rows, cols)``."""
+        return self.topology.shape
+
+    @property
+    def physical_width(self) -> int:
+        """Total pattern width in nm."""
+        return int(self.dx.sum())
+
+    @property
+    def physical_height(self) -> int:
+        """Total pattern height in nm."""
+        return int(self.dy.sum())
+
+    @property
+    def physical_size(self) -> Tuple[int, int]:
+        """``(width, height)`` in nm."""
+        return (self.physical_width, self.physical_height)
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of physical area covered by shapes."""
+        cell_areas = np.outer(self.dy, self.dx).astype(np.float64)
+        total = float(cell_areas.sum())
+        if total == 0:
+            return 0.0
+        return float((cell_areas * self.topology).sum() / total)
+
+    def x_coords(self) -> np.ndarray:
+        """Scan-line x coordinates (length = cols + 1), starting at 0."""
+        return np.concatenate(([0], np.cumsum(self.dx)))
+
+    def y_coords(self) -> np.ndarray:
+        """Scan-line y coordinates (length = rows + 1), starting at 0."""
+        return np.concatenate(([0], np.cumsum(self.dy)))
+
+    def polygons(self) -> List[GridPolygon]:
+        """Connected rectilinear polygons with physical geometry."""
+        return extract_polygons(self.topology, self.dx, self.dy)
+
+    def to_rects(self) -> List[Rect]:
+        """Decode to physical rectangles, one per maximal per-row run."""
+        xs = self.x_coords()
+        ys = self.y_coords()
+        rects: List[Rect] = []
+        for r in range(self.topology.shape[0]):
+            row = self.topology[r]
+            change = np.flatnonzero(np.diff(row)) + 1
+            bounds = np.concatenate(([0], change, [row.shape[0]]))
+            for a, b in zip(bounds[:-1], bounds[1:]):
+                if row[a]:
+                    rects.append(
+                        Rect(int(xs[a]), int(ys[r]), int(xs[b]), int(ys[r + 1]))
+                    )
+        return rects
+
+    def copy(self) -> "SquishPattern":
+        """Deep copy."""
+        return SquishPattern(
+            topology=self.topology.copy(),
+            dx=self.dx.copy(),
+            dy=self.dy.copy(),
+            style=self.style,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SquishPattern):
+            return NotImplemented
+        return (
+            np.array_equal(self.topology, other.topology)
+            and np.array_equal(self.dx, other.dx)
+            and np.array_equal(self.dy, other.dy)
+        )
+
+
+@dataclass
+class PatternLibrary:
+    """A collection of squish patterns, the unit the agent delivers.
+
+    The library tracks the style tag per pattern so mixed-style libraries
+    (the "Total" column in Table 1) can be evaluated jointly.
+    """
+
+    patterns: List[SquishPattern] = field(default_factory=list)
+    name: str = "library"
+
+    def add(self, pattern: SquishPattern) -> None:
+        """Append one pattern."""
+        self.patterns.append(pattern)
+
+    def extend(self, patterns: Sequence[SquishPattern]) -> None:
+        """Append many patterns."""
+        self.patterns.extend(patterns)
+
+    def filter_style(self, style: str) -> "PatternLibrary":
+        """Sub-library containing only the given style tag."""
+        return PatternLibrary(
+            patterns=[p for p in self.patterns if p.style == style],
+            name=f"{self.name}:{style}",
+        )
+
+    def styles(self) -> List[str]:
+        """Distinct style tags present, sorted."""
+        return sorted({p.style for p in self.patterns if p.style is not None})
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def __iter__(self):
+        return iter(self.patterns)
+
+    def __getitem__(self, idx: int) -> SquishPattern:
+        return self.patterns[idx]

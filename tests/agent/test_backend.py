@@ -1,0 +1,135 @@
+"""Unit tests for the LLM backends (simulated + scripted)."""
+
+import pytest
+
+from repro.agent import ScriptedLLM, SimulatedLLM, parse_requirement_lists
+
+
+class TestScriptedLLM:
+    def test_replays_in_order(self):
+        llm = ScriptedLLM(["a", "b"])
+        assert llm.complete([{"role": "user", "content": "x"}]) == "a"
+        assert llm.complete([{"role": "user", "content": "y"}]) == "b"
+
+    def test_exhaustion_raises(self):
+        llm = ScriptedLLM([])
+        with pytest.raises(RuntimeError):
+            llm.complete([{"role": "user", "content": "x"}])
+
+    def test_transcript_recorded(self):
+        llm = ScriptedLLM(["reply"])
+        llm.complete([{"role": "user", "content": "hello"}])
+        assert llm.transcript[-1] == {"role": "assistant", "content": "reply"}
+
+
+def autoformat(text, window=128, recommended="Out"):
+    llm = SimulatedLLM()
+    reply = llm.complete(
+        [
+            {
+                "role": "user",
+                "content": (
+                    "TASK: AUTO_FORMAT\n"
+                    f"MODEL WINDOW: {window}\n"
+                    f"RECOMMENDED_EXTENSION: {recommended}\n"
+                    f"USER REQUIREMENT: {text}"
+                ),
+            }
+        ]
+    )
+    return parse_requirement_lists(reply)
+
+
+class TestAutoFormatting:
+    def test_paper_running_example(self):
+        reqs = autoformat(
+            "Generate a layout pattern library, there are 100k layout "
+            "patterns in total. The physical size fixed as 1.5um * 1.5um. "
+            "The topology size should be chosen from 200*200 and 500*500. "
+            "They should be in style of 'Layer-10001'."
+        )
+        assert len(reqs) == 2
+        assert sum(r.count for r in reqs) == 100_000
+        assert {r.topology_size for r in reqs} == {(200, 200), (500, 500)}
+        assert all(r.physical_size == (1500, 1500) for r in reqs)
+        assert all(r.style == "Layer-10001" for r in reqs)
+        # Both exceed the window -> extension method from the recommendation.
+        assert all(r.extension_method == "Out" for r in reqs)
+
+    def test_nm_units(self):
+        reqs = autoformat("Make 100 patterns of 2048nm x 2048nm, 128*128 topology.")
+        assert reqs[0].physical_size == (2048, 2048)
+        assert reqs[0].count == 100
+        assert reqs[0].extension_method is None
+
+    def test_count_suffixes(self):
+        assert autoformat("make 2k patterns at 128*128")[0].count == 2000
+        assert autoformat("make 1.5k patterns at 128*128")[0].count == 1500
+
+    def test_multiple_styles_split(self):
+        reqs = autoformat(
+            "I need 400 patterns, 128*128, half Layer-10001 and half Layer-10003."
+        )
+        assert len(reqs) == 2
+        assert {r.style for r in reqs} == {"Layer-10001", "Layer-10003"}
+        assert sum(r.count for r in reqs) == 400
+
+    def test_inpainting_preference_respected(self):
+        reqs = autoformat(
+            "Generate 50 patterns with 256*256 topology in Layer-10003 "
+            "style using in-painting extension."
+        )
+        assert reqs[0].extension_method == "In"
+
+    def test_defaults_when_sparse(self):
+        reqs = autoformat("a few patterns please")
+        assert len(reqs) == 1
+        assert reqs[0].count > 0
+        assert reqs[0].topology_size == (128, 128)
+
+
+class TestReActDecisions:
+    def respond(self, **fields):
+        base = {
+            "STYLE": "Layer-10001",
+            "SEED": 42,
+            "RETRIES REMAINING": 2,
+            "DROP ALLOWED": "True",
+        }
+        base.update(fields)
+        content = "TASK: REACT_DECISION\n" + "\n".join(
+            f"{k}: {v}" for k, v in base.items()
+        )
+        return SimulatedLLM().complete([{"role": "user", "content": content}])
+
+    def test_localized_failure_modifies(self):
+        reply = self.respond(
+            OBSERVATION="legalization FAILED.\nFAILED REGION: (12, 56, 33, 73)"
+        )
+        assert "Action: Topology_Modification" in reply
+        assert '"upper": 12' in reply
+        assert '"style": "Layer-10001"' in reply
+
+    def test_unlocalized_failure_regenerates(self):
+        reply = self.respond(OBSERVATION="legalization FAILED.\nno region")
+        assert "Action: Regenerate" in reply
+
+    def test_exhausted_retries_drop(self):
+        reply = self.respond(
+            **{"RETRIES REMAINING": 0},
+            OBSERVATION="FAILED REGION: (1, 2, 3, 4)",
+        )
+        assert "Action: Drop" in reply
+
+    def test_no_drop_regenerates_as_last_resort(self):
+        reply = self.respond(
+            **{"RETRIES REMAINING": 0, "DROP ALLOWED": "False"},
+            OBSERVATION="failure",
+        )
+        assert "Action: Regenerate" in reply
+
+    def test_fallback_prompt(self):
+        reply = SimulatedLLM().complete(
+            [{"role": "user", "content": "hello there"}]
+        )
+        assert "layout pattern" in reply.lower()

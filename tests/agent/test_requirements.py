@@ -1,0 +1,89 @@
+"""Unit tests for requirement lists and their text template."""
+
+import pytest
+
+from repro.agent import RequirementList, parse_requirement_lists
+
+
+def make_req(**overrides):
+    kwargs = dict(
+        topology_size=(200, 200),
+        physical_size=(1500, 1500),
+        style="Layer-10001",
+        count=50_000,
+        extension_method="Out",
+        drop_allowed=True,
+    )
+    kwargs.update(overrides)
+    return RequirementList(**kwargs)
+
+
+class TestRequirementList:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_req(count=0)
+        with pytest.raises(ValueError):
+            make_req(extension_method="Sideways")
+        with pytest.raises(ValueError):
+            make_req(topology_size=(0, 10))
+
+    def test_needs_extension(self):
+        assert make_req().needs_extension(128)
+        assert not make_req(topology_size=(128, 128)).needs_extension(128)
+
+    def test_to_text_matches_paper_template(self):
+        text = make_req().to_text()
+        assert "# Requirement - subtask 1" in text
+        assert "Topology Size: [200, 200]" in text
+        assert "Physical Size: [1500, 1500] nm" in text
+        assert "Style: Layer-10001" in text
+        assert "Count: 50000" in text
+        assert "Extension Method: Out (Default: Out)" in text
+        assert "Drop Allowed: True (Default: True)" in text
+        assert "Time Limitation: None (Default: None)" in text
+
+
+class TestParsing:
+    def test_round_trip(self):
+        req = make_req()
+        parsed = parse_requirement_lists(req.to_text())
+        assert len(parsed) == 1
+        got = parsed[0]
+        assert got.topology_size == req.topology_size
+        assert got.physical_size == req.physical_size
+        assert got.style == req.style
+        assert got.count == req.count
+        assert got.extension_method == req.extension_method
+        assert got.drop_allowed == req.drop_allowed
+
+    def test_round_trip_none_method(self):
+        req = make_req(extension_method=None, topology_size=(128, 128))
+        parsed = parse_requirement_lists(req.to_text())[0]
+        assert parsed.extension_method is None
+
+    def test_multiple_subtasks(self):
+        text = make_req().to_text() + "\n" + make_req(
+            topology_size=(500, 500), subtask_id=2
+        ).to_text()
+        parsed = parse_requirement_lists(text)
+        assert len(parsed) == 2
+        assert parsed[1].subtask_id == 2
+        assert parsed[1].topology_size == (500, 500)
+
+    def test_time_limit_parsed(self):
+        req = make_req(time_limit=30.0)
+        parsed = parse_requirement_lists(req.to_text())[0]
+        assert parsed.time_limit == 30.0
+
+    def test_missing_block_raises(self):
+        with pytest.raises(ValueError):
+            parse_requirement_lists("no requirements here")
+
+    def test_missing_field_raises(self):
+        broken = "# Requirement - subtask 1\n## Basic Part: Count: 10,"
+        with pytest.raises(ValueError):
+            parse_requirement_lists(broken)
+
+    def test_tolerates_comma_separated_counts(self):
+        text = make_req().to_text().replace("Count: 50000", "Count: 50,000")
+        assert parse_requirement_lists(text)[0].count == 50_000

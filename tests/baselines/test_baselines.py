@@ -1,0 +1,143 @@
+"""Unit tests for the Table-1 baseline generators."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CAEGenerator,
+    DiffPattern,
+    LayouTransformer,
+    LegalGAN,
+    VCAEGenerator,
+)
+from repro.drc import DesignRules
+
+
+@pytest.fixture(scope="module")
+def stripe_data():
+    rng = np.random.default_rng(0)
+    base = np.zeros((32, 32), dtype=np.uint8)
+    base[:, 2::8] = 1
+    base[:, 3::8] = 1
+    return np.stack([np.roll(base, int(rng.integers(0, 8)), axis=1) for _ in range(24)])
+
+
+class TestCAE:
+    def test_fit_sample_shapes(self, stripe_data):
+        gen = CAEGenerator(latent_dim=4)
+        info = gen.fit(stripe_data, np.random.default_rng(1))
+        assert 0 < info["explained_variance"] <= 1.0
+        s = gen.sample(5, np.random.default_rng(2))
+        assert s.shape == (5, 32, 32)
+        assert set(np.unique(s)) <= {0, 1}
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            CAEGenerator().sample(1, np.random.default_rng(0))
+
+    def test_vcae_larger_latent(self, stripe_data):
+        cae = CAEGenerator()
+        vcae = VCAEGenerator()
+        assert vcae.latent_dim > cae.latent_dim
+        info = vcae.fit(stripe_data, np.random.default_rng(3))
+        assert info["latent_dim"] <= vcae.latent_dim
+
+    def test_vcae_reconstructs_better(self, stripe_data):
+        """More latent capacity -> strictly better training reconstruction."""
+        rng = np.random.default_rng(4)
+        cae = CAEGenerator(latent_dim=2)
+        vcae = VCAEGenerator(latent_dim=20)
+        info_c = cae.fit(stripe_data, rng)
+        info_v = vcae.fit(stripe_data, rng)
+        assert info_v["explained_variance"] >= info_c["explained_variance"]
+
+
+class TestLegalGAN:
+    RULES = DesignRules(min_space=30, min_width=40, min_area=2000)
+
+    def test_erases_single_cell_specks(self):
+        gan = LegalGAN(self.RULES, cell_nm=16.0)  # min width 40/16 -> 3 cells
+        t = np.zeros((12, 12), dtype=np.uint8)
+        t[5, 4] = 1  # 1-cell speck: within the snapper's competence
+        cleaned = gan.legalize_topology(t)
+        assert cleaned.sum() == 0
+
+    def test_midsize_defects_beyond_competence(self):
+        gan = LegalGAN(self.RULES, cell_nm=16.0, repair_limit=1)
+        t = np.zeros((12, 12), dtype=np.uint8)
+        t[4:8, 4:6] = 1  # 2-cell-wide wire: violating but too big to snap
+        cleaned = gan.legalize_topology(t)
+        assert cleaned[5, 4] == 1  # left untouched
+
+    def test_fills_narrow_gaps(self):
+        gan = LegalGAN(self.RULES, cell_nm=16.0)  # min space 30/16 -> 2 cells
+        t = np.zeros((12, 12), dtype=np.uint8)
+        t[4:8, 2:5] = 1
+        t[4:8, 6:9] = 1  # 1-cell interior gap
+        cleaned = gan.legalize_topology(t)
+        assert cleaned[5, 5] == 1
+
+    def test_clears_corner_touches(self):
+        gan = LegalGAN(self.RULES, cell_nm=16.0)
+        t = np.zeros((12, 12), dtype=np.uint8)
+        t[2:6, 2:6] = 1
+        t[6:10, 6:10] = 1
+        cleaned = gan.legalize_topology(t)
+        from repro.geometry import diagonal_touch_pairs
+
+        assert diagonal_touch_pairs(cleaned) == []
+
+    def test_batch(self):
+        gan = LegalGAN(self.RULES)
+        batch = np.zeros((3, 8, 8), dtype=np.uint8)
+        assert gan.batch(batch).shape == (3, 8, 8)
+
+    def test_improves_autoencoder_output(self, stripe_data):
+        """The LegalGAN contract: fewer rule-violating artefacts after."""
+        rng = np.random.default_rng(6)
+        cae = CAEGenerator(latent_dim=3)
+        cae.fit(stripe_data, rng)
+        raw = cae.sample(4, np.random.default_rng(7))
+        gan = LegalGAN(self.RULES, cell_nm=32.0)
+        cleaned = gan.batch(raw)
+        from repro.geometry import diagonal_touch_pairs
+
+        raw_corners = sum(len(diagonal_touch_pairs(t)) for t in raw)
+        cleaned_corners = sum(len(diagonal_touch_pairs(t)) for t in cleaned)
+        assert cleaned_corners <= raw_corners
+
+
+class TestLayouTransformer:
+    def test_fit_sample(self, stripe_data):
+        gen = LayouTransformer()
+        info = gen.fit(stripe_data, np.random.default_rng(0))
+        assert info["vocabulary"] >= 1
+        s = gen.sample(4, np.random.default_rng(1))
+        assert s.shape == (4, 32, 32)
+
+    def test_rows_come_from_training_vocabulary(self, stripe_data):
+        gen = LayouTransformer(order_smoothing=0.0)
+        gen.fit(stripe_data, np.random.default_rng(0))
+        s = gen.sample(2, np.random.default_rng(1))
+        train_rows = {r.tobytes() for t in stripe_data for r in t}
+        for t in s:
+            for row in t:
+                assert row.tobytes() in train_rows
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LayouTransformer().sample(1, np.random.default_rng(0))
+
+
+class TestDiffPattern:
+    def test_unconditional_training(self, stripe_data):
+        dp = DiffPattern(window=32)
+        dp.fit(stripe_data, np.random.default_rng(0))
+        s = dp.sample(2, np.random.default_rng(1))
+        assert s.shape == (2, 32, 32)
+
+    def test_free_size_concat(self, stripe_data):
+        dp = DiffPattern(window=32)
+        dp.fit(stripe_data, np.random.default_rng(0))
+        big = dp.free_size_concat((64, 64), np.random.default_rng(1))
+        assert big.shape == (64, 64)

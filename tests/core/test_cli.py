@@ -1,0 +1,75 @@
+"""Unit tests for the command-line interface.
+
+The CLI trains its own back-end, which is too slow per-test; these tests
+patch ``ChatPattern.pretrained`` to return a session-scoped small model.
+"""
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.core import ChatPattern
+from repro.io import load_library, save_library
+from repro.metrics import legalize_batch
+
+
+@pytest.fixture(autouse=True)
+def fast_pretrained(small_model, monkeypatch):
+    def fake(cls=None, **kwargs):
+        return ChatPattern(model=small_model, max_retries=0)
+
+    monkeypatch.setattr(ChatPattern, "pretrained", classmethod(
+        lambda cls, **kwargs: ChatPattern(model=small_model, max_retries=0)
+    ))
+    yield
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args([])
+
+    def test_chat_args(self):
+        args = cli.build_parser().parse_args(["chat", "hello", "-o", "x.npz"])
+        assert args.command == "chat"
+        assert args.request == "hello"
+        assert args.output == "x.npz"
+
+
+class TestCommands:
+    def test_generate(self, tmp_path, capsys):
+        out = tmp_path / "lib.npz"
+        code = cli.main(
+            ["generate", "--style", "Layer-10001", "--count", "2",
+             "-o", str(out), "--show"]
+        )
+        captured = capsys.readouterr().out
+        assert "generated 2" in captured
+        if code == 0:
+            assert load_library(out)
+
+    def test_chat(self, tmp_path, capsys):
+        out = tmp_path / "lib.npz"
+        code = cli.main(
+            ["chat",
+             "Generate 2 layout patterns, 64*64 topology, physical size "
+             "1024nm * 1024nm, style Layer-10001.",
+             "-o", str(out)]
+        )
+        captured = capsys.readouterr().out
+        assert "sub-task" in captured
+
+    def test_evaluate_and_export(self, tmp_path, small_model, capsys):
+        samples = small_model.sample(2, 0, np.random.default_rng(0))
+        result = legalize_batch(list(samples), "Layer-10001",
+                                physical_size=(1024, 1024))
+        lib_path = tmp_path / "lib.npz"
+        save_library(result.legal, lib_path)
+
+        assert cli.main(["evaluate", str(lib_path)]) == 0
+        assert "diversity" in capsys.readouterr().out
+
+        gds_path = tmp_path / "lib.gds"
+        assert cli.main(["export", str(lib_path), str(gds_path)]) == 0
+        assert gds_path.exists()
+        assert "wrote" in capsys.readouterr().out

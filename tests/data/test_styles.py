@@ -1,0 +1,46 @@
+"""Unit tests for style specs and the placement grid."""
+
+import pytest
+
+from repro.data import LAYER_10001, LAYER_10003, STYLES, style_condition, style_spec
+
+
+class TestStyleLookup:
+    def test_known_styles(self):
+        assert style_spec("Layer-10001") is LAYER_10001
+        assert style_spec("Layer-10003") is LAYER_10003
+
+    def test_unknown_style(self):
+        with pytest.raises(KeyError):
+            style_spec("Layer-12345")
+
+    def test_condition_indices_distinct(self):
+        indices = [style_condition(s) for s in STYLES]
+        assert sorted(indices) == list(range(len(STYLES)))
+
+
+class TestStyleGeometryConsistency:
+    @pytest.mark.parametrize("spec", [LAYER_10001, LAYER_10003])
+    def test_dims_snapped_and_legal(self, spec):
+        for w in spec.wire_widths:
+            assert w % spec.grid == 0
+            assert w >= spec.rules.min_width
+
+    @pytest.mark.parametrize("spec", [LAYER_10001, LAYER_10003])
+    def test_space_range_legal(self, spec):
+        assert spec.space_range[0] >= spec.rules.min_space
+
+    def test_layer_10003_coarser(self):
+        assert min(LAYER_10003.wire_widths) > max(LAYER_10001.wire_widths)
+
+
+class TestSnap:
+    def test_rounds_up_to_grid(self):
+        assert LAYER_10001.snap(33) == 48
+        assert LAYER_10001.snap(48) == 48
+
+    def test_minimum_enforced(self):
+        assert LAYER_10001.snap(10, minimum=30) == 32
+
+    def test_zero(self):
+        assert LAYER_10001.snap(0) == 0

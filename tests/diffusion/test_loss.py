@@ -1,0 +1,70 @@
+"""Unit tests for the Eq.-(10) training objective."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diffusion import (
+    DiffusionSchedule,
+    bernoulli_kl,
+    bernoulli_nll,
+    diffusion_loss,
+)
+
+
+class TestBernoulliKL:
+    def test_zero_when_equal(self):
+        p = np.array([0.1, 0.5, 0.9])
+        assert np.allclose(bernoulli_kl(p, p), 0.0, atol=1e-9)
+
+    def test_positive_when_different(self):
+        assert (bernoulli_kl(np.array([0.2]), np.array([0.8])) > 0).all()
+
+    def test_handles_extremes(self):
+        kl = bernoulli_kl(np.array([0.0, 1.0]), np.array([0.5, 0.5]))
+        assert np.isfinite(kl).all()
+
+
+class TestBernoulliNLL:
+    def test_perfect_prediction(self):
+        x = np.array([1.0, 0.0])
+        p = np.array([1.0, 0.0])
+        assert np.allclose(bernoulli_nll(x, p), 0.0, atol=1e-6)
+
+    def test_wrong_prediction_large(self):
+        nll = bernoulli_nll(np.array([1.0]), np.array([1e-12]))
+        assert nll[0] > 10
+
+
+class TestDiffusionLoss:
+    def test_oracle_prediction_minimises(self):
+        sch = DiffusionSchedule.linear(20)
+        rng = np.random.default_rng(0)
+        x0 = (rng.random((16, 16)) < 0.4).astype(np.uint8)
+        xk = sch.forward_sample(x0, 10, rng)
+        oracle = diffusion_loss(sch, x0, xk, 10, x0.astype(np.float64))
+        wrong = diffusion_loss(sch, x0, xk, 10, 1.0 - x0.astype(np.float64))
+        uniform = diffusion_loss(sch, x0, xk, 10, np.full(x0.shape, 0.5))
+        assert oracle < uniform < wrong
+
+    def test_lambda_weighting(self):
+        sch = DiffusionSchedule.linear(10)
+        rng = np.random.default_rng(1)
+        x0 = (rng.random((8, 8)) < 0.5).astype(np.uint8)
+        xk = sch.forward_sample(x0, 5, rng)
+        p = np.full(x0.shape, 0.5)
+        small = diffusion_loss(sch, x0, xk, 5, p, lam=1e-3)
+        large = diffusion_loss(sch, x0, xk, 5, p, lam=1.0)
+        assert large > small
+
+
+@settings(max_examples=25, deadline=None)
+@given(k=st.integers(1, 20))
+def test_loss_nonnegative(k):
+    sch = DiffusionSchedule.linear(20)
+    rng = np.random.default_rng(k)
+    x0 = (rng.random((8, 8)) < 0.4).astype(np.uint8)
+    xk = sch.forward_sample(x0, k, rng)
+    p = rng.random((8, 8))
+    assert diffusion_loss(sch, x0, xk, k, p) >= 0.0

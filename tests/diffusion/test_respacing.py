@@ -1,0 +1,46 @@
+"""Unit tests for DDIM-style schedule respacing."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion import ConditionalDiffusionModel, DiffusionSchedule
+
+
+class TestRespaced:
+    def test_terminal_level_preserved(self):
+        full = DiffusionSchedule.linear(128, 0.003, 0.08)
+        short = full.respaced(16)
+        assert short.steps == 16
+        assert short.beta_bars[-1] == pytest.approx(full.beta_bars[-1], rel=1e-9)
+
+    def test_levels_subset_of_original(self):
+        full = DiffusionSchedule.linear(64, 0.003, 0.08)
+        short = full.respaced(8)
+        # Every respaced cumulative level appears in the full trajectory.
+        for bar in short.beta_bars:
+            assert np.min(np.abs(full.beta_bars - bar)) < 1e-9
+
+    def test_identity_respacing(self):
+        full = DiffusionSchedule.linear(32, 0.003, 0.08)
+        same = full.respaced(32)
+        assert np.allclose(same.beta_bars, full.beta_bars)
+
+    def test_bounds_validated(self):
+        full = DiffusionSchedule.linear(16)
+        with pytest.raises(ValueError):
+            full.respaced(0)
+        with pytest.raises(ValueError):
+            full.respaced(17)
+
+    def test_sampling_with_respaced_schedule(self, small_model):
+        """A trained denoiser samples under a respaced schedule unchanged."""
+        fast = ConditionalDiffusionModel(
+            denoiser=small_model.denoiser,
+            schedule=small_model.schedule.respaced(12),
+            window=small_model.window,
+            n_classes=small_model.n_classes,
+        )
+        fast.fitted = True
+        samples = fast.sample(2, 0, np.random.default_rng(0))
+        assert samples.shape == (2, 64, 64)
+        assert 0.05 < samples.mean() < 0.7

@@ -1,0 +1,119 @@
+"""Unit + property tests for the discrete diffusion schedule (Eqs. 1-5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diffusion import DiffusionSchedule, linear_beta_schedule
+
+
+class TestLinearBetas:
+    def test_paper_endpoints(self):
+        betas = linear_beta_schedule(1000, 0.01, 0.5)
+        assert betas[0] == pytest.approx(0.01)
+        assert betas[-1] == pytest.approx(0.5)
+        assert (np.diff(betas) > 0).all()
+
+    def test_single_step(self):
+        assert list(linear_beta_schedule(1, 0.02, 0.5)) == [0.02]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            linear_beta_schedule(0)
+        with pytest.raises(ValueError):
+            linear_beta_schedule(10, 0.5, 0.01)
+        with pytest.raises(ValueError):
+            linear_beta_schedule(10, 0.0, 0.5)
+
+
+class TestCumulative:
+    def test_beta_bar_monotone_bounded(self):
+        sch = DiffusionSchedule.linear(100)
+        assert (np.diff(sch.beta_bars) >= 0).all()
+        assert sch.beta_bars[-1] <= 0.5 + 1e-12
+        assert sch.beta_bar(1) == pytest.approx(sch.beta(1))
+
+    def test_two_step_composition(self):
+        sch = DiffusionSchedule(betas=np.array([0.1, 0.2]))
+        # bar2 = b1(1-b2) + (1-b1)b2
+        expected = 0.1 * 0.8 + 0.9 * 0.2
+        assert sch.beta_bar(2) == pytest.approx(expected)
+
+    def test_step_bounds_checked(self):
+        sch = DiffusionSchedule.linear(10)
+        with pytest.raises(ValueError):
+            sch.beta(0)
+        with pytest.raises(ValueError):
+            sch.beta_bar(11)
+
+
+class TestForwardSampling:
+    def test_flip_rate_matches_beta_bar(self):
+        sch = DiffusionSchedule.linear(50)
+        rng = np.random.default_rng(0)
+        x0 = np.zeros((200, 200), dtype=np.uint8)
+        xk = sch.forward_sample(x0, 25, rng)
+        assert xk.mean() == pytest.approx(sch.beta_bar(25), abs=0.02)
+
+    def test_preserves_shape_dtype(self):
+        sch = DiffusionSchedule.linear(10)
+        rng = np.random.default_rng(0)
+        x0 = np.ones((3, 4, 5), dtype=np.uint8)
+        xk = sch.forward_sample(x0, 5, rng)
+        assert xk.shape == (3, 4, 5)
+        assert xk.dtype == np.uint8
+
+
+class TestPosterior:
+    def test_k1_is_delta_at_x0(self):
+        sch = DiffusionSchedule.linear(10)
+        x0 = np.array([[0, 1]], dtype=np.uint8)
+        xk = np.array([[1, 0]], dtype=np.uint8)
+        post = sch.posterior_probability(xk, x0, 1)
+        assert list(post[0]) == [0.0, 1.0]
+
+    def test_posterior_is_probability(self):
+        sch = DiffusionSchedule.linear(20)
+        rng = np.random.default_rng(1)
+        x0 = (rng.random((8, 8)) < 0.5).astype(np.uint8)
+        for k in (2, 10, 20):
+            xk = sch.forward_sample(x0, k, rng)
+            post = sch.posterior_probability(xk, x0, k)
+            assert ((post >= 0) & (post <= 1)).all()
+
+    def test_posterior_mix_interpolates(self):
+        sch = DiffusionSchedule.linear(20)
+        xk = np.array([[1]], dtype=np.uint8)
+        p_sure_1 = sch.posterior_mix(xk, np.array([[1.0]]), 10)
+        p_sure_0 = sch.posterior_mix(xk, np.array([[0.0]]), 10)
+        p_mid = sch.posterior_mix(xk, np.array([[0.5]]), 10)
+        assert p_sure_0[0, 0] <= p_mid[0, 0] <= p_sure_1[0, 0]
+
+    def test_mix_equals_exact_marginalisation(self):
+        """Eq. 5: the closed-form mix must equal explicit enumeration."""
+        sch = DiffusionSchedule.linear(15)
+        rng = np.random.default_rng(2)
+        xk = (rng.random((4, 4)) < 0.5).astype(np.uint8)
+        p_x0 = rng.random((4, 4))
+        k = 7
+        explicit = p_x0 * sch.posterior_probability(
+            xk, np.ones_like(xk), k
+        ) + (1 - p_x0) * sch.posterior_probability(xk, np.zeros_like(xk), k)
+        assert np.allclose(sch.posterior_mix(xk, p_x0, k), explicit)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    steps=st.integers(2, 64),
+    k=st.integers(2, 64),
+)
+def test_posterior_probability_bounds(steps, k):
+    if k > steps:
+        return
+    sch = DiffusionSchedule.linear(steps)
+    rng = np.random.default_rng(k)
+    x0 = (rng.random((6, 6)) < 0.4).astype(np.uint8)
+    xk = sch.forward_sample(x0, k, rng)
+    post = sch.posterior_probability(xk, x0, k)
+    assert ((post >= 0.0) & (post <= 1.0)).all()

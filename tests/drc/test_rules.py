@@ -1,0 +1,38 @@
+"""Unit tests for design-rule decks."""
+
+import pytest
+
+from repro.drc import DesignRules, LAYER_RULES, rules_for_style
+
+
+class TestDesignRules:
+    def test_pitch(self):
+        r = DesignRules(min_space=30, min_width=40, min_area=4000)
+        assert r.min_pitch == 70
+
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            DesignRules(min_space=0, min_width=40, min_area=4000)
+        with pytest.raises(ValueError):
+            DesignRules(min_space=30, min_width=-1, min_area=4000)
+
+    def test_frozen(self):
+        r = rules_for_style("Layer-10001")
+        with pytest.raises(Exception):
+            r.min_space = 99
+
+
+class TestPresets:
+    def test_both_layers_present(self):
+        assert set(LAYER_RULES) == {"Layer-10001", "Layer-10003"}
+
+    def test_layer_10003_is_coarser(self):
+        a = rules_for_style("Layer-10001")
+        b = rules_for_style("Layer-10003")
+        assert b.min_space > a.min_space
+        assert b.min_width > a.min_width
+        assert b.min_area > a.min_area
+
+    def test_unknown_style(self):
+        with pytest.raises(KeyError):
+            rules_for_style("Layer-9999")

@@ -1,0 +1,85 @@
+"""Unit tests for binary-grid utilities (runs, labelling, corner touches)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    as_topology,
+    column_runs,
+    component_count,
+    diagonal_touch_pairs,
+    label_components,
+    row_runs,
+)
+
+
+class TestAsTopology:
+    def test_validates_values(self):
+        with pytest.raises(ValueError):
+            as_topology(np.array([[0, 2]]))
+
+    def test_validates_dims(self):
+        with pytest.raises(ValueError):
+            as_topology(np.zeros(4))
+        with pytest.raises(ValueError):
+            as_topology(np.zeros((0, 4)))
+
+    def test_dtype_canonicalised(self):
+        t = as_topology(np.array([[0.0, 1.0]]))
+        assert t.dtype == np.uint8
+
+
+class TestRuns:
+    def test_row_runs(self):
+        t = np.array([[1, 1, 0, 0, 1]], dtype=np.uint8)
+        runs = row_runs(t, 0)
+        assert [(r.start, r.stop, r.value) for r in runs] == [
+            (0, 2, 1), (2, 4, 0), (4, 5, 1),
+        ]
+        assert runs[0].length == 2
+
+    def test_column_runs(self):
+        t = np.array([[1], [1], [0]], dtype=np.uint8)
+        runs = column_runs(t, 0)
+        assert [(r.start, r.stop, r.value) for r in runs] == [(0, 2, 1), (2, 3, 0)]
+
+    def test_uniform_line_single_run(self):
+        t = np.ones((1, 7), dtype=np.uint8)
+        assert len(row_runs(t, 0)) == 1
+
+
+class TestComponents:
+    def test_four_connectivity_separates_diagonal(self):
+        t = np.array([[1, 0], [0, 1]], dtype=np.uint8)
+        assert component_count(t, connectivity=4) == 2
+        assert component_count(t, connectivity=8) == 1
+
+    def test_labels_shape_and_zero_background(self):
+        t = np.array([[1, 0, 1]], dtype=np.uint8)
+        labels = label_components(t)
+        assert labels.shape == t.shape
+        assert labels[0, 1] == 0
+        assert labels.max() == 2
+
+    def test_bad_connectivity(self):
+        with pytest.raises(ValueError):
+            label_components(np.ones((2, 2)), connectivity=6)
+
+
+class TestDiagonalTouch:
+    def test_detects_anti_diagonal(self):
+        t = np.array([[0, 1], [1, 0]], dtype=np.uint8)
+        assert diagonal_touch_pairs(t) == [(0, 0)]
+
+    def test_detects_main_diagonal(self):
+        t = np.array([[1, 0], [0, 1]], dtype=np.uint8)
+        assert diagonal_touch_pairs(t) == [(0, 0)]
+
+    def test_same_polygon_diagonal_not_flagged(self):
+        # An L-shape: the diagonal cells belong to one 4-connected polygon.
+        t = np.array([[1, 0], [1, 1]], dtype=np.uint8)
+        assert diagonal_touch_pairs(t) == []
+
+    def test_clean_grid(self):
+        t = np.array([[1, 1, 0, 1, 1]], dtype=np.uint8)
+        assert diagonal_touch_pairs(t) == []

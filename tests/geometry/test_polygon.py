@@ -1,0 +1,70 @@
+"""Unit tests for grid polygons with physical deltas."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect, extract_polygons
+
+
+def _uniform(n, v=10):
+    return np.full(n, v, dtype=np.int64)
+
+
+class TestExtractPolygons:
+    def test_counts_and_labels(self):
+        t = np.array([[1, 0, 1], [1, 0, 0]], dtype=np.uint8)
+        polys = extract_polygons(t, _uniform(3), _uniform(2))
+        assert len(polys) == 2
+        assert {p.label for p in polys} == {1, 2}
+
+    def test_shape_mismatch_raises(self):
+        t = np.ones((2, 3), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            extract_polygons(t, _uniform(2), _uniform(2))
+        with pytest.raises(ValueError):
+            extract_polygons(t, _uniform(3), _uniform(3))
+
+
+class TestPolygonGeometry:
+    def test_area_uniform_grid(self):
+        t = np.array([[1, 1], [1, 0]], dtype=np.uint8)
+        poly = extract_polygons(t, _uniform(2), _uniform(2))[0]
+        assert poly.area == 300  # three 10x10 cells
+
+    def test_area_nonuniform_grid(self):
+        t = np.array([[1, 1]], dtype=np.uint8)
+        poly = extract_polygons(t, np.array([5, 20]), np.array([3]))[0]
+        assert poly.area == 5 * 3 + 20 * 3
+
+    def test_bbox(self):
+        t = np.array([[0, 0, 0], [0, 1, 1], [0, 0, 0]], dtype=np.uint8)
+        poly = extract_polygons(t, _uniform(3), _uniform(3))[0]
+        assert poly.bbox == Rect(10, 10, 30, 20)
+
+    def test_cell_rects(self):
+        t = np.array([[1, 1]], dtype=np.uint8)
+        poly = extract_polygons(t, np.array([4, 6]), np.array([8]))[0]
+        rects = sorted(poly.cell_rects())
+        assert rects == [Rect(0, 0, 4, 8), Rect(4, 0, 10, 8)]
+
+    def test_extents_l_shape(self):
+        t = np.array([[1, 0], [1, 1]], dtype=np.uint8)
+        poly = extract_polygons(t, _uniform(2), _uniform(2))[0]
+        horizontal = poly.horizontal_extents()
+        assert (0, 0, 10) in horizontal  # bottom row reaches only col 0
+        assert (1, 0, 20) in horizontal
+        vertical = poly.vertical_extents()
+        assert (0, 0, 20) in vertical
+        assert (1, 10, 20) in vertical
+
+    def test_min_width(self):
+        t = np.array([[1, 1, 1]], dtype=np.uint8)  # 30 wide, 10 tall
+        poly = extract_polygons(t, _uniform(3), _uniform(1))[0]
+        assert poly.min_width() == 10
+
+    def test_disjoint_spans_in_one_row(self):
+        # U-shape: row 1 has two disjoint spans for the same polygon.
+        t = np.array([[1, 1, 1], [1, 0, 1]], dtype=np.uint8)
+        poly = extract_polygons(t, _uniform(3), _uniform(2))[0]
+        row1 = [s for s in poly.horizontal_extents() if s[0] == 1]
+        assert len(row1) == 2

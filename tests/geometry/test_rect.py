@@ -1,0 +1,84 @@
+"""Unit tests for axis-aligned rectangles."""
+
+import pytest
+
+from repro.geometry import Rect, bounding_box, clip_rects, merge_touching_rects
+
+
+class TestRectBasics:
+    def test_dimensions(self):
+        r = Rect(0, 0, 100, 40)
+        assert r.width == 100
+        assert r.height == 40
+        assert r.area == 4000
+        assert r.center == (50.0, 20.0)
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            Rect(10, 0, 0, 10)
+        with pytest.raises(ValueError):
+            Rect(0, 10, 10, 0)
+
+    def test_zero_area_allowed(self):
+        r = Rect(5, 5, 5, 9)
+        assert r.area == 0
+
+    def test_translated(self):
+        assert Rect(0, 0, 10, 10).translated(3, -2) == Rect(3, -2, 13, 8)
+
+
+class TestRectRelations:
+    def test_intersects_touching_edges(self):
+        assert Rect(0, 0, 10, 10).intersects(Rect(10, 0, 20, 10))
+
+    def test_interior_overlap_excludes_touching(self):
+        assert not Rect(0, 0, 10, 10).overlaps_interior(Rect(10, 0, 20, 10))
+        assert Rect(0, 0, 10, 10).overlaps_interior(Rect(9, 9, 20, 20))
+
+    def test_intersection(self):
+        inter = Rect(0, 0, 10, 10).intersection(Rect(5, 5, 20, 20))
+        assert inter == Rect(5, 5, 10, 10)
+        assert Rect(0, 0, 1, 1).intersection(Rect(5, 5, 6, 6)) is None
+
+    def test_contains(self):
+        outer = Rect(0, 0, 100, 100)
+        assert outer.contains_rect(Rect(10, 10, 20, 20))
+        assert not outer.contains_rect(Rect(90, 90, 110, 110))
+        assert outer.contains_point(0, 0)
+        assert not outer.contains_point(101, 50)
+
+    def test_distance(self):
+        assert Rect(0, 0, 10, 10).distance(Rect(10, 0, 20, 10)) == 0.0
+        assert Rect(0, 0, 10, 10).distance(Rect(13, 0, 20, 10)) == 3.0
+        assert Rect(0, 0, 10, 10).distance(Rect(13, 14, 20, 20)) == 5.0
+
+
+class TestRectCollections:
+    def test_bounding_box(self):
+        rects = [Rect(0, 0, 5, 5), Rect(10, -3, 20, 2)]
+        assert bounding_box(rects) == Rect(0, -3, 20, 5)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+    def test_clip_rects(self):
+        window = Rect(0, 0, 100, 100)
+        clipped = clip_rects(
+            [Rect(-10, -10, 50, 50), Rect(200, 200, 300, 300), Rect(90, 90, 150, 95)],
+            window,
+        )
+        assert Rect(0, 0, 50, 50) in clipped
+        assert Rect(90, 90, 100, 95) in clipped
+        assert len(clipped) == 2
+
+    def test_clip_drops_zero_area_slivers(self):
+        window = Rect(0, 0, 100, 100)
+        assert clip_rects([Rect(100, 0, 120, 50)], window) == []
+
+    def test_merge_touching(self):
+        clusters = merge_touching_rects(
+            [Rect(0, 0, 10, 10), Rect(10, 0, 20, 10), Rect(50, 50, 60, 60)]
+        )
+        sizes = sorted(len(c) for c in clusters)
+        assert sizes == [1, 2]

@@ -1,0 +1,82 @@
+"""Unit tests for the GDSII stream writer/reader."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.io.gds import (
+    _float_to_gds64,
+    _gds64_to_float,
+    read_gds,
+    write_gds,
+)
+from repro.squish import PatternLibrary, SquishPattern
+
+
+def make_library():
+    lib = PatternLibrary(name="gds-demo")
+    lib.add(
+        SquishPattern(
+            topology=np.array([[1, 0], [1, 1]], dtype=np.uint8),
+            dx=np.array([100, 200]),
+            dy=np.array([150, 50]),
+            style="Layer-10001",
+        )
+    )
+    lib.add(
+        SquishPattern(
+            topology=np.array([[0, 1, 0]], dtype=np.uint8),
+            dx=np.array([50, 80, 70]),
+            dy=np.array([40]),
+            style="Layer-10003",
+        )
+    )
+    return lib
+
+
+class TestGdsReal:
+    @pytest.mark.parametrize("value", [1e-9, 1e-3, 1.0, 2048.0, 0.0, -0.5])
+    def test_round_trip(self, value):
+        encoded = _float_to_gds64(value)
+        assert len(encoded) == 8
+        assert _gds64_to_float(encoded) == pytest.approx(value, rel=1e-12)
+
+
+class TestWriteRead:
+    def test_round_trip_geometry(self, tmp_path):
+        lib = make_library()
+        path = write_gds(lib, tmp_path / "demo.gds")
+        loaded = read_gds(path)
+        assert loaded.name == "gds-demo"
+        assert len(loaded) == 2
+        for original, restored in zip(lib, loaded):
+            orig_rects = sorted(original.to_rects())
+            rest_rects = sorted(restored.to_rects())
+            assert orig_rects == rest_rects
+            assert restored.style == original.style
+
+    def test_header_magic(self, tmp_path):
+        path = write_gds(make_library(), tmp_path / "demo.gds")
+        data = path.read_bytes()
+        length, rtype, dtype = struct.unpack_from(">HBB", data, 0)
+        assert rtype == 0x00  # HEADER
+        version = struct.unpack_from(">h", data, 4)[0]
+        assert version == 600
+
+    def test_deterministic_bytes(self, tmp_path):
+        a = write_gds(make_library(), tmp_path / "a.gds").read_bytes()
+        b = write_gds(make_library(), tmp_path / "b.gds").read_bytes()
+        assert a == b
+
+    def test_empty_library(self, tmp_path):
+        path = write_gds(PatternLibrary(name="empty"), tmp_path / "e.gds")
+        loaded = read_gds(path)
+        assert len(loaded) == 0
+        assert loaded.name == "empty"
+
+    def test_corrupt_record_rejected(self, tmp_path):
+        path = tmp_path / "bad.gds"
+        path.write_bytes(b"\x00\x02\x00\x00")  # length 2 < header size
+        with pytest.raises(ValueError):
+            read_gds(path)

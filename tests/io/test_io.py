@@ -1,0 +1,79 @@
+"""Unit tests for rendering and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.io import ascii_art, load_library, save_library, write_pgm
+from repro.squish import PatternLibrary, SquishPattern
+
+
+class TestAsciiArt:
+    def test_symbols(self):
+        t = np.array([[1, 0], [0, 1]], dtype=np.uint8)
+        art = ascii_art(t)
+        lines = art.splitlines()
+        assert len(lines) == 2
+        # Row 0 is the bottom stripe -> printed last.
+        assert lines[1] == "#."
+        assert lines[0] == ".#"
+
+    def test_downsampling(self):
+        t = np.ones((256, 256), dtype=np.uint8)
+        art = ascii_art(t, max_size=32)
+        lines = art.splitlines()
+        assert len(lines) <= 32
+        assert set("".join(lines)) == {"#"}
+
+    def test_mixed_downsample_threshold(self):
+        t = np.zeros((128, 128), dtype=np.uint8)
+        t[:, :64] = 1
+        art = ascii_art(t, max_size=16)
+        assert "#" in art and "." in art
+
+
+class TestPGM:
+    def test_writes_header_and_pixels(self, tmp_path):
+        t = np.array([[1, 0]], dtype=np.uint8)
+        path = write_pgm(t, tmp_path / "x.pgm")
+        data = path.read_bytes()
+        assert data.startswith(b"P5\n2 1\n255\n")
+        assert data[-2:] == bytes([0, 255])  # filled=black then empty=white
+
+
+class TestLibraryStore:
+    def _library(self):
+        lib = PatternLibrary(name="demo")
+        lib.add(
+            SquishPattern(
+                topology=np.array([[1, 0], [0, 1]], dtype=np.uint8),
+                dx=np.array([10, 20]),
+                dy=np.array([30, 40]),
+                style="Layer-10001",
+            )
+        )
+        lib.add(
+            SquishPattern(
+                topology=np.ones((3, 3), dtype=np.uint8),
+                dx=np.array([5, 5, 5]),
+                dy=np.array([5, 5, 5]),
+                style="Layer-10003",
+            )
+        )
+        return lib
+
+    def test_round_trip(self, tmp_path):
+        lib = self._library()
+        path = tmp_path / "lib.npz"
+        save_library(lib, path)
+        loaded = load_library(path)
+        assert loaded.name == "demo"
+        assert len(loaded) == 2
+        for original, restored in zip(lib, loaded):
+            assert original == restored
+            assert original.style == restored.style
+
+    def test_empty_library(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_library(PatternLibrary(name="none"), path)
+        loaded = load_library(path)
+        assert len(loaded) == 0

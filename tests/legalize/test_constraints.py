@@ -1,0 +1,74 @@
+"""Unit tests for interval-constraint extraction."""
+
+import numpy as np
+import pytest
+
+from repro.drc import DesignRules
+from repro.legalize import (
+    IntervalConstraint,
+    extract_axis_constraints,
+    requirement_per_line,
+)
+
+RULES = DesignRules(min_space=30, min_width=40, min_area=2000, name="test")
+
+
+class TestIntervalConstraint:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IntervalConstraint(3, 3, 10)
+        with pytest.raises(ValueError):
+            IntervalConstraint(0, 2, 0)
+
+
+class TestExtraction:
+    def test_interior_width_and_space(self):
+        t = np.array([[0, 1, 1, 0, 0, 1, 0]], dtype=np.uint8)
+        cons = extract_axis_constraints(t, "x", RULES)
+        spans = {(c.start, c.stop): (c.min_length, c.kind) for c in cons}
+        assert spans[(1, 3)] == (40, "width")
+        assert spans[(3, 5)] == (30, "space")
+        assert spans[(5, 6)] == (40, "width")
+        # Border 0-runs are exempt.
+        assert (0, 1) not in spans
+        assert (6, 7) not in spans
+
+    def test_border_width_exempt(self):
+        t = np.array([[1, 1, 0, 0, 1]], dtype=np.uint8)
+        cons = extract_axis_constraints(t, "x", RULES)
+        spans = {(c.start, c.stop) for c in cons}
+        assert (0, 2) not in spans  # clipped shape at left border
+        assert (4, 5) not in spans  # clipped shape at right border
+        assert (2, 4) in spans
+
+    def test_deduplication_across_rows(self):
+        t = np.array(
+            [[0, 1, 1, 0], [0, 1, 1, 0], [0, 1, 1, 0]], dtype=np.uint8
+        )
+        cons = extract_axis_constraints(t, "x", RULES)
+        assert len([c for c in cons if c.kind == "width"]) == 1
+
+    def test_y_axis(self):
+        t = np.array([[0], [1], [1], [0]], dtype=np.uint8)
+        cons = extract_axis_constraints(t, "y", RULES)
+        assert len(cons) == 1
+        assert cons[0].start == 1 and cons[0].stop == 3
+
+    def test_bad_axis(self):
+        with pytest.raises(ValueError):
+            extract_axis_constraints(np.ones((2, 2), dtype=np.uint8), "z", RULES)
+
+
+class TestRequirementPerLine:
+    def test_uniform_empty(self):
+        t = np.zeros((2, 10), dtype=np.uint8)
+        req = requirement_per_line(t, "x", RULES)
+        assert list(req) == [10, 10]  # min_delta per cell
+
+    def test_feature_row_costs_more(self):
+        t = np.zeros((2, 10), dtype=np.uint8)
+        t[1, 3:5] = 1
+        req = requirement_per_line(t, "x", RULES)
+        assert req[1] > req[0]
+        # 3 border cells + width 40 + 5 border cells
+        assert req[1] == 3 + 40 + 5

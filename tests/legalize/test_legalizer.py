@@ -1,0 +1,105 @@
+"""Unit tests for the full legalization function f_R(F, T)."""
+
+import numpy as np
+import pytest
+
+from repro.drc import DesignRules, check_pattern
+from repro.legalize import legalize
+
+RULES = DesignRules(min_space=30, min_width=40, min_area=2000, name="test")
+
+
+class TestSuccessPaths:
+    def test_empty_topology(self):
+        t = np.zeros((8, 8), dtype=np.uint8)
+        result = legalize(t, (1000, 1000), RULES)
+        assert result.ok
+        assert result.pattern.physical_size == (1000, 1000)
+
+    def test_simple_block(self):
+        t = np.zeros((8, 8), dtype=np.uint8)
+        t[2:5, 2:6] = 1
+        result = legalize(t, (1000, 1000), RULES, style="Layer-10001")
+        assert result.ok
+        assert result.pattern.style == "Layer-10001"
+        assert check_pattern(result.pattern, RULES).is_clean
+
+    def test_two_blocks_spacing(self):
+        t = np.zeros((8, 8), dtype=np.uint8)
+        t[2:6, 1:3] = 1
+        t[2:6, 5:7] = 1
+        result = legalize(t, (1000, 1000), RULES)
+        assert result.ok
+        gap = result.pattern.x_coords()[5] - result.pattern.x_coords()[3]
+        assert gap >= RULES.min_space
+
+    def test_deltas_sum_to_physical(self):
+        t = np.zeros((4, 4), dtype=np.uint8)
+        t[1:3, 1:3] = 1
+        result = legalize(t, (777, 913), RULES)
+        assert result.ok
+        assert result.pattern.dx.sum() == 777
+        assert result.pattern.dy.sum() == 913
+
+    def test_area_repair_succeeds(self):
+        # A lone interior cell would be 1 cell -> area repair must stretch it.
+        t = np.zeros((16, 16), dtype=np.uint8)
+        t[8, 8] = 1
+        result = legalize(t, (2000, 2000), RULES)
+        assert result.ok
+        poly = result.pattern.polygons()[0]
+        assert poly.area >= RULES.min_area
+
+
+class TestFailurePaths:
+    def test_corner_touch_fails_fast(self):
+        t = np.zeros((8, 8), dtype=np.uint8)
+        t[1:3, 1:3] = 1
+        t[3:5, 3:5] = 1
+        result = legalize(t, (10_000, 10_000), RULES)
+        assert not result.ok
+        assert result.failed_region is not None
+        assert "corner" in result.log_text()
+        # The failed region covers the touch point.
+        region = result.failed_region
+        assert region.upper <= 2 <= region.bottom
+        assert region.left <= 2 <= region.right
+
+    def test_budget_overflow_fails_with_region(self):
+        # Alternating columns -> every 1-run needs 40nm, every gap 30nm.
+        t = np.tile(np.array([1, 0], dtype=np.uint8), (4, 8))[:, :16]
+        result = legalize(t, (200, 200), RULES)
+        assert not result.ok
+        assert result.failed_region is not None
+        assert "x-axis" in result.log_text() or "y-axis" in result.log_text()
+
+    def test_failure_log_names_budget(self):
+        t = np.tile(np.array([1, 0], dtype=np.uint8), (4, 8))[:, :16]
+        result = legalize(t, (200, 200), RULES)
+        assert "budget 200" in result.log_text()
+
+    def test_area_unrepairable_when_budget_tight(self):
+        # A lone pixel needs stretching, but the budget is fully consumed by
+        # the min deltas of a large grid.
+        t = np.zeros((64, 64), dtype=np.uint8)
+        t[32, 32] = 1
+        result = legalize(t, (70, 70), RULES)
+        assert not result.ok
+
+
+class TestDeterminism:
+    def test_same_input_same_output(self):
+        t = np.zeros((8, 8), dtype=np.uint8)
+        t[2:5, 2:6] = 1
+        a = legalize(t, (1000, 1000), RULES)
+        b = legalize(t, (1000, 1000), RULES)
+        assert a.ok and b.ok
+        assert np.array_equal(a.pattern.dx, b.pattern.dx)
+        assert np.array_equal(a.pattern.dy, b.pattern.dy)
+
+    def test_input_not_mutated(self):
+        t = np.zeros((8, 8), dtype=np.uint8)
+        t[2:5, 2:6] = 1
+        snapshot = t.copy()
+        legalize(t, (1000, 1000), RULES)
+        assert np.array_equal(t, snapshot)

@@ -1,0 +1,115 @@
+"""Unit + property tests for the interval-sum solvers.
+
+The DAG longest-path solver is cross-validated against the scipy LP
+backend: both must agree on feasibility, and the longest-path solution must
+satisfy every constraint exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.legalize import (
+    AxisInfeasibleError,
+    IntervalConstraint,
+    solve_axis,
+    solve_axis_lp,
+)
+
+
+def check_solution(deltas, total, constraints, min_delta=1):
+    assert deltas.sum() == total
+    assert (deltas >= min_delta).all()
+    for c in constraints:
+        assert deltas[c.start : c.stop].sum() >= c.min_length
+
+
+class TestSolveAxis:
+    def test_unconstrained(self):
+        sol = solve_axis(4, 100, [])
+        check_solution(sol.deltas, 100, [])
+        assert sol.required == 4
+
+    def test_single_constraint(self):
+        cons = [IntervalConstraint(1, 3, 50)]
+        sol = solve_axis(5, 100, cons)
+        check_solution(sol.deltas, 100, cons)
+
+    def test_chained_constraints(self):
+        cons = [IntervalConstraint(0, 2, 40), IntervalConstraint(2, 4, 40)]
+        sol = solve_axis(4, 100, cons)
+        check_solution(sol.deltas, 100, cons)
+        assert sol.required == 80
+
+    def test_overlapping_constraints(self):
+        cons = [IntervalConstraint(0, 3, 60), IntervalConstraint(1, 4, 60)]
+        sol = solve_axis(4, 200, cons)
+        check_solution(sol.deltas, 200, cons)
+
+    def test_infeasible_budget(self):
+        cons = [IntervalConstraint(0, 2, 90), IntervalConstraint(2, 4, 90)]
+        with pytest.raises(AxisInfeasibleError) as exc:
+            solve_axis(4, 100, cons)
+        assert exc.value.required == 180
+        a, b = exc.value.critical_span
+        assert 0 <= a < b <= 4
+
+    def test_infeasible_min_delta(self):
+        with pytest.raises(AxisInfeasibleError):
+            solve_axis(10, 5, [])
+
+    def test_slack_spread_monotone(self):
+        sol = solve_axis(10, 1000, [IntervalConstraint(4, 6, 100)])
+        check_solution(sol.deltas, 1000, [IntervalConstraint(4, 6, 100)])
+        # slack spreading should not dump everything on the last cell
+        assert sol.deltas.max() < 1000 - 9
+
+    def test_no_spread_mode(self):
+        cons = [IntervalConstraint(0, 2, 40)]
+        sol = solve_axis(4, 100, cons, spread_slack=False)
+        check_solution(sol.deltas, 100, cons)
+
+    def test_constraint_beyond_axis_rejected(self):
+        with pytest.raises(ValueError):
+            solve_axis(3, 100, [IntervalConstraint(0, 5, 10)])
+
+
+class TestAgainstLP:
+    def test_feasible_agreement(self):
+        cons = [
+            IntervalConstraint(0, 3, 70),
+            IntervalConstraint(2, 5, 80),
+            IntervalConstraint(5, 8, 60),
+        ]
+        sol = solve_axis(8, 300, cons)
+        lp = solve_axis_lp(8, 300, cons)
+        assert lp is not None
+        check_solution(sol.deltas, 300, cons)
+
+    def test_infeasible_agreement(self):
+        cons = [IntervalConstraint(0, 4, 500)]
+        assert solve_axis_lp(4, 100, cons) is None
+        with pytest.raises(AxisInfeasibleError):
+            solve_axis(4, 100, cons)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_solver_matches_lp_feasibility(data):
+    n = data.draw(st.integers(3, 12))
+    total = data.draw(st.integers(n, 400))
+    n_cons = data.draw(st.integers(0, 6))
+    constraints = []
+    for _ in range(n_cons):
+        a = data.draw(st.integers(0, n - 1))
+        b = data.draw(st.integers(a + 1, n))
+        length = data.draw(st.integers(1, 150))
+        constraints.append(IntervalConstraint(a, b, length))
+    lp = solve_axis_lp(n, total, constraints)
+    try:
+        sol = solve_axis(n, total, constraints)
+        assert lp is not None, "longest-path feasible but LP infeasible"
+        check_solution(sol.deltas, total, constraints)
+    except AxisInfeasibleError:
+        assert lp is None, "longest-path infeasible but LP found a solution"

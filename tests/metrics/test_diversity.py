@@ -1,0 +1,75 @@
+"""Unit + property tests for the diversity metric (Eq. 8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    complexity_distribution,
+    complexity_of,
+    diversity,
+    shannon_entropy,
+)
+from repro.squish import SquishPattern
+
+
+def stripe_topology(n_stripes, size=16):
+    t = np.zeros((size, size), dtype=np.uint8)
+    for i in range(n_stripes):
+        t[:, 2 * i] = 1
+    return t
+
+
+class TestShannonEntropy:
+    def test_uniform(self):
+        assert shannon_entropy([1, 1, 1, 1]) == pytest.approx(2.0)
+
+    def test_degenerate(self):
+        assert shannon_entropy([10]) == 0.0
+        assert shannon_entropy([]) == 0.0
+
+    def test_ignores_zeros(self):
+        assert shannon_entropy([5, 0, 5]) == pytest.approx(1.0)
+
+    def test_scale_invariant(self):
+        assert shannon_entropy([1, 2, 3]) == pytest.approx(
+            shannon_entropy([10, 20, 30])
+        )
+
+
+class TestComplexityDistribution:
+    def test_counts(self):
+        items = [stripe_topology(1), stripe_topology(1), stripe_topology(2)]
+        hist = complexity_distribution(items)
+        assert sum(hist.values()) == 3
+        assert len(hist) == 2
+
+    def test_accepts_patterns(self):
+        p = SquishPattern(
+            topology=stripe_topology(2),
+            dx=np.full(16, 10),
+            dy=np.full(16, 10),
+        )
+        assert complexity_of(p) == complexity_of(stripe_topology(2))
+
+
+class TestDiversity:
+    def test_identical_library_zero(self):
+        assert diversity([stripe_topology(3)] * 10) == 0.0
+
+    def test_more_variety_higher(self):
+        low = [stripe_topology(1)] * 8 + [stripe_topology(2)] * 8
+        high = [stripe_topology(i % 7 + 1) for i in range(16)]
+        assert diversity(high) > diversity(low)
+
+    def test_empty_library(self):
+        assert diversity([]) == 0.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(1, 6), min_size=1, max_size=30))
+def test_diversity_bounded_by_log_count(stripe_counts):
+    items = [stripe_topology(n) for n in stripe_counts]
+    h = diversity(items)
+    assert 0.0 <= h <= np.log2(len(items)) + 1e-9

@@ -1,0 +1,147 @@
+"""Unit tests for the numpy NN substrate, including gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    avg_pool2,
+    avg_pool2_backward,
+    bce_with_logits,
+    conv2d_backward,
+    conv2d_forward,
+    im2col,
+    relu,
+    relu_backward,
+    sigmoid,
+    upsample2,
+    upsample2_backward,
+)
+
+
+class TestConv2d:
+    def test_identity_kernel(self):
+        x = np.random.default_rng(0).random((1, 1, 5, 5))
+        w = np.zeros((1, 1, 3, 3))
+        w[0, 0, 1, 1] = 1.0
+        out, _ = conv2d_forward(x, w, np.zeros(1))
+        assert np.allclose(out, x)
+
+    def test_shapes(self):
+        x = np.zeros((2, 3, 8, 8))
+        w = np.zeros((5, 3, 3, 3))
+        out, _ = conv2d_forward(x, w, np.zeros(5))
+        assert out.shape == (2, 5, 8, 8)
+
+    def test_bias(self):
+        x = np.zeros((1, 1, 4, 4))
+        w = np.zeros((2, 1, 3, 3))
+        out, _ = conv2d_forward(x, w, np.array([1.5, -2.0]))
+        assert np.allclose(out[0, 0], 1.5)
+        assert np.allclose(out[0, 1], -2.0)
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(42)
+        x = rng.random((2, 2, 5, 5))
+        w = rng.random((3, 2, 3, 3)) * 0.1
+        b = rng.random(3) * 0.1
+        out, cache = conv2d_forward(x, w, b)
+        dout = rng.random(out.shape)
+        dx, dw, db = conv2d_backward(dout, cache)
+
+        eps = 1e-6
+        # Spot-check a few coordinates of each gradient numerically.
+        for idx in [(0, 0, 2, 2), (1, 1, 0, 4)]:
+            xp = x.copy(); xp[idx] += eps
+            xm = x.copy(); xm[idx] -= eps
+            num = ((conv2d_forward(xp, w, b)[0] - conv2d_forward(xm, w, b)[0]) * dout).sum() / (2 * eps)
+            assert num == pytest.approx(dx[idx], rel=1e-4, abs=1e-6)
+        for idx in [(0, 0, 0, 0), (2, 1, 2, 1)]:
+            wp = w.copy(); wp[idx] += eps
+            wm = w.copy(); wm[idx] -= eps
+            num = ((conv2d_forward(x, wp, b)[0] - conv2d_forward(x, wm, b)[0]) * dout).sum() / (2 * eps)
+            assert num == pytest.approx(dw[idx], rel=1e-4, abs=1e-6)
+        bp = b.copy(); bp[1] += eps
+        bm = b.copy(); bm[1] -= eps
+        num = ((conv2d_forward(x, w, bp)[0] - conv2d_forward(x, w, bm)[0]) * dout).sum() / (2 * eps)
+        assert num == pytest.approx(db[1], rel=1e-4, abs=1e-6)
+
+
+class TestPoolingUpsampling:
+    def test_avg_pool(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        pooled = avg_pool2(x)
+        assert pooled.shape == (1, 1, 2, 2)
+        assert pooled[0, 0, 0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+
+    def test_avg_pool_odd_raises(self):
+        with pytest.raises(ValueError):
+            avg_pool2(np.zeros((1, 1, 3, 4)))
+
+    def test_upsample(self):
+        x = np.array([[[[1.0, 2.0]]]])
+        up = upsample2(x)
+        assert up.shape == (1, 1, 2, 4)
+        assert np.allclose(up[0, 0], [[1, 1, 2, 2], [1, 1, 2, 2]])
+
+    def test_pool_backward_adjoint(self):
+        """<pool(x), y> == <x, pool_backward(y)> (adjoint property)."""
+        rng = np.random.default_rng(0)
+        x = rng.random((1, 2, 4, 4))
+        y = rng.random((1, 2, 2, 2))
+        lhs = (avg_pool2(x) * y).sum()
+        rhs = (x * avg_pool2_backward(y)).sum()
+        assert lhs == pytest.approx(rhs)
+
+    def test_upsample_backward_adjoint(self):
+        rng = np.random.default_rng(1)
+        x = rng.random((1, 2, 2, 2))
+        y = rng.random((1, 2, 4, 4))
+        lhs = (upsample2(x) * y).sum()
+        rhs = (x * upsample2_backward(y)).sum()
+        assert lhs == pytest.approx(rhs)
+
+
+class TestActivations:
+    def test_relu(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        assert list(relu(x)) == [0.0, 0.0, 2.0]
+        assert list(relu_backward(np.ones(3), x)) == [0.0, 0.0, 1.0]
+
+    def test_sigmoid_stable(self):
+        x = np.array([-1000.0, 0.0, 1000.0])
+        s = sigmoid(x)
+        assert np.isfinite(s).all()
+        assert s[0] == pytest.approx(0.0, abs=1e-12)
+        assert s[1] == pytest.approx(0.5)
+        assert s[2] == pytest.approx(1.0)
+
+
+class TestBCE:
+    def test_loss_and_gradient(self):
+        logits = np.array([0.0, 10.0, -10.0])
+        targets = np.array([0.0, 1.0, 0.0])
+        loss, grad = bce_with_logits(logits, targets)
+        assert loss == pytest.approx(np.log(2) / 3, rel=1e-3)
+        # Gradient check.
+        eps = 1e-6
+        for i in range(3):
+            lp = logits.copy(); lp[i] += eps
+            lm = logits.copy(); lm[i] -= eps
+            num = (bce_with_logits(lp, targets)[0] - bce_with_logits(lm, targets)[0]) / (2 * eps)
+            assert num == pytest.approx(grad[i], rel=1e-4, abs=1e-8)
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        params = {"w": np.array([5.0, -3.0])}
+        opt = Adam(params, lr=0.1, grad_clip=None)
+        for _ in range(300):
+            opt.step({"w": 2 * params["w"]})
+        assert np.allclose(params["w"], 0.0, atol=1e-2)
+
+    def test_grad_clip(self):
+        params = {"w": np.array([0.0])}
+        opt = Adam(params, lr=0.1, grad_clip=1.0)
+        opt.step({"w": np.array([1e9])})
+        assert abs(params["w"][0]) < 1.0

@@ -1,0 +1,52 @@
+"""Unit tests for the concatenation baselines."""
+
+import numpy as np
+import pytest
+
+from repro.drc import check_pattern, rules_for_style
+from repro.ops import ConcatResult, concat_legalized_patterns
+
+RULES = rules_for_style("Layer-10001")
+TILE_NM = 1024  # matches the small_model's 64-cell window at 16 nm/cell
+
+
+class TestConcatLegalizedPatterns:
+    def test_produces_stitched_pattern(self, small_model):
+        rng = np.random.default_rng(0)
+        result = concat_legalized_patterns(
+            small_model, (128, 128), 0, rng, RULES, TILE_NM, "Layer-10001"
+        )
+        assert isinstance(result, ConcatResult)
+        assert result.samplings == 4  # 2x2 tiles
+        if result.pattern is not None:
+            assert result.pattern.physical_size == (2 * TILE_NM, 2 * TILE_NM)
+            assert result.pattern.style == "Layer-10001"
+
+    def test_no_joint_solver(self, small_model):
+        """The stitched pattern keeps each tile's own geometry: scan lines
+        at tile boundaries must land exactly on multiples of the tile size."""
+        rng = np.random.default_rng(1)
+        result = concat_legalized_patterns(
+            small_model, (128, 128), 0, rng, RULES, TILE_NM, "Layer-10001"
+        )
+        if result.pattern is None:
+            pytest.skip("a tile failed its own legalization")
+        xs = result.pattern.x_coords()
+        assert TILE_NM in list(xs)
+
+    def test_single_tile_case(self, small_model):
+        rng = np.random.default_rng(2)
+        result = concat_legalized_patterns(
+            small_model, (64, 64), 0, rng, RULES, TILE_NM, "Layer-10001"
+        )
+        assert result.samplings == 1
+        if result.pattern is not None:
+            # One clean tile stitched alone must remain DRC clean.
+            assert check_pattern(result.pattern, RULES).is_clean
+
+    def test_log_populated(self, small_model):
+        rng = np.random.default_rng(3)
+        result = concat_legalized_patterns(
+            small_model, (128, 128), 0, rng, RULES, TILE_NM, "Layer-10001"
+        )
+        assert result.log

@@ -1,0 +1,133 @@
+"""Unit tests for free-size extension (Fig. 7) and the sampling formulas."""
+
+import numpy as np
+import pytest
+
+from repro.ops import (
+    concat_samplings,
+    extend,
+    in_paint,
+    n_in_samplings,
+    n_out_samplings,
+    naive_concat,
+    out_paint,
+)
+
+
+class TestSamplingFormulas:
+    def test_n_in_matches_paper(self):
+        # N_in = (2*ceil(W/L)-1)(2*ceil(H/L)-1)
+        assert n_in_samplings(256, 256, 128) == 9
+        assert n_in_samplings(512, 512, 128) == 49
+        assert n_in_samplings(128, 128, 128) == 1
+        assert n_in_samplings(200, 300, 128) == 3 * 5
+
+    def test_n_out_matches_paper(self):
+        # N_out = (ceil((W-L)/S)+1)(ceil((H-L)/S)+1)
+        assert n_out_samplings(256, 256, 128, 64) == 9
+        assert n_out_samplings(128, 128, 128, 64) == 1
+        assert n_out_samplings(512, 256, 128, 128) == 4 * 2
+
+    def test_concat_samplings(self):
+        assert concat_samplings(256, 256, 128) == 4
+        assert concat_samplings(300, 300, 128) == 9
+
+
+class TestOutPaint:
+    def test_shape_and_seed_preserved(self, small_model):
+        rng = np.random.default_rng(0)
+        seed = small_model.sample(1, 0, rng)[0]
+        result = out_paint(small_model, seed, (128, 128), 0, rng)
+        assert result.topology.shape == (128, 128)
+        assert result.method == "out"
+        assert np.array_equal(result.topology[:64, :64], seed)
+
+    def test_sampling_count_positive(self, small_model):
+        rng = np.random.default_rng(1)
+        seed = small_model.sample(1, 0, rng)[0]
+        result = out_paint(small_model, seed, (128, 128), 0, rng)
+        assert result.samplings == len(result.windows)
+        assert result.samplings >= 3
+
+    def test_seed_larger_than_target_rejected(self, small_model):
+        with pytest.raises(ValueError):
+            out_paint(
+                small_model,
+                np.zeros((256, 256), dtype=np.uint8),
+                (128, 128),
+                0,
+                np.random.default_rng(0),
+            )
+
+    def test_bad_stride_rejected(self, small_model):
+        seed = np.zeros((64, 64), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            out_paint(small_model, seed, (128, 128), 0, np.random.default_rng(0), stride=0)
+
+
+class TestInPaint:
+    def test_shape(self, small_model):
+        rng = np.random.default_rng(2)
+        result = in_paint(small_model, (128, 128), 0, rng)
+        assert result.topology.shape == (128, 128)
+        assert result.method == "in"
+
+    def test_sampling_count_matches_formula(self, small_model):
+        rng = np.random.default_rng(3)
+        result = in_paint(small_model, (128, 128), 0, rng)
+        # 2x2 tiles -> (2*2-1)^2 = 9 samplings total
+        assert result.samplings == n_in_samplings(128, 128, 64)
+
+    def test_seed_used_as_first_tile(self, small_model):
+        rng = np.random.default_rng(4)
+        seed = small_model.sample(1, 0, rng)[0]
+        result = in_paint(small_model, (128, 128), 0, rng, seed_topology=seed)
+        # Top-left quadrant interior (outside seam bands) must match seed.
+        assert np.array_equal(result.topology[:32, :32], seed[:32, :32])
+
+    def test_bad_seed_shape(self, small_model):
+        with pytest.raises(ValueError):
+            in_paint(
+                small_model, (128, 128), 0, np.random.default_rng(0),
+                seed_topology=np.zeros((8, 8), dtype=np.uint8),
+            )
+
+    def test_crop_to_non_multiple(self, small_model):
+        rng = np.random.default_rng(5)
+        result = in_paint(small_model, (100, 90), 0, rng)
+        assert result.topology.shape == (100, 90)
+
+
+class TestExtendDispatch:
+    def test_out_method(self, small_model):
+        result = extend(small_model, (128, 128), 0, np.random.default_rng(6), method="out")
+        assert result.method == "out"
+        assert result.topology.shape == (128, 128)
+
+    def test_in_method(self, small_model):
+        result = extend(small_model, (128, 128), 1, np.random.default_rng(7), method="in")
+        assert result.method == "in"
+
+    def test_unknown_method(self, small_model):
+        with pytest.raises(ValueError):
+            extend(small_model, (128, 128), 0, np.random.default_rng(8), method="diagonal")
+
+    def test_auto_seed_counted(self, small_model):
+        result = extend(small_model, (128, 128), 0, np.random.default_rng(9), method="out")
+        # One extra sampling for the automatically drawn seed.
+        assert result.samplings >= 4
+
+
+class TestNaiveConcat:
+    def test_shape(self, small_model):
+        out = naive_concat(small_model, (128, 128), 0, np.random.default_rng(10))
+        assert out.shape == (128, 128)
+
+    def test_tiles_are_independent_samples(self, small_model):
+        out = naive_concat(small_model, (128, 128), 0, np.random.default_rng(11))
+        w = small_model.window
+        assert not np.array_equal(out[:w, :w], out[:w, w:])
+
+    def test_crop(self, small_model):
+        out = naive_concat(small_model, (100, 70), 0, np.random.default_rng(12))
+        assert out.shape == (100, 70)

@@ -1,0 +1,75 @@
+"""Unit tests for pattern modification (Eq. 12)."""
+
+import numpy as np
+import pytest
+
+from repro.drc import GridRegion
+from repro.ops import modify, modify_region, region_mask
+
+
+class TestRegionMask:
+    def test_marks_region_zero(self):
+        mask = region_mask((6, 6), GridRegion(1, 2, 3, 4))
+        assert mask[1, 2] == 0 and mask[3, 4] == 0
+        assert mask[0, 0] == 1 and mask[5, 5] == 1
+        assert mask.sum() == 36 - 9
+
+
+class TestModify:
+    def test_kept_region_byte_identical(self, small_model, rng):
+        topo = small_model.sample(1, 0, np.random.default_rng(0))[0]
+        mask = region_mask(topo.shape, GridRegion(10, 10, 30, 30))
+        out = modify(small_model, topo, mask, 0, np.random.default_rng(1))
+        assert np.array_equal(out[mask == 1], topo[mask == 1])
+
+    def test_masked_region_regenerated(self, small_model):
+        topo = small_model.sample(1, 0, np.random.default_rng(2))[0]
+        mask = region_mask(topo.shape, GridRegion(0, 0, 40, 40))
+        outs = [
+            modify(small_model, topo, mask, 0, np.random.default_rng(seed))
+            for seed in (3, 4)
+        ]
+        # Different seeds give different in-fill (overwhelmingly likely).
+        assert not np.array_equal(outs[0], outs[1])
+
+    def test_all_kept_shortcut(self, small_model):
+        topo = small_model.sample(1, 0, np.random.default_rng(5))[0]
+        out = modify(
+            small_model, topo, np.ones_like(topo), 0, np.random.default_rng(6)
+        )
+        assert np.array_equal(out, topo)
+
+    def test_shape_mismatch_raises(self, small_model):
+        with pytest.raises(ValueError):
+            modify(
+                small_model,
+                np.zeros((8, 8), dtype=np.uint8),
+                np.ones((4, 4), dtype=np.uint8),
+                0,
+                np.random.default_rng(0),
+            )
+
+    def test_output_binary(self, small_model):
+        topo = small_model.sample(1, 1, np.random.default_rng(7))[0]
+        mask = region_mask(topo.shape, GridRegion(5, 5, 25, 25))
+        out = modify(small_model, topo, mask, 1, np.random.default_rng(8))
+        assert set(np.unique(out)) <= {0, 1}
+
+
+class TestModifyRegion:
+    def test_margin_expands(self, small_model):
+        topo = small_model.sample(1, 0, np.random.default_rng(9))[0]
+        region = GridRegion(20, 20, 24, 24)
+        out = modify_region(
+            small_model, topo, region, 0, np.random.default_rng(10), margin=2
+        )
+        # Cells well outside region+margin are untouched.
+        assert np.array_equal(out[:17, :17], topo[:17, :17])
+
+    def test_region_clamped_to_shape(self, small_model):
+        topo = small_model.sample(1, 0, np.random.default_rng(11))[0]
+        region = GridRegion(0, 0, topo.shape[0] - 1, topo.shape[1] - 1)
+        out = modify_region(
+            small_model, topo, region, 0, np.random.default_rng(12)
+        )
+        assert out.shape == topo.shape

@@ -1,0 +1,63 @@
+"""Unit tests for pattern complexity (cx, cy)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.squish import (
+    SquishPattern,
+    normalize_pattern,
+    pattern_complexity,
+    topology_complexity,
+)
+
+
+class TestTopologyComplexity:
+    def test_uniform_is_zero(self):
+        assert topology_complexity(np.zeros((8, 8), dtype=np.uint8)) == (0, 0)
+        assert topology_complexity(np.ones((8, 8), dtype=np.uint8)) == (0, 0)
+
+    def test_single_stripe(self):
+        t = np.zeros((4, 4), dtype=np.uint8)
+        t[:, 1] = 1
+        assert topology_complexity(t) == (2, 0)
+
+    def test_checker_columns(self):
+        t = np.array([[0, 1, 0, 1]], dtype=np.uint8)
+        assert topology_complexity(t) == (3, 0)
+
+    def test_both_axes(self):
+        t = np.array([[1, 0], [0, 1]], dtype=np.uint8)
+        assert topology_complexity(t) == (1, 1)
+
+    def test_pattern_delegates(self):
+        p = SquishPattern(
+            topology=np.array([[1, 0]], dtype=np.uint8),
+            dx=np.array([10, 10]),
+            dy=np.array([10]),
+        )
+        assert pattern_complexity(p) == (1, 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(np.uint8, (12, 12), elements=st.integers(0, 1)),
+)
+def test_complexity_invariant_under_duplication(t):
+    """Duplicating rows/columns (what normalisation does) keeps complexity."""
+    cx, cy = topology_complexity(t)
+    dup_cols = np.repeat(t, 2, axis=1)
+    dup_rows = np.repeat(t, 3, axis=0)
+    assert topology_complexity(dup_cols) == (cx, cy)
+    assert topology_complexity(dup_rows) == (cx, cy)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(np.uint8, (10, 10), elements=st.integers(0, 1)),
+)
+def test_complexity_bounds(t):
+    cx, cy = topology_complexity(t)
+    assert 0 <= cx <= t.shape[1] - 1
+    assert 0 <= cy <= t.shape[0] - 1

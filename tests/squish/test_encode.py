@@ -1,0 +1,98 @@
+"""Unit tests for squish encoding and canonicalisation."""
+
+import numpy as np
+
+from repro.geometry import Rect
+from repro.squish import SquishPattern, encode_rects, resquish, scan_lines
+
+
+class TestScanLines:
+    def test_includes_window_edges(self):
+        xs, ys = scan_lines([], Rect(0, 0, 100, 100))
+        assert list(xs) == [0, 100]
+        assert list(ys) == [0, 100]
+
+    def test_includes_rect_edges(self):
+        xs, ys = scan_lines([Rect(10, 20, 30, 40)], Rect(0, 0, 100, 100))
+        assert list(xs) == [0, 10, 30, 100]
+        assert list(ys) == [0, 20, 40, 100]
+
+
+class TestEncodeRects:
+    def test_empty_window(self):
+        p = encode_rects([], Rect(0, 0, 50, 50))
+        assert p.shape == (1, 1)
+        assert p.topology[0, 0] == 0
+        assert p.physical_size == (50, 50)
+
+    def test_single_rect(self):
+        p = encode_rects([Rect(10, 10, 40, 30)], Rect(0, 0, 100, 100))
+        assert p.physical_size == (100, 100)
+        assert p.topology.sum() == 1
+        # The filled cell is at grid position (row 1, col 1).
+        assert p.topology[1, 1] == 1
+        assert p.dx[1] == 30 and p.dy[1] == 20
+
+    def test_round_trip_rect_coverage(self):
+        rects = [Rect(0, 0, 50, 20), Rect(60, 40, 100, 100)]
+        p = encode_rects(rects, Rect(0, 0, 100, 100))
+        decoded = p.to_rects()
+        assert sum(r.area for r in decoded) == sum(r.area for r in rects)
+
+    def test_clip_outside_window(self):
+        p = encode_rects([Rect(-50, -50, 20, 20)], Rect(0, 0, 100, 100))
+        decoded = p.to_rects()
+        assert decoded == [Rect(0, 0, 20, 20)]
+
+    def test_overlapping_rects_single_coverage(self):
+        rects = [Rect(0, 0, 60, 60), Rect(40, 0, 100, 60)]
+        p = encode_rects(rects, Rect(0, 0, 100, 100))
+        assert sum(r.area for r in p.to_rects()) == 100 * 60
+
+    def test_style_tag_propagates(self):
+        p = encode_rects([], Rect(0, 0, 10, 10), style="Layer-10003")
+        assert p.style == "Layer-10003"
+
+
+class TestResquish:
+    def test_merges_duplicate_columns(self):
+        p = SquishPattern(
+            topology=np.array([[1, 1, 0]], dtype=np.uint8),
+            dx=np.array([10, 20, 30]),
+            dy=np.array([5]),
+        )
+        c = resquish(p)
+        assert c.shape == (1, 2)
+        assert list(c.dx) == [30, 30]
+
+    def test_merges_duplicate_rows(self):
+        p = SquishPattern(
+            topology=np.array([[1], [1], [0]], dtype=np.uint8),
+            dx=np.array([10]),
+            dy=np.array([1, 2, 3]),
+        )
+        c = resquish(p)
+        assert c.shape == (2, 1)
+        assert list(c.dy) == [3, 3]
+
+    def test_idempotent(self):
+        p = SquishPattern(
+            topology=np.array([[1, 0], [0, 1]], dtype=np.uint8),
+            dx=np.array([10, 20]),
+            dy=np.array([5, 5]),
+        )
+        once = resquish(p)
+        twice = resquish(once)
+        assert once == twice
+
+    def test_preserves_physical_layout(self):
+        p = SquishPattern(
+            topology=np.array([[1, 1, 0, 0]], dtype=np.uint8),
+            dx=np.array([10, 10, 10, 10]),
+            dy=np.array([7]),
+        )
+        c = resquish(p)
+        assert sorted(r.area for r in c.to_rects()) == sorted(
+            r.area for r in p.to_rects()
+        )
+        assert c.physical_size == p.physical_size

@@ -1,0 +1,87 @@
+"""Unit tests for the SquishPattern / PatternLibrary containers."""
+
+import numpy as np
+import pytest
+
+from repro.squish import PatternLibrary, SquishPattern
+
+
+def make_pattern():
+    return SquishPattern(
+        topology=np.array([[1, 0], [1, 1]], dtype=np.uint8),
+        dx=np.array([30, 70]),
+        dy=np.array([40, 60]),
+        style="Layer-10001",
+    )
+
+
+class TestSquishPattern:
+    def test_physical_size(self):
+        p = make_pattern()
+        assert p.physical_size == (100, 100)
+        assert p.shape == (2, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SquishPattern(np.ones((2, 2)), dx=[1, 2, 3], dy=[1, 2])
+        with pytest.raises(ValueError):
+            SquishPattern(np.ones((2, 2)), dx=[1, 0], dy=[1, 2])
+
+    def test_coords(self):
+        p = make_pattern()
+        assert list(p.x_coords()) == [0, 30, 100]
+        assert list(p.y_coords()) == [0, 40, 100]
+
+    def test_fill_ratio(self):
+        p = make_pattern()
+        filled = 30 * 40 + 30 * 60 + 70 * 60
+        assert p.fill_ratio == pytest.approx(filled / 10000)
+
+    def test_to_rects_merges_runs(self):
+        p = make_pattern()
+        rects = p.to_rects()
+        # Row 0: one cell; row 1: merged two-cell run.
+        assert len(rects) == 2
+        widths = sorted(r.width for r in rects)
+        assert widths == [30, 100]
+
+    def test_polygons_connected(self):
+        p = make_pattern()
+        polys = p.polygons()
+        assert len(polys) == 1
+        assert polys[0].area == 30 * 40 + 30 * 60 + 70 * 60
+
+    def test_copy_independent(self):
+        p = make_pattern()
+        q = p.copy()
+        q.topology[0, 0] = 0
+        assert p.topology[0, 0] == 1
+
+    def test_equality(self):
+        assert make_pattern() == make_pattern()
+        other = make_pattern()
+        other.dx = np.array([31, 69])
+        assert make_pattern() != other
+
+
+class TestPatternLibrary:
+    def test_add_extend_len(self):
+        lib = PatternLibrary()
+        lib.add(make_pattern())
+        lib.extend([make_pattern(), make_pattern()])
+        assert len(lib) == 3
+        assert lib[0] == make_pattern()
+
+    def test_filter_style(self):
+        lib = PatternLibrary()
+        lib.add(make_pattern())
+        other = make_pattern()
+        other.style = "Layer-10003"
+        lib.add(other)
+        only = lib.filter_style("Layer-10003")
+        assert len(only) == 1
+        assert lib.styles() == ["Layer-10001", "Layer-10003"]
+
+    def test_iteration(self):
+        lib = PatternLibrary(patterns=[make_pattern()])
+        assert [p.style for p in lib] == ["Layer-10001"]
