@@ -1,0 +1,138 @@
+"""E11 — serving throughput: sequential ChatPattern vs batched PatternService.
+
+The acceptance experiment for the serving subsystem: an 8-request workload
+(two styles interleaved, 2 patterns each) is handled twice —
+
+- **sequential**: one ``ChatPattern.handle_request`` after another, each
+  sub-task sampling the diffusion back-end in isolation (the pre-serve
+  architecture);
+- **batched**: all 8 requests concurrently through ``PatternService``, whose
+  micro-batching scheduler coalesces the sampling work of different
+  requests into shared batched denoise trajectories.
+
+Both runs use the *same* pre-fitted back-end (handed to the service via the
+model registry), so the comparison isolates scheduling.  Results are
+printed paper-style and written as JSON next to the other benches.
+"""
+
+import json
+import os
+import time
+
+from benchmarks.conftest import print_table, scale
+from repro.core import ChatPattern
+from repro.serve import ModelKey, ModelRegistry, PatternService, ServeRequest
+
+N_REQUESTS = 8
+PATTERNS_PER_REQUEST = 2
+
+REQUEST = (
+    "Generate {count} legal patterns, {size}*{size} topology, physical "
+    "size 2048nm * 2048nm, style {style}."
+)
+
+
+def _workload(window: int):
+    styles = ("Layer-10001", "Layer-10003")
+    count = PATTERNS_PER_REQUEST * scale()
+    return [
+        REQUEST.format(count=count, size=window, style=styles[i % 2])
+        for i in range(N_REQUESTS)
+    ]
+
+
+def _run_sequential(model, texts):
+    started = time.perf_counter()
+    results = [
+        ChatPattern(model=model, max_retries=1, base_seed=i).handle_request(text)
+        for i, text in enumerate(texts)
+    ]
+    wall = time.perf_counter() - started
+    produced = sum(r.produced for r in results)
+    return {
+        "wall_seconds": round(wall, 3),
+        "produced": produced,
+        "requests_per_sec": round(len(texts) / wall, 3),
+    }
+
+
+def _run_batched(model, texts):
+    registry = ModelRegistry()
+    key = ModelKey(window=model.window)
+    registry.put(key, model)
+    service = PatternService(
+        model_key=key,
+        registry=registry,
+        gather_window=0.05,
+        max_workers=N_REQUESTS,
+        max_retries=1,
+    )
+    started = time.perf_counter()
+    with service:
+        responses = service.serve(
+            [ServeRequest(text=text) for text in texts]
+        )
+    wall = time.perf_counter() - started
+    stats = service.stats()
+    return {
+        "wall_seconds": round(wall, 3),
+        "produced": stats.produced,
+        "requests_per_sec": round(len(texts) / wall, 3),
+        "max_batch_size": stats.scheduler.max_batch_size,
+        "mean_batch_size": round(stats.scheduler.mean_batch_size, 2),
+        "batches": stats.scheduler.batches,
+        "samples_per_sec": round(stats.scheduler.samples_per_sec, 2),
+        "registry_hits": stats.registry["hits"],
+        "per_request": [r.stats.as_dict() for r in responses],
+    }
+
+
+def _run(chatpattern_model, output_dir):
+    texts = _workload(chatpattern_model.window)
+    sequential = _run_sequential(chatpattern_model, texts)
+    batched = _run_batched(chatpattern_model, texts)
+    payload = {
+        "workload": {
+            "requests": N_REQUESTS,
+            "patterns_per_request": PATTERNS_PER_REQUEST * scale(),
+            "window": chatpattern_model.window,
+        },
+        "sequential": sequential,
+        "batched": batched,
+        "speedup": round(
+            sequential["wall_seconds"] / batched["wall_seconds"], 3
+        ),
+    }
+    out_path = os.path.join(output_dir, "serve_throughput.json")
+    with open(out_path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+    print_table(
+        "Serving throughput (8-request workload)",
+        ["mode", "wall (s)", "req/s", "produced", "max batch"],
+        [
+            ["sequential handle_request", sequential["wall_seconds"],
+             sequential["requests_per_sec"], sequential["produced"], 1],
+            ["batched PatternService", batched["wall_seconds"],
+             batched["requests_per_sec"], batched["produced"],
+             batched["max_batch_size"]],
+        ],
+    )
+    print(f"speedup: {payload['speedup']}x  (result JSON: {out_path})")
+    return payload
+
+
+def test_serve_throughput(benchmark, chatpattern_model, output_dir):
+    payload = benchmark.pedantic(
+        _run, args=(chatpattern_model, output_dir), rounds=1, iterations=1
+    )
+    # Micro-batching must actually coalesce work across requests ...
+    assert payload["batched"]["max_batch_size"] > 1
+    assert payload["batched"]["registry_hits"] == 1
+    # ... and beat the sequential architecture on wall-clock.
+    assert (
+        payload["batched"]["wall_seconds"]
+        < payload["sequential"]["wall_seconds"]
+    )
+    assert payload["sequential"]["produced"] > 0
+    assert payload["batched"]["produced"] > 0

@@ -10,9 +10,12 @@ the text the agent reasons over.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # runtime import would cycle through repro.serve -> core
+    from repro.serve.store import LibraryStore
 
 from repro.data.styles import style_condition
 from repro.diffusion.model import ConditionalDiffusionModel
@@ -77,6 +80,9 @@ class AgentTools:
         model: the conditional diffusion back-end.
         workspace: handle store (a fresh one is created by default).
         base_seed: offset mixed into every per-call seed for reproducibility.
+        store: optional indexed :class:`~repro.serve.store.LibraryStore`;
+            when attached, ``Save_Library`` persists the output library with
+            content-hash dedup and ``Analyze_Library`` reports store totals.
     """
 
     def __init__(
@@ -84,12 +90,14 @@ class AgentTools:
         model: ConditionalDiffusionModel,
         workspace: Optional[Workspace] = None,
         base_seed: int = 0,
+        store: Optional["LibraryStore"] = None,
     ):
         self.model = model
         # Note: "workspace or Workspace()" would discard an *empty* caller
         # workspace (PatternLibrary-backed containers are falsy when empty).
         self.workspace = workspace if workspace is not None else Workspace()
         self.base_seed = base_seed
+        self.store = store
         self.call_log: List[Tuple[str, Dict]] = []
         self._registry: Dict[str, Callable[..., ToolResult]] = {
             "Topology_Generation": self.topology_generation,
@@ -98,6 +106,7 @@ class AgentTools:
             "Topology_Modification": self.topology_modification,
             "Topology_Selection": self.topology_selection,
             "Analyze_Library": self.analyze_library,
+            "Save_Library": self.save_library,
         }
 
     # -- registry ------------------------------------------------------
@@ -140,7 +149,10 @@ class AgentTools:
             "join the library (guarantees legality at the cost of wasted "
             "samplings; disabled in Table-1 comparisons).\n"
             "Analyze_Library(): report count/diversity statistics of the "
-            "output library."
+            "output library.\n"
+            "Save_Library(): persist the output library into the attached "
+            "indexed pattern store (content-hash deduplicated); fails when "
+            "no store is attached."
         )
 
     # -- tools ---------------------------------------------------------
@@ -325,10 +337,43 @@ class AgentTools:
         )
 
     def analyze_library(self) -> ToolResult:
-        """Report aggregate statistics of the output library."""
+        """Report aggregate statistics of the output library (and store)."""
         stats = library_stats(self.workspace.library)
+        data = stats.as_dict()
+        message = f"library statistics: {data}"
+        if self.store is not None:
+            store_stats = self.store.stats()
+            data["store"] = store_stats
+            message += f"; persistent store: {store_stats}"
+        return ToolResult(ok=True, message=message, data=data)
+
+    def save_library(self) -> ToolResult:
+        """Persist the output library into the attached indexed store.
+
+        Patterns reach the output library only through successful
+        legalization, so they are recorded as legal; topologies already in
+        the store are deduplicated by content hash.
+        """
+        if self.store is None:
+            return ToolResult(
+                ok=False,
+                message="no pattern store attached; Save_Library unavailable",
+            )
+        if len(self.workspace.library) == 0:
+            return ToolResult(
+                ok=False, message="output library is empty; nothing to save"
+            )
+        report = self.store.add_library(self.workspace.library, legal=True)
         return ToolResult(
             ok=True,
-            message=f"library statistics: {stats.as_dict()}",
-            data=stats.as_dict(),
+            message=(
+                f"saved {report.added} new pattern(s) to the store, "
+                f"{report.deduplicated} duplicate(s) skipped; store now "
+                f"holds {len(self.store)} unique pattern(s)"
+            ),
+            data={
+                "added": report.added,
+                "deduplicated": report.deduplicated,
+                "hashes": report.hashes,
+            },
         )

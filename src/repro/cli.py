@@ -3,6 +3,7 @@
 Subcommands:
 
 - ``chat``     — natural-language library building (the headline flow).
+- ``serve``    — many requests at once through the micro-batching service.
 - ``generate`` — sample fixed-size topologies of one style and legalize.
 - ``extend``   — free-size synthesis via in/out-painting.
 - ``evaluate`` — legality/diversity report for a saved library.
@@ -51,6 +52,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--objective", choices=("legality", "diversity"), default="legality"
     )
 
+    srv = sub.add_parser(
+        "serve", help="serve many requests through the batched scheduler"
+    )
+    srv.add_argument(
+        "requests", nargs="*", help="requirement texts, one per request"
+    )
+    srv.add_argument(
+        "--requests-file",
+        help="file with one request per line ('#' lines are comments)",
+    )
+    srv.add_argument(
+        "--objective", choices=("legality", "diversity"), default="legality"
+    )
+    srv.add_argument(
+        "--gather-window", type=float, default=0.02,
+        help="seconds the scheduler collects jobs per batch",
+    )
+    srv.add_argument(
+        "--max-batch", type=int, default=64,
+        help="max samples per batched trajectory",
+    )
+    srv.add_argument(
+        "--workers", type=int, default=8, help="concurrent request workers"
+    )
+    srv.add_argument(
+        "--store", help="directory of the indexed pattern store (dedup)"
+    )
+    srv.add_argument("-o", "--output", help="save the merged library (.npz)")
+
     gen = sub.add_parser("generate", help="sample fixed-size patterns")
     gen.add_argument("--style", choices=STYLES, default=STYLES[0])
     gen.add_argument("--count", type=int, default=4)
@@ -89,6 +119,50 @@ def _cmd_chat(args) -> int:
         save_library(result.library, args.output)
         print(f"library saved to {args.output}")
     return 0 if result.produced else 1
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import LibraryStore, PatternService, ServeRequest
+    from repro.squish.pattern import PatternLibrary
+
+    texts = list(args.requests)
+    if args.requests_file:
+        with open(args.requests_file) as handle:
+            texts.extend(
+                line.strip()
+                for line in handle
+                if line.strip() and not line.lstrip().startswith("#")
+            )
+    if not texts:
+        print("no requests given", file=sys.stderr)
+        return 2
+
+    chat = _pretrained(args)
+    store = LibraryStore(args.store) if args.store else None
+    service = PatternService(
+        model=chat.model,
+        store=store,
+        gather_window=args.gather_window,
+        max_batch=args.max_batch,
+        max_workers=args.workers,
+        base_seed=args.seed,
+    )
+    with service:
+        responses = service.serve(
+            [ServeRequest(text=t, objective=args.objective) for t in texts]
+        )
+
+    merged = PatternLibrary(name="serve-output")
+    for response in responses:
+        print(response.summary())
+        if response.result is not None:
+            merged.extend(list(response.result.library))
+    stats = service.stats()
+    print(f"service: {stats.as_dict()}")
+    if args.output and len(merged):
+        written = save_library(merged, args.output)
+        print(f"library saved to {written}")
+    return 0 if all(r.produced for r in responses) else 1
 
 
 def _cmd_generate(args) -> int:
@@ -150,6 +224,7 @@ def _cmd_export(args) -> int:
 
 _COMMANDS = {
     "chat": _cmd_chat,
+    "serve": _cmd_serve,
     "generate": _cmd_generate,
     "extend": _cmd_extend,
     "evaluate": _cmd_evaluate,

@@ -61,6 +61,8 @@ class ChatPattern:
         backend: LLM backend; defaults to the offline :class:`SimulatedLLM`.
         documents: experience documents (extension statistics etc.).
         max_retries: per-pattern legalization recovery budget.
+        store: optional indexed :class:`~repro.serve.store.LibraryStore`
+            handed to the agent's tools (``Save_Library`` persistence).
     """
 
     def __init__(
@@ -70,6 +72,7 @@ class ChatPattern:
         documents: Optional[ExperienceDocuments] = None,
         max_retries: int = 2,
         base_seed: int = 0,
+        store=None,
     ):
         if not model.fitted:
             raise ValueError("model must be fitted; see ChatPattern.pretrained")
@@ -78,6 +81,7 @@ class ChatPattern:
         self.documents = documents or ExperienceDocuments()
         self.max_retries = max_retries
         self.base_seed = base_seed
+        self.store = store
 
     @classmethod
     def pretrained(
@@ -108,7 +112,9 @@ class ChatPattern:
     ) -> ChatResult:
         """End-to-end: auto-format, plan, execute, summarise (Fig. 4)."""
         workspace = Workspace()
-        tools = AgentTools(self.model, workspace, base_seed=self.base_seed)
+        tools = AgentTools(
+            self.model, workspace, base_seed=self.base_seed, store=self.store
+        )
         planner = TaskPlanner(
             self.backend,
             documents=self.documents,

@@ -10,7 +10,7 @@ denoiser usable under any diffusion length K at sampling time.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -60,6 +60,35 @@ class Denoiser(ABC):
         Returns:
             float64 array of the same shape with values in [0, 1].
         """
+
+    def predict_x0_many(
+        self,
+        xk: np.ndarray,
+        noise_level: float,
+        conditions: Sequence[Optional[int]],
+    ) -> np.ndarray:
+        """Posterior maps for a ``(B, H, W)`` stack with per-item conditions.
+
+        The batched-serving entry point: one call covers a mixed-condition
+        micro-batch.  The default groups the stack by condition and calls
+        :meth:`predict_x0` per distinct class; denoisers whose per-item work
+        can be shared across conditions override it.
+        """
+        stack = np.asarray(xk, dtype=np.uint8)
+        if stack.ndim != 3:
+            raise ValueError("predict_x0_many expects a (B, H, W) stack")
+        if len(conditions) != stack.shape[0]:
+            raise ValueError(
+                f"{len(conditions)} condition(s) for batch of {stack.shape[0]}"
+            )
+        out = np.empty(stack.shape, dtype=np.float64)
+        by_condition: dict = {}
+        for i, condition in enumerate(conditions):
+            by_condition.setdefault(condition, []).append(i)
+        for condition, index in by_condition.items():
+            index = np.asarray(index, dtype=np.intp)
+            out[index] = self.predict_x0(stack[index], noise_level, condition)
+        return out
 
     @abstractmethod
     def fit(

@@ -84,25 +84,33 @@ def neighborhood_codes(x: np.ndarray, offsets: Sequence[Offset]) -> np.ndarray:
 
 
 def downsample_binary(x: np.ndarray, scale: int) -> np.ndarray:
-    """Majority-pool a binary image by ``scale`` (pads with zeros)."""
+    """Majority-pool a binary image by ``scale`` (pads with zeros).
+
+    Accepts ``(H, W)`` or a batched ``(B, H, W)`` stack; the pooling is
+    applied to the trailing two axes either way.
+    """
     if scale == 1:
         return x.astype(np.uint8)
-    h, w = x.shape
+    h, w = x.shape[-2], x.shape[-1]
     ph = (-h) % scale
     pw = (-w) % scale
-    padded = np.pad(x, ((0, ph), (0, pw)))
+    pad = [(0, 0)] * (x.ndim - 2) + [(0, ph), (0, pw)]
+    padded = np.pad(x, pad)
     pooled = padded.reshape(
-        (h + ph) // scale, scale, (w + pw) // scale, scale
-    ).mean(axis=(1, 3))
+        x.shape[:-2] + ((h + ph) // scale, scale, (w + pw) // scale, scale)
+    ).mean(axis=(-3, -1))
     return (pooled >= 0.5).astype(np.uint8)
 
 
 def upsample_to(x: np.ndarray, scale: int, shape: Tuple[int, int]) -> np.ndarray:
-    """Nearest-neighbour upsample by ``scale`` and crop to ``shape``."""
+    """Nearest-neighbour upsample by ``scale`` and crop to ``shape``.
+
+    ``shape`` names the trailing ``(H, W)``; leading batch axes pass through.
+    """
     if scale == 1:
-        return x[: shape[0], : shape[1]]
-    up = x.repeat(scale, axis=0).repeat(scale, axis=1)
-    return up[: shape[0], : shape[1]]
+        return x[..., : shape[0], : shape[1]]
+    up = x.repeat(scale, axis=-2).repeat(scale, axis=-1)
+    return up[..., : shape[0], : shape[1]]
 
 
 class NeighborhoodDenoiser(Denoiser):
@@ -239,19 +247,63 @@ class NeighborhoodDenoiser(Denoiser):
         batched = arr.ndim == 3
         stack = arr if batched else arr[None]
         prior = self._marginals[c, bucket]
-        out = np.empty(stack.shape, dtype=np.float64)
-        for b in range(stack.shape[0]):
-            logit = np.zeros(stack.shape[1:], dtype=np.float64)
-            for s, weight in zip(self.scales, self.scale_weights):
-                codes = neighborhood_codes(
-                    downsample_binary(stack[b], s), self.offsets
-                )
-                pixel_codes = upsample_to(codes, s, stack.shape[1:])
-                table = self._counts[s][c, bucket]
-                ones = table[pixel_codes, 1]
-                total = ones + table[pixel_codes, 0]
-                p = (ones + self.smoothing * prior) / (total + self.smoothing)
-                p = np.clip(p, _EPS, 1.0 - _EPS)
-                logit += weight * np.log(p / (1.0 - p))
-            out[b] = 1.0 / (1.0 + np.exp(-logit / sum(self.scale_weights)))
+        # The whole stack is pooled, hashed and gathered at once: one table
+        # lookup over (B, H, W) instead of B separate ones, which is what
+        # lets a micro-batched reverse chain amortise the per-step cost.
+        logit = np.zeros(stack.shape, dtype=np.float64)
+        for s, weight in zip(self.scales, self.scale_weights):
+            codes = neighborhood_codes(downsample_binary(stack, s), self.offsets)
+            pixel_codes = upsample_to(codes, s, stack.shape[1:])
+            table = self._counts[s][c, bucket]
+            ones = table[pixel_codes, 1]
+            total = ones + table[pixel_codes, 0]
+            p = (ones + self.smoothing * prior) / (total + self.smoothing)
+            p = np.clip(p, _EPS, 1.0 - _EPS)
+            logit += weight * np.log(p / (1.0 - p))
+        out = 1.0 / (1.0 + np.exp(-logit / sum(self.scale_weights)))
         return out if batched else out[0]
+
+    def predict_x0_many(
+        self,
+        xk: np.ndarray,
+        noise_level: float,
+        conditions: Sequence[Optional[int]],
+    ) -> np.ndarray:
+        """Mixed-condition batched prediction with shared pooling/hashing.
+
+        Pooling and neighbourhood hashing are condition-independent, so a
+        micro-batch mixing style classes computes them ONCE for the whole
+        stack; only the final table gather is per-item (each item reads its
+        own class's table row).  This is what makes cross-style batches as
+        cheap as single-style ones in the serving scheduler.
+        """
+        stack = np.asarray(xk, dtype=np.uint8)
+        if stack.ndim != 3:
+            raise ValueError("predict_x0_many expects a (B, H, W) stack")
+        if len(conditions) != stack.shape[0]:
+            raise ValueError(
+                f"{len(conditions)} condition(s) for batch of {stack.shape[0]}"
+            )
+        if not self._fitted:
+            raise RuntimeError("denoiser not fitted; call fit() first")
+        conds = np.asarray(
+            [self._validate_condition(c) for c in conditions], dtype=np.int64
+        )
+        bucket = self.bucket_of(noise_level)
+        priors = self._marginals[conds, bucket][:, None, None]
+        # Per-item offset into the flattened (class, bucket, code) table:
+        # adding it to the pixel codes turns the per-item class lookup into
+        # one big gather with no intermediate table copies.
+        base = ((conds * self.n_buckets + bucket) * self._n_codes)[:, None, None]
+        logit = np.zeros(stack.shape, dtype=np.float64)
+        for s, weight in zip(self.scales, self.scale_weights):
+            codes = neighborhood_codes(downsample_binary(stack, s), self.offsets)
+            pixel_codes = upsample_to(codes, s, stack.shape[1:])
+            flat = self._counts[s].reshape(-1, 2)
+            index = base + pixel_codes
+            ones = flat[index, 1]
+            total = ones + flat[index, 0]
+            p = (ones + self.smoothing * priors) / (total + self.smoothing)
+            p = np.clip(p, _EPS, 1.0 - _EPS)
+            logit += weight * np.log(p / (1.0 - p))
+        return 1.0 / (1.0 + np.exp(-logit / sum(self.scale_weights)))

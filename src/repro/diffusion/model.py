@@ -7,7 +7,7 @@ single reverse step (Eq. 9) and forward noising (Eq. 2).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -237,6 +237,153 @@ class ConditionalDiffusionModel:
         if k == 0:
             return np.asarray(x0, dtype=np.uint8).copy()
         return self.schedule.forward_sample(np.asarray(x0, dtype=np.uint8), k, rng)
+
+    # -- batched mixed-condition sampling (the serving path) ------------
+
+    def denoise_step_batch(
+        self,
+        xk: np.ndarray,
+        k: int,
+        conditions: Sequence[Optional[int]],
+        rng: np.random.Generator,
+        deterministic: bool = False,
+    ) -> np.ndarray:
+        """One reverse step over a stacked batch with per-item conditions.
+
+        The CFG-batching idiom adapted to class tables: the whole stack
+        shares one trajectory, the denoiser is evaluated once per *distinct*
+        condition on the matching sub-stack (at most ``n_classes`` chunks),
+        and the results are scattered back into place.  Density guidance is
+        calibrated per item (each item pins its own class fill rate), which
+        the sequential :meth:`denoise_step` approximates jointly over its
+        single-condition batch.
+        """
+        xk = np.asarray(xk, dtype=np.uint8)
+        if xk.ndim != 3:
+            raise ValueError("denoise_step_batch expects a (B, H, W) stack")
+        if len(conditions) != xk.shape[0]:
+            raise ValueError(
+                f"{len(conditions)} condition(s) for batch of {xk.shape[0]}"
+            )
+        level = self.schedule.beta_bar(k)
+        p_x0 = self.denoiser.predict_x0_many(xk, level, conditions)
+        targets = np.asarray(
+            [self.denoiser.target_fill(c) for c in conditions], dtype=np.float64
+        )
+        if self.sharpen > 0:
+            gamma = 1.0 + self.sharpen * (1.0 - level / 0.5)
+            p_x0 = p_x0 ** gamma / (p_x0 ** gamma + (1.0 - p_x0) ** gamma)
+        if self.density_guidance:
+            p_x0 = _calibrate_density_batch(p_x0, targets)
+        if self.sampler == "posterior":
+            p_prev = self.schedule.posterior_mix(xk, p_x0, k)
+            if deterministic:
+                return (p_prev > 0.5).astype(np.uint8)
+            return (rng.random(xk.shape) < p_prev).astype(np.uint8)
+        if deterministic:
+            x0_hat = (p_x0 > 0.5).astype(np.uint8)
+        else:
+            x0_hat = (rng.random(xk.shape) < p_x0).astype(np.uint8)
+        if k == 1:
+            return x0_hat
+        return self.schedule.forward_sample(x0_hat, k - 1, rng)
+
+    def polish_batch(
+        self,
+        x0: np.ndarray,
+        conditions: Sequence[Optional[int]],
+        sweeps: Optional[int] = None,
+    ) -> np.ndarray:
+        """Batched :meth:`polish` with per-item conditions and thresholds."""
+        if sweeps is None:
+            sweeps = self.polish_sweeps
+        level = self.schedule.beta_bar(1)
+        x = np.asarray(x0, dtype=np.uint8).copy()
+        conditions = list(conditions)
+        for _ in range(sweeps):
+            p = self.denoiser.predict_x0_many(x, level, conditions)
+            thresholds = np.full(x.shape[0], 0.5)
+            if self.density_guidance:
+                for i, condition in enumerate(conditions):
+                    target = self.denoiser.target_fill(condition)
+                    thresholds[i] = min(
+                        max(float(np.quantile(p[i], 1.0 - target)), 1e-9),
+                        1.0 - 1e-9,
+                    )
+            nxt = (p > thresholds[:, None, None]).astype(np.uint8)
+            if np.array_equal(nxt, x):
+                break
+            x = nxt
+        out = np.empty_like(x)
+        for i, condition in enumerate(conditions):
+            out[i] = self._resolve_corner_touches(x[i], condition)
+        return out
+
+    def sample_batch(
+        self,
+        conditions: Sequence[Optional[int]],
+        rng: np.random.Generator,
+        shape: Optional[Tuple[int, int]] = None,
+    ) -> np.ndarray:
+        """Sample ``len(conditions)`` topologies in ONE reverse trajectory.
+
+        The batched serving path: N requests' worth of sampling work —
+        possibly with *different* style conditions — costs a single batched
+        denoise trajectory instead of N (Eq. 11 over a stacked batch).
+        Returns a ``(len(conditions), H, W)`` uint8 array whose i-th item is
+        conditioned on ``conditions[i]``.
+        """
+        if not self.fitted:
+            raise RuntimeError("model not fitted; call fit() first")
+        conditions = list(conditions)
+        h, w = shape or (self.window, self.window)
+        if not conditions:
+            return np.zeros((0, h, w), dtype=np.uint8)
+        xk = self.prior_sample((len(conditions), h, w), rng)
+        for k in range(self.schedule.steps, 1, -1):
+            xk = self.denoise_step_batch(xk, k, conditions, rng)
+        xk = self.denoise_step_batch(xk, 1, conditions, rng, deterministic=True)
+        return self.polish_batch(xk, conditions)
+
+
+def _calibrate_density_batch(
+    p: np.ndarray, targets: np.ndarray, bins: int = 512
+) -> np.ndarray:
+    """Per-item :func:`_calibrate_density` over a ``(B, H, W)`` stack.
+
+    Same moment-matching objective, different solver: the bisection for the
+    shared logit offset runs on a per-item *histogram* of the logits (with
+    bin-mean representatives), so the 40 halving steps touch ``bins`` values
+    per item instead of the full pixel map, and only one full-array sigmoid
+    is paid at the end.  The density error is second-order in the bin width
+    — empirically ~1e-5, inside the exact solver's 1e-4 fast-path tolerance
+    — which is what makes the batched serving trajectory cheaper per sample
+    than the sequential path it replaces.
+    """
+    clipped = np.clip(p, 1e-9, 1.0 - 1e-9)
+    means = clipped.mean(axis=(1, 2))
+    needs = np.abs(means - targets) >= 1e-4
+    if not needs.any():
+        return clipped
+    out = clipped.copy()
+    for i in np.flatnonzero(needs):
+        logits = np.log(clipped[i] / (1.0 - clipped[i]))
+        flat = logits.ravel()
+        counts, edges = np.histogram(flat, bins=bins)
+        occupied = counts > 0
+        sums, _ = np.histogram(flat, bins=edges, weights=flat)
+        reps = sums[occupied] / counts[occupied]
+        weights = counts[occupied] / flat.size
+        lo, hi = -30.0, 30.0
+        for _ in range(40):
+            mid = 0.5 * (lo + hi)
+            mean = float((weights / (1.0 + np.exp(-(reps + mid)))).sum())
+            if mean < targets[i]:
+                lo = mid
+            else:
+                hi = mid
+        out[i] = 1.0 / (1.0 + np.exp(-(logits + 0.5 * (lo + hi))))
+    return out
 
 
 def _calibrate_density(p: np.ndarray, target: float) -> np.ndarray:

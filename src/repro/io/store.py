@@ -17,7 +17,13 @@ from repro.squish.pattern import PatternLibrary, SquishPattern
 
 
 def save_library(library: PatternLibrary, path: Union[str, Path]) -> Path:
-    """Write a pattern library to ``path`` (``.npz``)."""
+    """Write a pattern library to ``path`` (``.npz``).
+
+    Returns the path actually written: ``np.savez_compressed`` appends
+    ``.npz`` exactly when the file name does not already end with it, so
+    the same rule (name-based, not ``Path.suffix``-based) is mirrored here —
+    e.g. saving to ``lib.v1`` returns (and writes) ``lib.v1.npz``.
+    """
     path = Path(path)
     arrays = {}
     meta = {"name": library.name, "count": len(library), "styles": []}
@@ -30,7 +36,9 @@ def save_library(library: PatternLibrary, path: Union[str, Path]) -> Path:
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )
     np.savez_compressed(path, **arrays)
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    if path.name.endswith(".npz"):
+        return path
+    return path.with_name(path.name + ".npz")
 
 
 def load_library(path: Union[str, Path]) -> PatternLibrary:

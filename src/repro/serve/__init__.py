@@ -1,0 +1,56 @@
+"""Batched pattern-generation service: the multi-request serving subsystem.
+
+Layers (front to back):
+
+- :class:`PatternService` — the service front-end: many concurrent
+  natural-language requests, each running the full agent pipeline, with
+  per-request stats (queue wait, batch sizes, samples/sec).
+- :class:`MicroBatchScheduler` / :class:`BatchedSamplingModel` — request
+  queue and micro-batching: compatible sampling work from different
+  requests coalesces into single batched denoise trajectories
+  (``ConditionalDiffusionModel.sample_batch``).
+- :class:`ModelRegistry` / :class:`ModelKey` — fitted models cached by
+  training recipe so repeated requests never retrain.
+- :class:`LibraryStore` — content-hash-indexed persistent pattern store
+  with dedup and query-by-style/size/legality.
+"""
+
+from repro.serve.batching import (
+    BatchedSamplingModel,
+    MicroBatchScheduler,
+    SampleJob,
+)
+from repro.serve.registry import ModelKey, ModelRegistry, fit_model
+from repro.serve.service import (
+    PatternService,
+    ServeRequest,
+    ServeResponse,
+    ServiceStats,
+)
+from repro.serve.stats import BatchRecord, RequestStats, SchedulerStats
+from repro.serve.store import (
+    LibraryStore,
+    StoreRecord,
+    StoreReport,
+    pattern_content_hash,
+)
+
+__all__ = [
+    "BatchRecord",
+    "BatchedSamplingModel",
+    "LibraryStore",
+    "MicroBatchScheduler",
+    "ModelKey",
+    "ModelRegistry",
+    "PatternService",
+    "RequestStats",
+    "SampleJob",
+    "SchedulerStats",
+    "ServeRequest",
+    "ServeResponse",
+    "ServiceStats",
+    "StoreRecord",
+    "StoreReport",
+    "fit_model",
+    "pattern_content_hash",
+]

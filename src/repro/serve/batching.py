@@ -1,0 +1,289 @@
+"""Request queue and micro-batching scheduler for diffusion sampling.
+
+The throughput lever of the serving subsystem: many concurrent requests
+each ask for a handful of samples, and sampling cost is dominated by the
+per-step walk of the reverse chain — which is almost as cheap for a
+``(N, H, W)`` stack as for a single topology.  The scheduler therefore
+coalesces compatible sampling jobs (same topology shape; style conditions
+may differ freely, they chunk inside the batched step) into single calls of
+:meth:`~repro.diffusion.model.ConditionalDiffusionModel.sample_batch`, so N
+requests cost ~1 batched denoise trajectory instead of N.
+
+``BatchedSamplingModel`` is the client half: a drop-in stand-in for the
+fitted model whose ``sample`` rides the shared scheduler while every other
+attribute (``denoise_step``, ``noise_to``, ``schedule`` ...) delegates to
+the real model, so modification/extension code paths work unchanged.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.diffusion.model import ConditionalDiffusionModel
+from repro.serve.stats import BatchRecord, SchedulerStats
+
+_SENTINEL = object()
+
+
+@dataclass
+class SampleJob:
+    """One request's sampling need, queued for batching."""
+
+    count: int
+    condition: Optional[int]
+    shape: Tuple[int, int]
+    seed: int
+    submitted_at: float = field(default_factory=time.perf_counter)
+    future: "Future[np.ndarray]" = field(default_factory=Future)
+    queue_wait: float = 0.0
+    batch_samples: int = 0  # total samples of the batch this job rode in
+
+    def result(self, timeout: Optional[float] = None) -> np.ndarray:
+        """Block until the scheduler delivers this job's samples."""
+        return self.future.result(timeout=timeout)
+
+
+class MicroBatchScheduler:
+    """Gathers sampling jobs into batched denoise trajectories.
+
+    Args:
+        model: fitted diffusion back-end (must expose ``sample_batch``).
+        gather_window: seconds the worker keeps collecting after the first
+            job of a batch arrives.  Larger windows mean bigger batches and
+            higher latency; jobs already queued are always drained.
+        max_batch: cap on total *samples* per batched trajectory.
+
+    Note on reproducibility: a batch's random stream is derived from the
+    seeds of the jobs riding it, so results are reproducible for a fixed
+    batch composition but — as with any micro-batching server — depend on
+    which requests happen to coalesce.
+    """
+
+    def __init__(
+        self,
+        model: ConditionalDiffusionModel,
+        gather_window: float = 0.02,
+        max_batch: int = 64,
+    ):
+        if gather_window < 0:
+            raise ValueError("gather_window must be >= 0")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.model = model
+        self.gather_window = float(gather_window)
+        self.max_batch = int(max_batch)
+        self._queue: "queue.Queue" = queue.Queue()
+        self._records: List[BatchRecord] = []
+        self._records_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "MicroBatchScheduler":
+        if self.running:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-scheduler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Drain queued jobs, then stop the worker thread.
+
+        If the drain exceeds ``timeout`` the worker is hard-stopped (it
+        finishes the in-flight batch and fails the rest).  The thread
+        handle is only released once the worker is actually dead, so
+        ``running`` never lies and a restart cannot race a live worker.
+        """
+        if not self.running:
+            return
+        self._queue.put(_SENTINEL)
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            self._stop.set()
+            self._thread.join(timeout=timeout)
+        if self._thread is not None and not self._thread.is_alive():
+            self._stop.set()
+            self._thread = None
+
+    def __enter__(self) -> "MicroBatchScheduler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- submission ----------------------------------------------------
+
+    def submit(
+        self,
+        count: int,
+        condition: Optional[int],
+        shape: Optional[Tuple[int, int]] = None,
+        seed: int = 0,
+    ) -> SampleJob:
+        """Queue a sampling job; returns immediately with its handle.
+
+        Jobs may be submitted before :meth:`start` — they sit in the queue
+        and form the first batch when the worker comes up.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        job = SampleJob(
+            count=int(count),
+            condition=condition,
+            shape=tuple(shape) if shape else (self.model.window,) * 2,
+            seed=int(seed),
+        )
+        self._queue.put(job)
+        return job
+
+    # -- worker --------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                first = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                continue
+            if first is _SENTINEL:
+                break
+            jobs = [first]
+            total = first.count
+            deadline = time.perf_counter() + self.gather_window
+            stopping = False
+            while total < self.max_batch:
+                remaining = deadline - time.perf_counter()
+                try:
+                    if remaining > 0:
+                        nxt = self._queue.get(timeout=remaining)
+                    else:
+                        nxt = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if nxt is _SENTINEL:
+                    stopping = True
+                    break
+                jobs.append(nxt)
+                total += nxt.count
+            self._execute(jobs)
+            if stopping:
+                break
+        # Fail any jobs still queued after shutdown rather than hang callers.
+        while True:
+            try:
+                leftover = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if leftover is not _SENTINEL:
+                leftover.future.set_exception(
+                    RuntimeError("scheduler stopped before job ran")
+                )
+
+    def _execute(self, jobs: Sequence[SampleJob]) -> None:
+        now = time.perf_counter()
+        for job in jobs:
+            job.queue_wait = now - job.submitted_at
+        by_shape: dict = {}
+        for job in jobs:
+            by_shape.setdefault(job.shape, []).append(job)
+        for shape, group in by_shape.items():
+            conditions: List[Optional[int]] = []
+            for job in group:
+                conditions.extend([job.condition] * job.count)
+            rng = np.random.default_rng(
+                np.random.SeedSequence([job.seed % (2**32) for job in group])
+            )
+            started = time.perf_counter()
+            try:
+                samples = self.model.sample_batch(conditions, rng, shape=shape)
+            except Exception as exc:  # propagate to every waiting caller
+                for job in group:
+                    job.future.set_exception(exc)
+                continue
+            wall = time.perf_counter() - started
+            with self._records_lock:
+                self._records.append(
+                    BatchRecord(
+                        jobs=len(group),
+                        samples=len(conditions),
+                        shape=shape,
+                        wall_seconds=wall,
+                    )
+                )
+            offset = 0
+            for job in group:
+                job.batch_samples = len(conditions)
+                job.future.set_result(samples[offset : offset + job.count])
+                offset += job.count
+
+    # -- observability -------------------------------------------------
+
+    @property
+    def batch_records(self) -> List[BatchRecord]:
+        with self._records_lock:
+            return list(self._records)
+
+    def stats(self) -> SchedulerStats:
+        return SchedulerStats.from_records(self.batch_records)
+
+
+class BatchedSamplingModel:
+    """Per-request model client that routes ``sample`` through a scheduler.
+
+    Quacks like the wrapped :class:`ConditionalDiffusionModel`: attribute
+    access (``window``, ``fitted``, ``schedule``, ``denoise_step`` ...)
+    delegates to the real model, so the agent's tools and the RePaint-style
+    modification/extension operators run unmodified.  Only the hot path —
+    full-trajectory sampling — is intercepted and coalesced across requests.
+
+    One client is created per request so its counters double as the
+    request's sampling statistics.
+    """
+
+    def __init__(self, scheduler: MicroBatchScheduler):
+        self._scheduler = scheduler
+        self._model = scheduler.model
+        self.queue_wait_seconds = 0.0
+        self.sample_jobs = 0
+        self.samples = 0
+        self.batch_sizes: List[int] = []
+
+    def __getattr__(self, name: str):
+        return getattr(self._model, name)
+
+    def sample(
+        self,
+        count: int,
+        condition: Optional[int],
+        rng: np.random.Generator,
+        shape: Optional[Tuple[int, int]] = None,
+    ) -> np.ndarray:
+        """Batched stand-in for ``ConditionalDiffusionModel.sample``."""
+        job = self._scheduler.submit(
+            count,
+            condition,
+            shape=shape,
+            # The job seed is drawn from the caller's stream, so a request
+            # with a fixed base seed submits a reproducible seed sequence.
+            seed=int(rng.integers(0, 2**31 - 1)),
+        )
+        result = job.result()
+        self.queue_wait_seconds += job.queue_wait
+        self.sample_jobs += 1
+        self.samples += int(count)
+        self.batch_sizes.append(job.batch_samples)
+        return result

@@ -1,0 +1,150 @@
+"""Fitted-model registry: train once, serve many.
+
+Every request that reaches :class:`~repro.serve.service.PatternService`
+needs a fitted :class:`~repro.diffusion.model.ConditionalDiffusionModel`.
+Training is seconds-cheap but far from free, and a production service must
+never retrain per request — the registry caches fitted models keyed by the
+full recipe that determines them: styles, window, dataset configuration and
+seed.  Concurrent requests for the same key block on a per-key lock so the
+model is fitted exactly once.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import DatasetConfig, build_training_set
+from repro.data.styles import STYLES, TILE_NM
+from repro.diffusion.model import ConditionalDiffusionModel
+
+
+@dataclass(frozen=True)
+class ModelKey:
+    """Everything that determines a fitted back-end, hashable for caching.
+
+    The defaults mirror :meth:`repro.core.chatpattern.ChatPattern.pretrained`:
+    both styles, the paper's 128 window, 48 training tiles per style.
+    """
+
+    styles: Tuple[str, ...] = tuple(STYLES)
+    window: int = 128
+    train_count: int = 48
+    seed: int = 2024
+    tile_nm: int = TILE_NM
+    map_scale: int = 8
+
+    def dataset_config(self) -> DatasetConfig:
+        return DatasetConfig(
+            tile_nm=self.tile_nm,
+            topology_size=self.window,
+            map_scale=self.map_scale,
+            seed=self.seed,
+        )
+
+
+def fit_model(key: ModelKey) -> ConditionalDiffusionModel:
+    """Default builder: train the conditional back-end described by ``key``."""
+    topologies, conditions = build_training_set(
+        list(key.styles), key.train_count, key.dataset_config()
+    )
+    model = ConditionalDiffusionModel(
+        window=key.window, n_classes=len(key.styles)
+    )
+    model.fit(topologies, conditions, np.random.default_rng(key.seed))
+    return model
+
+
+class ModelRegistry:
+    """Thread-safe LRU cache of fitted models.
+
+    Args:
+        builder: ``key -> fitted model`` factory (default :func:`fit_model`).
+        max_models: LRU capacity; the least-recently-used model is evicted
+            when a new key would exceed it.
+    """
+
+    def __init__(
+        self,
+        builder: Optional[Callable[[ModelKey], ConditionalDiffusionModel]] = None,
+        max_models: int = 8,
+    ):
+        if max_models < 1:
+            raise ValueError("max_models must be >= 1")
+        self._builder = builder or fit_model
+        self._max_models = max_models
+        self._models: "OrderedDict[ModelKey, ConditionalDiffusionModel]" = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self._key_locks: Dict[ModelKey, threading.Lock] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def get_or_fit(self, key: ModelKey) -> ConditionalDiffusionModel:
+        """Return the cached model for ``key``, fitting it on first use."""
+        with self._lock:
+            model = self._models.get(key)
+            if model is not None:
+                self._hits += 1
+                self._models.move_to_end(key)
+                return model
+            key_lock = self._key_locks.setdefault(key, threading.Lock())
+        with key_lock:
+            # Double-check: another thread may have finished fitting while
+            # this one waited on the per-key lock.
+            with self._lock:
+                model = self._models.get(key)
+                if model is not None:
+                    self._hits += 1
+                    self._models.move_to_end(key)
+                    return model
+            model = self._builder(key)
+            self.put(key, model, _count_miss=True)
+            return model
+
+    def put(
+        self,
+        key: ModelKey,
+        model: ConditionalDiffusionModel,
+        _count_miss: bool = False,
+    ) -> None:
+        """Insert a pre-fitted model (e.g. a benchmark fixture) under ``key``."""
+        if not model.fitted:
+            raise ValueError("registry only caches fitted models")
+        with self._lock:
+            if _count_miss:
+                self._misses += 1
+            self._models[key] = model
+            self._models.move_to_end(key)
+            while len(self._models) > self._max_models:
+                evicted_key, _ = self._models.popitem(last=False)
+                # Drop the per-key fit lock with its model: worst case two
+                # threads re-fit an evicted key concurrently (wasted work,
+                # not corruption), and the lock table stays bounded.
+                self._key_locks.pop(evicted_key, None)
+
+    def __contains__(self, key: ModelKey) -> bool:
+        with self._lock:
+            return key in self._models
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._models)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._models.clear()
+            self._key_locks.clear()
+
+    def stats(self) -> Dict:
+        with self._lock:
+            return {
+                "cached": len(self._models),
+                "hits": self._hits,
+                "misses": self._misses,
+            }

@@ -1,0 +1,284 @@
+"""The multi-request pattern-generation service front-end.
+
+``PatternService`` turns the one-request-at-a-time ``ChatPattern`` facade
+into a batched service: requests are handled concurrently on a worker pool,
+each one running the ordinary agent pipeline (auto-format, plan, execute)
+against a :class:`~repro.serve.batching.BatchedSamplingModel` client whose
+sampling rides the shared micro-batching scheduler.  The fitted back-end
+comes from a :class:`~repro.serve.registry.ModelRegistry`, so repeated
+services (or repeated keys) skip retraining, and produced patterns can be
+persisted into an indexed :class:`~repro.serve.store.LibraryStore`.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.agent.backend import LLMBackend, SimulatedLLM
+from repro.core.chatpattern import ChatPattern, ChatResult
+from repro.diffusion.model import ConditionalDiffusionModel
+from repro.serve.batching import BatchedSamplingModel, MicroBatchScheduler
+from repro.serve.registry import ModelKey, ModelRegistry
+from repro.serve.stats import RequestStats, SchedulerStats
+from repro.serve.store import LibraryStore
+
+
+@dataclass
+class ServeRequest:
+    """One natural-language generation request entering the service."""
+
+    text: str
+    objective: str = "legality"
+    request_id: int = 0
+
+
+@dataclass
+class ServeResponse:
+    """One request's full outcome: agent result plus service metrics.
+
+    A request that raised is fault-isolated: ``result`` is ``None`` and
+    ``error`` carries the message, while every other request in the same
+    ``serve`` call completes normally.
+    """
+
+    request: ServeRequest
+    result: Optional[ChatResult]
+    stats: RequestStats
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def produced(self) -> int:
+        return self.result.produced if self.result is not None else 0
+
+    @property
+    def dropped(self) -> int:
+        return self.result.dropped if self.result is not None else 0
+
+    def summary(self) -> str:
+        if self.result is None:
+            return f"{self.stats.summary()}\nFAILED: {self.error}"
+        return f"{self.stats.summary()}\n{self.result.summary()}"
+
+
+@dataclass
+class ServiceStats:
+    """Service-level aggregate over one lifetime."""
+
+    requests: int
+    produced: int
+    dropped: int
+    scheduler: SchedulerStats
+    registry: Dict = field(default_factory=dict)
+    store: Optional[Dict] = None
+
+    def as_dict(self) -> Dict:
+        payload = {
+            "requests": self.requests,
+            "produced": self.produced,
+            "dropped": self.dropped,
+            "scheduler": self.scheduler.as_dict(),
+            "registry": dict(self.registry),
+        }
+        if self.store is not None:
+            payload["store"] = self.store
+        return payload
+
+
+class PatternService:
+    """Batched, registry-backed, store-integrated ChatPattern service.
+
+    Args:
+        model: a pre-fitted back-end; bypasses the registry when given
+            (benchmark/test convenience).
+        model_key: recipe of the back-end to request from the registry
+            (default :class:`ModelKey` defaults).
+        registry: shared :class:`ModelRegistry`; a private one is created
+            when omitted.
+        store: optional :class:`LibraryStore`.  Every request's legal
+            output is persisted into it (deduplicated), and the agent's
+            ``Save_Library`` tool targets it.
+        backend_factory: per-request LLM backend factory; each request gets
+            its own instance so transcripts never interleave across threads.
+        gather_window / max_batch: scheduler knobs (see
+            :class:`MicroBatchScheduler`).
+        max_workers: concurrent request executors.
+        base_seed: per-request seeds derive from this, so a served workload
+            is reproducible for a fixed batch composition.
+        max_retries: per-pattern legalization recovery budget.
+    """
+
+    def __init__(
+        self,
+        model: Optional[ConditionalDiffusionModel] = None,
+        model_key: Optional[ModelKey] = None,
+        registry: Optional[ModelRegistry] = None,
+        store: Optional[LibraryStore] = None,
+        backend_factory: Optional[Callable[[], LLMBackend]] = None,
+        gather_window: float = 0.02,
+        max_batch: int = 64,
+        max_workers: int = 8,
+        base_seed: int = 0,
+        max_retries: int = 2,
+    ):
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self._model = model
+        self.model_key = model_key or ModelKey()
+        self.registry = registry or ModelRegistry()
+        self.store = store
+        self._backend_factory = backend_factory or SimulatedLLM
+        self._gather_window = gather_window
+        self._max_batch = max_batch
+        self.max_workers = int(max_workers)
+        self.base_seed = int(base_seed)
+        self.max_retries = int(max_retries)
+        self._scheduler: Optional[MicroBatchScheduler] = None
+        self._responses: List[ServeResponse] = []
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._scheduler is not None and self._scheduler.running
+
+    @property
+    def model(self) -> Optional[ConditionalDiffusionModel]:
+        return self._model
+
+    @property
+    def scheduler(self) -> Optional[MicroBatchScheduler]:
+        return self._scheduler
+
+    def start(self) -> "PatternService":
+        """Resolve the model (registry hit or fit) and start the scheduler."""
+        if self.running:
+            return self
+        if self._model is None:
+            self._model = self.registry.get_or_fit(self.model_key)
+        self._scheduler = MicroBatchScheduler(
+            self._model,
+            gather_window=self._gather_window,
+            max_batch=self._max_batch,
+        ).start()
+        return self
+
+    def stop(self) -> None:
+        if self._scheduler is not None:
+            self._scheduler.stop()
+
+    def __enter__(self) -> "PatternService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- serving -------------------------------------------------------
+
+    def serve(
+        self, requests: Sequence[Union[str, ServeRequest]]
+    ) -> List[ServeResponse]:
+        """Handle many requests concurrently; returns responses in order.
+
+        This is the batched counterpart of calling
+        ``ChatPattern.handle_request`` in a loop: all requests run at once
+        (up to ``max_workers``) and their sampling work coalesces in the
+        scheduler.
+        """
+        if not requests:
+            return []
+        self.start()
+        resolved = [
+            request
+            if isinstance(request, ServeRequest)
+            else ServeRequest(text=request)
+            for request in requests
+        ]
+        for i, request in enumerate(resolved):
+            if request.request_id == 0:
+                request.request_id = len(self._responses) + i + 1
+        with ThreadPoolExecutor(
+            max_workers=min(self.max_workers, len(resolved)),
+            thread_name_prefix="repro-serve-request",
+        ) as pool:
+            futures = [pool.submit(self._handle_one, r) for r in resolved]
+            responses = [future.result() for future in futures]
+        self._responses.extend(responses)
+        return responses
+
+    def handle(
+        self, text: str, objective: str = "legality"
+    ) -> ServeResponse:
+        """Serve a single request (still through the scheduler)."""
+        return self.serve([ServeRequest(text=text, objective=objective)])[0]
+
+    def _handle_one(self, request: ServeRequest) -> ServeResponse:
+        started = time.perf_counter()
+        client = BatchedSamplingModel(self._scheduler)
+        result: Optional[ChatResult] = None
+        error: Optional[str] = None
+        try:  # fault isolation: one bad request must not sink the batch,
+            # and that covers per-request setup (backend construction) too
+            chat = ChatPattern(
+                model=client,
+                backend=self._backend_factory(),
+                max_retries=self.max_retries,
+                base_seed=self.base_seed + 7919 * request.request_id,
+                store=self.store,
+            )
+            result = chat.handle_request(
+                request.text, objective=request.objective
+            )
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+        stats = RequestStats(
+            request_id=request.request_id,
+            wall_seconds=time.perf_counter() - started,
+            queue_wait_seconds=client.queue_wait_seconds,
+            sample_jobs=client.sample_jobs,
+            samples=client.samples,
+            batch_sizes=list(client.batch_sizes),
+            produced=result.produced if result is not None else 0,
+            dropped=result.dropped if result is not None else 0,
+        )
+        if (
+            self.store is not None
+            and result is not None
+            and len(result.library)
+        ):
+            # Unconditional persistence: the add is idempotent (content-hash
+            # dedup), so patterns the agent already saved via Save_Library
+            # simply show up in `store_deduplicated` here.
+            report = self.store.add_library(result.library, legal=True)
+            stats.store_added = report.added
+            stats.store_deduplicated = report.deduplicated
+        return ServeResponse(
+            request=request, result=result, stats=stats, error=error
+        )
+
+    # -- observability -------------------------------------------------
+
+    @property
+    def responses(self) -> List[ServeResponse]:
+        return list(self._responses)
+
+    def stats(self) -> ServiceStats:
+        scheduler_stats = (
+            self._scheduler.stats()
+            if self._scheduler is not None
+            else SchedulerStats.from_records([])
+        )
+        return ServiceStats(
+            requests=len(self._responses),
+            produced=sum(r.produced for r in self._responses),
+            dropped=sum(r.dropped for r in self._responses),
+            scheduler=scheduler_stats,
+            registry=self.registry.stats(),
+            store=self.store.stats() if self.store is not None else None,
+        )

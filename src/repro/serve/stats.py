@@ -1,0 +1,119 @@
+"""Observability records for the pattern-generation service.
+
+Every layer of :mod:`repro.serve` reports through these dataclasses: the
+micro-batching scheduler records one :class:`BatchRecord` per batched
+denoise trajectory, each served request gets a :class:`RequestStats`, and
+:class:`SchedulerStats` aggregates a run for dashboards/benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass
+class BatchRecord:
+    """One batched sampling trajectory executed by the scheduler."""
+
+    jobs: int
+    samples: int
+    shape: Tuple[int, int]
+    wall_seconds: float
+
+    @property
+    def samples_per_sec(self) -> float:
+        return self.samples / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+
+@dataclass
+class SchedulerStats:
+    """Aggregate view over a scheduler's batch records."""
+
+    batches: int
+    jobs: int
+    samples: int
+    max_batch_size: int
+    mean_batch_size: float
+    wall_seconds: float
+
+    @property
+    def samples_per_sec(self) -> float:
+        return self.samples / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @classmethod
+    def from_records(cls, records: Sequence[BatchRecord]) -> "SchedulerStats":
+        if not records:
+            return cls(0, 0, 0, 0, 0.0, 0.0)
+        sizes = [r.samples for r in records]
+        return cls(
+            batches=len(records),
+            jobs=sum(r.jobs for r in records),
+            samples=sum(sizes),
+            max_batch_size=max(sizes),
+            mean_batch_size=sum(sizes) / len(sizes),
+            wall_seconds=sum(r.wall_seconds for r in records),
+        )
+
+    def as_dict(self) -> Dict:
+        return {
+            "batches": self.batches,
+            "jobs": self.jobs,
+            "samples": self.samples,
+            "max_batch_size": self.max_batch_size,
+            "mean_batch_size": round(self.mean_batch_size, 2),
+            "wall_seconds": round(self.wall_seconds, 4),
+            "samples_per_sec": round(self.samples_per_sec, 2),
+        }
+
+
+@dataclass
+class RequestStats:
+    """Per-request service metrics (queue wait, batching, throughput)."""
+
+    request_id: int
+    wall_seconds: float
+    queue_wait_seconds: float
+    sample_jobs: int
+    samples: int
+    batch_sizes: List[int] = field(default_factory=list)
+    produced: int = 0
+    dropped: int = 0
+    store_added: int = 0
+    store_deduplicated: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Mean size of the batches this request's sampling rode in."""
+        if not self.batch_sizes:
+            return 0.0
+        return sum(self.batch_sizes) / len(self.batch_sizes)
+
+    @property
+    def samples_per_sec(self) -> float:
+        return self.samples / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def as_dict(self) -> Dict:
+        return {
+            "request_id": self.request_id,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "queue_wait_seconds": round(self.queue_wait_seconds, 4),
+            "sample_jobs": self.sample_jobs,
+            "samples": self.samples,
+            "mean_batch_size": round(self.mean_batch_size, 2),
+            "samples_per_sec": round(self.samples_per_sec, 2),
+            "produced": self.produced,
+            "dropped": self.dropped,
+            "store_added": self.store_added,
+            "store_deduplicated": self.store_deduplicated,
+        }
+
+    def summary(self) -> str:
+        return (
+            f"request {self.request_id}: produced {self.produced}, "
+            f"dropped {self.dropped}; {self.samples} sample(s) in "
+            f"{self.sample_jobs} job(s), mean batch {self.mean_batch_size:.1f}, "
+            f"queue wait {self.queue_wait_seconds * 1000:.0f} ms, "
+            f"{self.wall_seconds:.2f}s wall "
+            f"({self.samples_per_sec:.1f} samples/s)"
+        )

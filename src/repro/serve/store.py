@@ -1,0 +1,269 @@
+"""Indexed, content-addressed pattern store layered over :mod:`repro.io.store`.
+
+Flat ``.npz`` libraries are fine for handing a result to one user, but a
+service accumulating patterns across many requests needs deduplication and
+querying.  The ``LibraryStore`` keeps one single-pattern ``.npz`` object
+(written with :func:`repro.io.store.save_library`) per *unique* squish
+topology, keyed by a content hash of ``(style, topology)``, plus a JSON
+index holding the queryable characteristics: style, topology size, physical
+size and legality.  Duplicate topologies — common when many requests ask
+for the same styles — are counted, not re-stored.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.io.store import load_library, save_library
+from repro.squish.pattern import PatternLibrary, SquishPattern
+
+_INDEX_NAME = "index.json"
+_INDEX_VERSION = 1
+
+
+def pattern_content_hash(pattern: SquishPattern) -> str:
+    """Content hash of a squish topology under its style tag.
+
+    Two patterns with the same style and the same topology matrix hash
+    equally even when their delta vectors differ: topology identity is what
+    the paper's diversity metric (Eq. 8) counts, so it is the right dedup
+    granularity — the first-seen geometry is the one kept on disk.
+    """
+    digest = hashlib.sha256()
+    digest.update(str(pattern.style).encode("utf-8"))
+    digest.update(b"|")
+    rows, cols = pattern.topology.shape
+    digest.update(f"{rows}x{cols}|".encode("ascii"))
+    digest.update(np.ascontiguousarray(pattern.topology, dtype=np.uint8).tobytes())
+    return digest.hexdigest()
+
+
+@dataclass
+class StoreRecord:
+    """Index entry: the queryable characteristics of one stored pattern."""
+
+    content_hash: str
+    style: Optional[str]
+    rows: int
+    cols: int
+    physical_width: int
+    physical_height: int
+    legal: Optional[bool]
+    file: str
+    duplicates: int = 0
+
+    def as_dict(self) -> Dict:
+        return {
+            "content_hash": self.content_hash,
+            "style": self.style,
+            "rows": self.rows,
+            "cols": self.cols,
+            "physical_width": self.physical_width,
+            "physical_height": self.physical_height,
+            "legal": self.legal,
+            "file": self.file,
+            "duplicates": self.duplicates,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "StoreRecord":
+        return cls(**data)
+
+
+@dataclass
+class StoreReport:
+    """Outcome of adding a batch of patterns."""
+
+    added: int = 0
+    deduplicated: int = 0
+    hashes: List[str] = field(default_factory=list)
+
+
+class LibraryStore:
+    """Content-hash-indexed pattern store rooted at a directory.
+
+    One instance is safe for concurrent use from many threads (a reentrant
+    lock guards index mutations) and persistent: re-opening the same root
+    reads the JSON index back.  Use a single instance per root — each
+    instance caches the index in memory and rewrites it wholesale on add,
+    so two live instances on the same directory would clobber each other's
+    entries.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        (self.root / "objects").mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._records: Dict[str, StoreRecord] = {}
+        self._load_index()
+
+    # -- persistence ---------------------------------------------------
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / _INDEX_NAME
+
+    def _load_index(self) -> None:
+        if not self.index_path.exists():
+            return
+        payload = json.loads(self.index_path.read_text())
+        for entry in payload.get("patterns", []):
+            record = StoreRecord.from_dict(entry)
+            self._records[record.content_hash] = record
+
+    def _flush(self) -> None:
+        payload = {
+            "version": _INDEX_VERSION,
+            "patterns": [r.as_dict() for r in self._records.values()],
+        }
+        tmp = self.index_path.with_name(_INDEX_NAME + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=1))
+        os.replace(tmp, self.index_path)
+
+    # -- writing -------------------------------------------------------
+
+    def add(
+        self, pattern: SquishPattern, legal: Optional[bool] = None, flush: bool = True
+    ) -> tuple:
+        """Store one pattern; returns ``(content_hash, was_new)``.
+
+        A pattern whose ``(style, topology)`` is already present is deduped:
+        its duplicate counter increments and nothing is written to the
+        object tree.  A known ``legal`` verdict upgrades a record whose
+        legality was previously unknown.
+        """
+        content_hash = pattern_content_hash(pattern)
+        with self._lock:
+            record = self._records.get(content_hash)
+            if record is not None:
+                record.duplicates += 1
+                if record.legal is None and legal is not None:
+                    record.legal = legal
+                if flush:
+                    self._flush()
+                return content_hash, False
+            rel = Path("objects") / content_hash[:2] / f"{content_hash}.npz"
+            target = self.root / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            written = save_library(
+                PatternLibrary(patterns=[pattern], name=content_hash), target
+            )
+            record = StoreRecord(
+                content_hash=content_hash,
+                style=pattern.style,
+                rows=pattern.shape[0],
+                cols=pattern.shape[1],
+                physical_width=pattern.physical_width,
+                physical_height=pattern.physical_height,
+                legal=legal,
+                file=str(written.relative_to(self.root)),
+            )
+            self._records[content_hash] = record
+            if flush:
+                self._flush()
+            return content_hash, True
+
+    def add_library(
+        self, library: PatternLibrary, legal: Optional[bool] = None
+    ) -> StoreReport:
+        """Store every pattern of a library, deduplicating as it goes.
+
+        The index is flushed once at the end, not per pattern.
+        """
+        report = StoreReport()
+        with self._lock:
+            for pattern in library:
+                content_hash, was_new = self.add(pattern, legal=legal, flush=False)
+                report.hashes.append(content_hash)
+                if was_new:
+                    report.added += 1
+                else:
+                    report.deduplicated += 1
+            if len(library):
+                self._flush()
+        return report
+
+    # -- reading -------------------------------------------------------
+
+    def get(self, content_hash: str) -> SquishPattern:
+        """Load one stored pattern by its content hash."""
+        with self._lock:
+            record = self._records.get(content_hash)
+        if record is None:
+            raise KeyError(f"unknown content hash {content_hash!r}")
+        return load_library(self.root / record.file)[0]
+
+    def record(self, content_hash: str) -> StoreRecord:
+        """Index entry for one content hash (no pattern data loaded)."""
+        with self._lock:
+            try:
+                return self._records[content_hash]
+            except KeyError:
+                raise KeyError(
+                    f"unknown content hash {content_hash!r}"
+                ) from None
+
+    def query(
+        self,
+        style: Optional[str] = None,
+        legal: Optional[bool] = None,
+        min_size: Optional[int] = None,
+        max_size: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> PatternLibrary:
+        """Load every stored pattern matching the given characteristics.
+
+        ``min_size`` / ``max_size`` bound the larger topology edge
+        (``max(rows, cols)``); ``legal`` filters on the recorded verdict
+        (records with unknown legality match only ``legal=None``).
+        """
+        with self._lock:
+            records = list(self._records.values())
+        matches = PatternLibrary(name=f"{self.root.name}-query")
+        for record in records:
+            if style is not None and record.style != style:
+                continue
+            if legal is not None and record.legal is not legal:
+                continue
+            edge = max(record.rows, record.cols)
+            if min_size is not None and edge < min_size:
+                continue
+            if max_size is not None and edge > max_size:
+                continue
+            matches.add(load_library(self.root / record.file)[0])
+            if limit is not None and len(matches) >= limit:
+                break
+        return matches
+
+    # -- observability -------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def styles(self) -> List[str]:
+        with self._lock:
+            return sorted(
+                {r.style for r in self._records.values() if r.style is not None}
+            )
+
+    def stats(self) -> Dict:
+        with self._lock:
+            records = list(self._records.values())
+        by_style: Dict[str, int] = {}
+        for record in records:
+            by_style[str(record.style)] = by_style.get(str(record.style), 0) + 1
+        return {
+            "unique": len(records),
+            "duplicates": sum(r.duplicates for r in records),
+            "legal": sum(1 for r in records if r.legal is True),
+            "by_style": by_style,
+        }

@@ -170,3 +170,56 @@ class TestAnalyzeTool:
         result = tools.call("Analyze_Library")
         assert result.ok
         assert result.data["count"] == 0
+
+
+class TestSaveLibraryTool:
+    def _tools_with_store(self, small_model, tmp_path):
+        from repro.serve import LibraryStore
+
+        store = LibraryStore(tmp_path)
+        return AgentTools(small_model, Workspace(), base_seed=1, store=store), store
+
+    def test_without_store_fails_cleanly(self, tools):
+        result = tools.call("Save_Library")
+        assert not result.ok
+        assert "no pattern store" in result.message
+
+    def test_empty_library_refused(self, small_model, tmp_path):
+        tools, _ = self._tools_with_store(small_model, tmp_path)
+        result = tools.call("Save_Library")
+        assert not result.ok
+        assert "empty" in result.message
+
+    def test_persists_and_dedupes(self, small_model, tmp_path):
+        tools, store = self._tools_with_store(small_model, tmp_path)
+        generated = tools.call("Topology_Generation", seed=5, style="Layer-10001")
+        legalized = tools.call(
+            "Legalization",
+            topology_path=generated.data["topology_path"],
+            physical_size=physical_size_for((64, 64)),
+        )
+        if not legalized.ok:  # guaranteed-legal fallback for a small model
+            tools.call(
+                "Topology_Selection",
+                seed=6,
+                style="Layer-10001",
+                count=1,
+            )
+        assert len(tools.workspace.library) >= 1
+
+        first = tools.call("Save_Library")
+        assert first.ok
+        assert first.data["added"] == len(tools.workspace.library)
+        assert store.stats()["legal"] == first.data["added"]
+
+        second = tools.call("Save_Library")
+        assert second.ok
+        assert second.data["added"] == 0
+        assert second.data["deduplicated"] == len(tools.workspace.library)
+
+    def test_analyze_reports_store_stats(self, small_model, tmp_path):
+        tools, _ = self._tools_with_store(small_model, tmp_path)
+        result = tools.call("Analyze_Library")
+        assert result.ok
+        assert result.data["store"]["unique"] == 0
+        assert "persistent store" in result.message

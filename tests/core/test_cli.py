@@ -59,6 +59,58 @@ class TestCommands:
         captured = capsys.readouterr().out
         assert "sub-task" in captured
 
+    def test_serve(self, tmp_path, capsys):
+        out = tmp_path / "served.npz"
+        store_dir = tmp_path / "store"
+        request = (
+            "Generate 2 layout patterns, 64*64 topology, physical size "
+            "1024nm * 1024nm, style {style}."
+        )
+        code = cli.main(
+            ["serve",
+             request.format(style="Layer-10001"),
+             request.format(style="Layer-10003"),
+             "--gather-window", "0.1",
+             "--store", str(store_dir),
+             "-o", str(out)]
+        )
+        captured = capsys.readouterr().out
+        assert "request 1:" in captured
+        assert "request 2:" in captured
+        assert "service:" in captured
+        assert (store_dir / "index.json").exists()
+        if code == 0:
+            assert len(load_library(out)) >= 2
+
+    def test_serve_requests_file(self, tmp_path, capsys):
+        requests_file = tmp_path / "requests.txt"
+        requests_file.write_text(
+            "# workload\n"
+            "Generate 2 layout patterns, 64*64 topology, physical size "
+            "1024nm * 1024nm, style Layer-10001.\n"
+        )
+        cli.main(["serve", "--requests-file", str(requests_file)])
+        assert "request 1:" in capsys.readouterr().out
+
+    def test_serve_survives_bad_request(self, tmp_path, capsys):
+        out = tmp_path / "partial.npz"
+        good = (
+            "Generate 1 layout patterns, 64*64 topology, physical size "
+            "1024nm * 1024nm, style Layer-10001."
+        )
+        bad = "Generate 1 layout patterns, 64*64 topology, style Layer-99999."
+        code = cli.main(["serve", good, bad, "-o", str(out)])
+        captured = capsys.readouterr().out
+        assert code == 1  # not every request produced
+        assert "FAILED" in captured
+        assert "Layer-99999" in captured
+        if out.exists():  # the good request's output still saved
+            assert len(load_library(out)) >= 1
+
+    def test_serve_without_requests_errors(self, capsys):
+        assert cli.main(["serve"]) == 2
+        assert "no requests" in capsys.readouterr().err
+
     def test_evaluate_and_export(self, tmp_path, small_model, capsys):
         samples = small_model.sample(2, 0, np.random.default_rng(0))
         result = legalize_batch(list(samples), "Layer-10001",

@@ -77,3 +77,50 @@ class TestLibraryStore:
         save_library(PatternLibrary(name="none"), path)
         loaded = load_library(path)
         assert len(loaded) == 0
+        assert loaded.name == "none"
+        assert loaded.styles() == []
+
+    @pytest.mark.parametrize(
+        "name", ["lib", "lib.npz", "lib.v1", "archive.tar"]
+    )
+    def test_returned_path_is_the_written_file(self, tmp_path, name):
+        # np.savez_compressed appends ".npz" when missing; the returned
+        # path must always point at the file actually on disk.
+        written = save_library(self._library(), tmp_path / name)
+        assert written.exists()
+        assert written.name.endswith(".npz")
+        assert len(load_library(written)) == 2
+
+    def test_round_trip_via_suffixless_path(self, tmp_path):
+        lib = self._library()
+        written = save_library(lib, tmp_path / "noext")
+        assert written == tmp_path / "noext.npz"
+        loaded = load_library(written)
+        assert len(loaded) == len(lib)
+        for original, restored in zip(lib, loaded):
+            assert original == restored
+
+    def test_mixed_style_round_trip_with_untagged_pattern(self, tmp_path):
+        lib = self._library()
+        lib.add(
+            SquishPattern(
+                topology=np.array([[1]], dtype=np.uint8),
+                dx=np.array([7]),
+                dy=np.array([9]),
+                style=None,
+            )
+        )
+        written = save_library(lib, tmp_path / "mixed.npz")
+        loaded = load_library(written)
+        assert len(loaded) == 3
+        assert [p.style for p in loaded] == [
+            "Layer-10001", "Layer-10003", None
+        ]
+        # styles() only reports tagged patterns, in sorted order.
+        assert loaded.styles() == ["Layer-10001", "Layer-10003"]
+        assert loaded[2] == lib[2]
+
+    def test_empty_library_suffixless_round_trip(self, tmp_path):
+        written = save_library(PatternLibrary(name="void"), tmp_path / "void")
+        assert written.exists()
+        assert len(load_library(written)) == 0

@@ -1,0 +1,127 @@
+"""Unit tests for the micro-batching scheduler and its model client."""
+
+import time
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.serve import BatchedSamplingModel, MicroBatchScheduler
+
+
+class TestSchedulerBatching:
+    def test_pre_submitted_jobs_form_one_batch(self, small_model):
+        scheduler = MicroBatchScheduler(small_model, gather_window=0.05)
+        jobs = [
+            scheduler.submit(1, i % 2, seed=i) for i in range(4)
+        ]  # queued before the worker starts
+        with scheduler:
+            results = [job.result(timeout=60) for job in jobs]
+        for result in results:
+            assert result.shape == (1, 64, 64)
+            assert result.dtype == np.uint8
+        stats = scheduler.stats()
+        assert stats.batches == 1
+        assert stats.jobs == 4
+        assert stats.max_batch_size == 4
+        assert all(job.batch_samples == 4 for job in jobs)
+        assert all(job.queue_wait >= 0.0 for job in jobs)
+
+    def test_multi_count_jobs_split_correctly(self, small_model):
+        scheduler = MicroBatchScheduler(small_model, gather_window=0.05)
+        a = scheduler.submit(2, 0, seed=1)
+        b = scheduler.submit(3, 1, seed=2)
+        with scheduler:
+            ra = a.result(timeout=60)
+            rb = b.result(timeout=60)
+        assert ra.shape == (2, 64, 64)
+        assert rb.shape == (3, 64, 64)
+        assert scheduler.stats().samples == 5
+
+    def test_mixed_shapes_grouped_by_shape(self, small_model):
+        scheduler = MicroBatchScheduler(small_model, gather_window=0.05)
+        a = scheduler.submit(1, 0, shape=(64, 64), seed=1)
+        b = scheduler.submit(1, 1, shape=(32, 32), seed=2)
+        with scheduler:
+            assert a.result(timeout=60).shape == (1, 64, 64)
+            assert b.result(timeout=60).shape == (1, 32, 32)
+        stats = scheduler.stats()
+        # One gather, but two trajectories: shapes cannot share a stack.
+        assert stats.batches == 2
+        assert stats.max_batch_size == 1
+
+    def test_max_batch_caps_gathering(self, small_model):
+        scheduler = MicroBatchScheduler(
+            small_model, gather_window=0.05, max_batch=2
+        )
+        jobs = [scheduler.submit(1, 0, seed=i) for i in range(4)]
+        with scheduler:
+            for job in jobs:
+                job.result(timeout=60)
+        assert scheduler.stats().max_batch_size <= 2
+
+    def test_error_propagates_to_every_rider(self):
+        def boom(conditions, rng, shape=None):
+            raise RuntimeError("backend exploded")
+
+        model = SimpleNamespace(window=16, fitted=True, sample_batch=boom)
+        scheduler = MicroBatchScheduler(model, gather_window=0.05)
+        jobs = [scheduler.submit(1, 0, seed=i) for i in range(2)]
+        with scheduler:
+            for job in jobs:
+                with pytest.raises(RuntimeError, match="backend exploded"):
+                    job.result(timeout=10)
+
+    def test_rejects_bad_arguments(self, small_model):
+        scheduler = MicroBatchScheduler(small_model)
+        with pytest.raises(ValueError):
+            scheduler.submit(0, 0)
+        with pytest.raises(ValueError):
+            MicroBatchScheduler(small_model, gather_window=-1)
+        with pytest.raises(ValueError):
+            MicroBatchScheduler(small_model, max_batch=0)
+
+
+class TestBatchedSamplingModel:
+    def test_delegates_model_attributes(self, small_model):
+        scheduler = MicroBatchScheduler(small_model)
+        client = BatchedSamplingModel(scheduler)
+        assert client.window == small_model.window
+        assert client.n_classes == small_model.n_classes
+        assert client.fitted is True
+        assert client.schedule is small_model.schedule
+
+    def test_sample_rides_scheduler_and_records_stats(self, small_model):
+        scheduler = MicroBatchScheduler(small_model, gather_window=0.05)
+        client = BatchedSamplingModel(scheduler)
+        with scheduler:
+            samples = client.sample(2, 0, np.random.default_rng(3))
+        assert samples.shape == (2, 64, 64)
+        assert client.sample_jobs == 1
+        assert client.samples == 2
+        assert client.batch_sizes == [2]
+        assert scheduler.stats().jobs == 1
+
+    def test_concurrent_clients_coalesce(self, small_model):
+        import threading
+
+        scheduler = MicroBatchScheduler(small_model, gather_window=0.2)
+        clients = [BatchedSamplingModel(scheduler) for _ in range(4)]
+        outputs = [None] * 4
+
+        def worker(i):
+            outputs[i] = clients[i].sample(
+                1, i % 2, np.random.default_rng(i)
+            )
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        with scheduler:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert all(out.shape == (1, 64, 64) for out in outputs)
+        # All four single-sample jobs rode batched trajectories.
+        assert scheduler.stats().max_batch_size > 1

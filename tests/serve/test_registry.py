@@ -1,0 +1,113 @@
+"""Unit tests for the fitted-model registry."""
+
+import threading
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.serve import ModelKey, ModelRegistry
+
+
+def _fake_model():
+    return SimpleNamespace(fitted=True)
+
+
+class TestModelKey:
+    def test_hashable_and_equal(self):
+        a = ModelKey(window=64, train_count=4)
+        b = ModelKey(window=64, train_count=4)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != ModelKey(window=128, train_count=4)
+
+    def test_dataset_config_mirrors_key(self):
+        key = ModelKey(window=64, tile_nm=1024, map_scale=4, seed=9)
+        cfg = key.dataset_config()
+        assert cfg.topology_size == 64
+        assert cfg.tile_nm == 1024
+        assert cfg.map_scale == 4
+        assert cfg.seed == 9
+
+
+class TestModelRegistry:
+    def test_fits_once_then_hits(self):
+        calls = []
+
+        def builder(key):
+            calls.append(key)
+            return _fake_model()
+
+        registry = ModelRegistry(builder=builder)
+        key = ModelKey(window=64)
+        first = registry.get_or_fit(key)
+        second = registry.get_or_fit(key)
+        assert first is second
+        assert len(calls) == 1
+        assert registry.stats() == {"cached": 1, "hits": 1, "misses": 1}
+
+    def test_distinct_keys_distinct_models(self):
+        registry = ModelRegistry(builder=lambda key: _fake_model())
+        a = registry.get_or_fit(ModelKey(window=64))
+        b = registry.get_or_fit(ModelKey(window=128))
+        assert a is not b
+        assert len(registry) == 2
+
+    def test_put_requires_fitted(self):
+        registry = ModelRegistry(builder=lambda key: _fake_model())
+        with pytest.raises(ValueError):
+            registry.put(ModelKey(), SimpleNamespace(fitted=False))
+
+    def test_put_then_get_is_hit(self):
+        registry = ModelRegistry(builder=lambda key: _fake_model())
+        key = ModelKey(window=64)
+        model = _fake_model()
+        registry.put(key, model)
+        assert key in registry
+        assert registry.get_or_fit(key) is model
+        assert registry.stats()["misses"] == 0
+
+    def test_lru_eviction(self):
+        registry = ModelRegistry(builder=lambda key: _fake_model(), max_models=2)
+        keys = [ModelKey(window=w) for w in (32, 64, 128)]
+        for key in keys:
+            registry.get_or_fit(key)
+        assert keys[0] not in registry
+        assert keys[1] in registry and keys[2] in registry
+
+    def test_concurrent_requests_fit_exactly_once(self):
+        calls = []
+
+        def slow_builder(key):
+            calls.append(key)
+            time.sleep(0.05)
+            return _fake_model()
+
+        registry = ModelRegistry(builder=slow_builder)
+        key = ModelKey(window=64)
+        results = []
+
+        def worker():
+            results.append(registry.get_or_fit(key))
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(calls) == 1
+        assert all(model is results[0] for model in results)
+
+
+class TestRealFit:
+    def test_fit_model_trains_a_usable_backend(self):
+        import numpy as np
+
+        registry = ModelRegistry()
+        key = ModelKey(window=64, train_count=4, tile_nm=1024, seed=7)
+        model = registry.get_or_fit(key)
+        assert model.fitted
+        assert model.window == 64
+        assert model.n_classes == 2
+        samples = model.sample_batch([0, 1], np.random.default_rng(0))
+        assert samples.shape == (2, 64, 64)

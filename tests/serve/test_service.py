@@ -1,0 +1,158 @@
+"""Integration tests for the batched PatternService front-end.
+
+The acceptance scenario of the serving subsystem: >= 8 concurrent requests
+flow through the micro-batching scheduler (observed batch size > 1) against
+a registry-cached model, and legal output lands in the indexed store.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    LibraryStore,
+    ModelKey,
+    ModelRegistry,
+    PatternService,
+    ServeRequest,
+)
+
+REQUEST = (
+    "Generate 2 legal patterns, 64*64 topology, physical size "
+    "1024nm * 1024nm, style {style}."
+)
+
+
+@pytest.fixture()
+def registry(small_model):
+    registry = ModelRegistry()
+    registry.put(ModelKey(window=64), small_model)
+    return registry
+
+
+def _requests(count):
+    styles = ("Layer-10001", "Layer-10003")
+    return [REQUEST.format(style=styles[i % 2]) for i in range(count)]
+
+
+class TestServeConcurrent:
+    def test_eight_concurrent_requests_batch_and_reuse_model(
+        self, registry, small_model, tmp_path
+    ):
+        store = LibraryStore(tmp_path)
+        service = PatternService(
+            model_key=ModelKey(window=64),
+            registry=registry,
+            store=store,
+            gather_window=0.1,
+            max_workers=8,
+            max_retries=1,
+        )
+        with service:
+            responses = service.serve(_requests(8))
+
+        assert len(responses) == 8
+        assert [r.request.request_id for r in responses] == list(range(1, 9))
+        assert sum(r.produced for r in responses) > 0
+
+        stats = service.stats()
+        # The whole point: concurrent requests coalesced into shared
+        # batched trajectories instead of sampling one by one.
+        assert stats.scheduler.max_batch_size > 1
+        assert stats.scheduler.jobs >= 8
+        # The model came from the registry cache, not a fresh fit.
+        assert stats.registry["hits"] == 1
+        assert stats.registry["misses"] == 0
+        # Every legal pattern was persisted (and deduplicated) in the store.
+        assert stats.store["unique"] + stats.store["duplicates"] >= sum(
+            r.produced for r in responses
+        )
+        for response in responses:
+            assert response.stats.samples >= response.produced
+            assert response.stats.wall_seconds > 0
+            assert response.stats.mean_batch_size >= 1
+            assert "request" in response.summary()
+
+    def test_plain_strings_accepted(self, registry):
+        service = PatternService(
+            model_key=ModelKey(window=64),
+            registry=registry,
+            gather_window=0.02,
+            max_retries=0,
+        )
+        with service:
+            responses = service.serve(_requests(2))
+        assert all(r.request.objective == "legality" for r in responses)
+
+    def test_serve_empty_is_noop(self, registry):
+        service = PatternService(model_key=ModelKey(window=64), registry=registry)
+        assert service.serve([]) == []
+        assert not service.running
+
+    def test_handle_single_request(self, registry):
+        service = PatternService(
+            model_key=ModelKey(window=64), registry=registry, max_retries=0
+        )
+        with service:
+            response = service.handle(_requests(1)[0])
+        assert response.request.request_id == 1
+        assert response.stats.sample_jobs >= 1
+
+    def test_direct_model_bypasses_registry(self, small_model):
+        registry = ModelRegistry()
+        service = PatternService(
+            model=small_model, registry=registry, max_retries=0
+        )
+        with service:
+            service.serve(_requests(1))
+        assert registry.stats() == {"cached": 0, "hits": 0, "misses": 0}
+
+    def test_request_ids_continue_across_serve_calls(self, registry):
+        service = PatternService(
+            model_key=ModelKey(window=64), registry=registry, max_retries=0
+        )
+        with service:
+            first = service.serve(_requests(1))
+            second = service.serve(_requests(1))
+        assert first[0].request.request_id == 1
+        assert second[0].request.request_id == 2
+        assert len(service.responses) == 2
+
+    def test_explicit_request_objects_preserved(self, registry):
+        service = PatternService(
+            model_key=ModelKey(window=64), registry=registry, max_retries=0
+        )
+        request = ServeRequest(text=_requests(1)[0], objective="diversity")
+        with service:
+            response = service.serve([request])[0]
+        assert response.request is request
+        assert response.request.objective == "diversity"
+
+    def test_bad_request_is_fault_isolated(self, registry):
+        service = PatternService(
+            model_key=ModelKey(window=64), registry=registry, max_retries=0
+        )
+        bad = (
+            "Generate 2 legal patterns, 64*64 topology, physical size "
+            "1024nm * 1024nm, style Layer-99999."
+        )
+        with service:
+            responses = service.serve([_requests(1)[0], bad])
+        assert responses[0].ok
+        assert responses[0].produced >= 0 and responses[0].error is None
+        assert not responses[1].ok
+        assert responses[1].produced == 0
+        assert "Layer-99999" in responses[1].error
+        assert "FAILED" in responses[1].summary()
+
+    def test_stats_aggregate_requests(self, registry):
+        service = PatternService(
+            model_key=ModelKey(window=64), registry=registry, max_retries=1
+        )
+        with service:
+            responses = service.serve(_requests(2))
+        stats = service.stats()
+        assert stats.requests == 2
+        assert stats.produced == sum(r.produced for r in responses)
+        payload = stats.as_dict()
+        assert payload["scheduler"]["samples"] >= 2
+        assert "registry" in payload

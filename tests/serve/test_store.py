@@ -1,0 +1,133 @@
+"""Unit tests for the content-hash-indexed LibraryStore."""
+
+import numpy as np
+import pytest
+
+from repro.serve import LibraryStore, pattern_content_hash
+from repro.squish import PatternLibrary, SquishPattern
+
+
+def _pattern(fill_row=0, style="Layer-10001", size=4, dx=10):
+    topology = np.zeros((size, size), dtype=np.uint8)
+    topology[fill_row % size] = 1
+    return SquishPattern(
+        topology=topology,
+        dx=np.full(size, dx),
+        dy=np.full(size, 10),
+        style=style,
+    )
+
+
+class TestContentHash:
+    def test_same_topology_same_style_hash_equal(self):
+        assert pattern_content_hash(_pattern()) == pattern_content_hash(_pattern())
+
+    def test_geometry_does_not_change_hash(self):
+        # Dedup is at topology granularity: delta vectors don't participate.
+        assert pattern_content_hash(_pattern(dx=10)) == pattern_content_hash(
+            _pattern(dx=20)
+        )
+
+    def test_style_and_topology_change_hash(self):
+        base = pattern_content_hash(_pattern())
+        assert pattern_content_hash(_pattern(style="Layer-10003")) != base
+        assert pattern_content_hash(_pattern(fill_row=1)) != base
+
+
+class TestAddAndDedup:
+    def test_add_new_then_duplicate(self, tmp_path):
+        store = LibraryStore(tmp_path)
+        content_hash, was_new = store.add(_pattern(), legal=True)
+        assert was_new
+        assert len(store) == 1
+        again, was_new = store.add(_pattern())
+        assert again == content_hash
+        assert not was_new
+        assert len(store) == 1
+        assert store.stats()["duplicates"] == 1
+
+    def test_duplicate_upgrades_unknown_legality(self, tmp_path):
+        store = LibraryStore(tmp_path)
+        content_hash, _ = store.add(_pattern())
+        assert store.record(content_hash).legal is None
+        store.add(_pattern(), legal=True)
+        assert store.record(content_hash).legal is True
+
+    def test_add_library_reports_counts(self, tmp_path):
+        store = LibraryStore(tmp_path)
+        library = PatternLibrary(name="mixed")
+        library.add(_pattern(fill_row=0))
+        library.add(_pattern(fill_row=1))
+        library.add(_pattern(fill_row=0))  # dup of the first
+        report = store.add_library(library, legal=True)
+        assert report.added == 2
+        assert report.deduplicated == 1
+        assert len(report.hashes) == 3
+
+    def test_get_round_trips_pattern(self, tmp_path):
+        store = LibraryStore(tmp_path)
+        pattern = _pattern(fill_row=2)
+        content_hash, _ = store.add(pattern)
+        loaded = store.get(content_hash)
+        assert loaded == pattern
+        assert loaded.style == pattern.style
+
+    def test_get_unknown_hash_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            LibraryStore(tmp_path).get("deadbeef")
+
+
+class TestQuery:
+    def _populated(self, tmp_path):
+        store = LibraryStore(tmp_path)
+        store.add(_pattern(fill_row=0, style="Layer-10001", size=4), legal=True)
+        store.add(_pattern(fill_row=1, style="Layer-10001", size=8), legal=False)
+        store.add(_pattern(fill_row=2, style="Layer-10003", size=8), legal=True)
+        return store
+
+    def test_query_by_style(self, tmp_path):
+        store = self._populated(tmp_path)
+        assert len(store.query(style="Layer-10001")) == 2
+        assert len(store.query(style="Layer-10003")) == 1
+        assert store.styles() == ["Layer-10001", "Layer-10003"]
+
+    def test_query_by_legality(self, tmp_path):
+        store = self._populated(tmp_path)
+        assert len(store.query(legal=True)) == 2
+        assert len(store.query(legal=False)) == 1
+
+    def test_query_by_size(self, tmp_path):
+        store = self._populated(tmp_path)
+        assert len(store.query(max_size=4)) == 1
+        assert len(store.query(min_size=8)) == 2
+
+    def test_query_limit_and_combined_filters(self, tmp_path):
+        store = self._populated(tmp_path)
+        assert len(store.query(limit=2)) == 2
+        matched = store.query(style="Layer-10001", legal=True)
+        assert len(matched) == 1
+        assert matched[0].shape == (4, 4)
+
+
+class TestPersistence:
+    def test_reopen_reads_index_back(self, tmp_path):
+        store = LibraryStore(tmp_path)
+        content_hash, _ = store.add(_pattern(), legal=True)
+        store.add(_pattern())  # duplicate counter
+        reopened = LibraryStore(tmp_path)
+        assert len(reopened) == 1
+        record = reopened.record(content_hash)
+        assert record.duplicates == 1
+        assert record.legal is True
+        assert reopened.get(content_hash) == _pattern()
+
+    def test_objects_are_sharded_npz_files(self, tmp_path):
+        store = LibraryStore(tmp_path)
+        content_hash, _ = store.add(_pattern())
+        expected = (
+            tmp_path / "objects" / content_hash[:2] / f"{content_hash}.npz"
+        )
+        assert expected.exists()
+        assert store.record(content_hash).file == str(
+            expected.relative_to(tmp_path)
+        )
