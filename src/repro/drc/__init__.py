@@ -1,6 +1,7 @@
 """Design-rule checking: rules, checker and violation reports."""
 
 from repro.drc.checker import check_pattern, is_legal
+from repro.drc.reference import reference_check_pattern
 from repro.drc.rules import LAYER_RULES, DesignRules, rules_for_style
 from repro.drc.violations import DRCReport, GridRegion, Violation
 
@@ -12,5 +13,6 @@ __all__ = [
     "Violation",
     "check_pattern",
     "is_legal",
+    "reference_check_pattern",
     "rules_for_style",
 ]

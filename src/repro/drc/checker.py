@@ -4,6 +4,15 @@ Checks run directly on the squish representation, which is exact for
 Manhattan geometry: run extents along rows/columns give widths and spaces,
 and connected components give polygon areas.  Corner-touching polygons are a
 zero-space violation that no geometry assignment can repair.
+
+The hot path is fully vectorized: run extents come from
+:class:`~repro.geometry.grid.RunSet` (all scan lines at once) and polygon
+areas/bounding boxes from labelled-component reductions, so a DRC pass costs
+a handful of NumPy sweeps instead of a Python loop per run.  Violation
+objects are only materialised for the (few) offending runs/polygons, in the
+same order the scalar reference produces them — :func:`check_pattern` with
+``engine="reference"`` dispatches to :mod:`repro.drc.reference`, the
+property-tested ground truth.
 """
 
 from __future__ import annotations
@@ -11,91 +20,142 @@ from __future__ import annotations
 from typing import List
 
 import numpy as np
+from scipy import ndimage
 
 from repro.drc.rules import DesignRules
 from repro.drc.violations import DRCReport, GridRegion, Violation
-from repro.geometry.grid import all_column_runs, all_row_runs, diagonal_touch_pairs
-from repro.geometry.polygon import extract_polygons
+from repro.geometry.grid import (
+    RunSet,
+    column_run_set,
+    diagonal_touch_pairs,
+    label_components,
+    row_run_set,
+)
 from repro.squish.pattern import SquishPattern
 
+ENGINES = ("vectorized", "reference")
 
-def check_pattern(pattern: SquishPattern, rules: DesignRules) -> DRCReport:
+
+def check_pattern(
+    pattern: SquishPattern, rules: DesignRules, engine: str = "vectorized"
+) -> DRCReport:
     """Run all rule checks and return the full violation report."""
+    if engine == "reference":
+        from repro.drc.reference import reference_check_pattern
+
+        return reference_check_pattern(pattern, rules)
+    if engine != "vectorized":
+        raise ValueError(f"unknown DRC engine {engine!r}; choose from {ENGINES}")
     report = DRCReport()
+    # One labelling serves both the corner and the area check.
+    labels = label_components(pattern.topology, connectivity=4)
     report.violations.extend(_check_runs(pattern, rules))
-    report.violations.extend(_check_corners(pattern))
-    report.violations.extend(_check_areas(pattern, rules))
+    report.violations.extend(_check_corners(pattern, labels))
+    report.violations.extend(_check_areas(pattern, rules, labels))
     return report
 
 
-def is_legal(pattern: SquishPattern, rules: DesignRules) -> bool:
+def is_legal(
+    pattern: SquishPattern, rules: DesignRules, engine: str = "vectorized"
+) -> bool:
     """Definition 1: the pattern is legal iff DRC-clean."""
-    return check_pattern(pattern, rules).is_clean
+    return check_pattern(pattern, rules, engine=engine).is_clean
+
+
+def _axis_run_violations(
+    run_set: RunSet, coords: np.ndarray, rules: DesignRules, axis: str
+) -> List[Violation]:
+    """Vectorized width/space screening of one axis' runs.
+
+    Runs touching the window border are exempt: the clipped shape continues
+    outside the pattern (standard window-DRC convention).
+    """
+    lengths = coords[run_set.stop] - coords[run_set.start]
+    interior = run_set.interior
+    filled = run_set.value == 1
+    bad = interior & np.where(
+        filled, lengths < rules.min_width, lengths < rules.min_space
+    )
+    violations: List[Violation] = []
+    for pos in np.flatnonzero(bad):
+        index = int(run_set.index[pos])
+        start = int(run_set.start[pos])
+        last = int(run_set.stop[pos]) - 1
+        if axis == "x":
+            region = GridRegion(index, start, index, last)
+        else:
+            region = GridRegion(start, index, last, index)
+        if filled[pos]:
+            rule, required = "width", rules.min_width
+        else:
+            rule, required = "space", rules.min_space
+        violations.append(
+            Violation(rule, region, int(lengths[pos]), required, axis=axis)
+        )
+    return violations
 
 
 def _check_runs(pattern: SquishPattern, rules: DesignRules) -> List[Violation]:
     """Width of 1-runs and space of interior 0-runs, both axes."""
-    violations: List[Violation] = []
     xs = np.concatenate(([0], np.cumsum(pattern.dx)))
     ys = np.concatenate(([0], np.cumsum(pattern.dy)))
-    rows, cols = pattern.shape
-
-    # Runs touching the window border are exempt from Width: the clipped
-    # shape continues outside the pattern (standard window-DRC convention).
-    for run in all_row_runs(pattern.topology):
-        length = int(xs[run.stop] - xs[run.start])
-        interior = 0 < run.start and run.stop < cols
-        region = GridRegion(run.index, run.start, run.index, run.stop - 1)
-        if run.value == 1 and interior and length < rules.min_width:
-            violations.append(
-                Violation("width", region, length, rules.min_width, axis="x")
-            )
-        elif run.value == 0 and interior and length < rules.min_space:
-            violations.append(
-                Violation("space", region, length, rules.min_space, axis="x")
-            )
-
-    for run in all_column_runs(pattern.topology):
-        length = int(ys[run.stop] - ys[run.start])
-        interior = 0 < run.start and run.stop < rows
-        region = GridRegion(run.start, run.index, run.stop - 1, run.index)
-        if run.value == 1 and interior and length < rules.min_width:
-            violations.append(
-                Violation("width", region, length, rules.min_width, axis="y")
-            )
-        elif run.value == 0 and interior and length < rules.min_space:
-            violations.append(
-                Violation("space", region, length, rules.min_space, axis="y")
-            )
+    violations = _axis_run_violations(
+        row_run_set(pattern.topology), xs, rules, "x"
+    )
+    violations.extend(
+        _axis_run_violations(column_run_set(pattern.topology), ys, rules, "y")
+    )
     return violations
 
 
-def _check_corners(pattern: SquishPattern) -> List[Violation]:
+def _check_corners(
+    pattern: SquishPattern, labels: np.ndarray
+) -> List[Violation]:
     """Distinct polygons touching only at a corner (zero spacing)."""
     violations: List[Violation] = []
-    for row, col in diagonal_touch_pairs(pattern.topology):
+    for row, col in diagonal_touch_pairs(pattern.topology, labels=labels):
         region = GridRegion(row, col, row + 1, col + 1)
         violations.append(Violation("corner", region, 0, 1))
     return violations
 
 
-def _check_areas(pattern: SquishPattern, rules: DesignRules) -> List[Violation]:
-    """Polygon area against ``min_area`` (border-touching polygons exempt)."""
+def _check_areas(
+    pattern: SquishPattern, rules: DesignRules, labels: np.ndarray
+) -> List[Violation]:
+    """Polygon area against ``min_area`` (border-touching polygons exempt).
+
+    Areas are exact integer reductions over the labelled components (cell
+    area = ``dy[row] * dx[col]``); bounding boxes come from
+    ``ndimage.find_objects`` so no per-cell Python work remains.
+    """
+    n_polygons = int(labels.max())
+    if n_polygons == 0:
+        return []
+    rows_i, cols_i = np.nonzero(labels)
+    labs = labels[rows_i, cols_i]
+    cell_areas = pattern.dy[rows_i].astype(np.int64) * pattern.dx[cols_i]
+    areas = np.zeros(n_polygons + 1, dtype=np.int64)
+    np.add.at(areas, labs, cell_areas)
+
     violations: List[Violation] = []
     n_rows, n_cols = pattern.shape
-    for poly in extract_polygons(pattern.topology, pattern.dx, pattern.dy):
-        rows = [r for r, _ in poly.cells]
-        cols = [c for _, c in poly.cells]
+    for label, slices in enumerate(ndimage.find_objects(labels), start=1):
+        row_slice, col_slice = slices
         touches_border = (
-            min(rows) == 0
-            or min(cols) == 0
-            or max(rows) == n_rows - 1
-            or max(cols) == n_cols - 1
+            row_slice.start == 0
+            or col_slice.start == 0
+            or row_slice.stop == n_rows
+            or col_slice.stop == n_cols
         )
         if touches_border:
             continue
-        area = poly.area
+        area = int(areas[label])
         if area < rules.min_area:
-            region = GridRegion(min(rows), min(cols), max(rows), max(cols))
+            region = GridRegion(
+                row_slice.start,
+                col_slice.start,
+                row_slice.stop - 1,
+                col_slice.stop - 1,
+            )
             violations.append(Violation("area", region, area, rules.min_area))
     return violations

@@ -1,0 +1,113 @@
+"""Reference (scalar) DRC implementation.
+
+The original per-run/per-polygon checker, kept as the ground truth the
+vectorized engine in :mod:`repro.drc.checker` is property-tested against,
+and as the sequential baseline ``benchmarks/bench_legalize_throughput.py``
+measures speedups from.  It deliberately walks Python ``Run``/``GridPolygon``
+objects one at a time — do not optimise this module.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.drc.rules import DesignRules
+from repro.drc.violations import DRCReport, GridRegion, Violation
+from repro.geometry.grid import Run, column_runs, diagonal_touch_pairs, row_runs
+from repro.geometry.polygon import extract_polygons
+from repro.squish.pattern import SquishPattern
+
+
+def reference_check_pattern(
+    pattern: SquishPattern, rules: DesignRules
+) -> DRCReport:
+    """Scalar twin of :func:`repro.drc.checker.check_pattern`."""
+    report = DRCReport()
+    report.violations.extend(reference_check_runs(pattern, rules))
+    report.violations.extend(reference_check_corners(pattern))
+    report.violations.extend(reference_check_areas(pattern, rules))
+    return report
+
+
+def _iter_row_runs(topology: np.ndarray) -> Iterator[Run]:
+    for row in range(topology.shape[0]):
+        yield from row_runs(topology, row)
+
+
+def _iter_column_runs(topology: np.ndarray) -> Iterator[Run]:
+    for col in range(topology.shape[1]):
+        yield from column_runs(topology, col)
+
+
+def reference_check_runs(
+    pattern: SquishPattern, rules: DesignRules
+) -> List[Violation]:
+    """Width of 1-runs and space of interior 0-runs, both axes."""
+    violations: List[Violation] = []
+    xs = np.concatenate(([0], np.cumsum(pattern.dx)))
+    ys = np.concatenate(([0], np.cumsum(pattern.dy)))
+    rows, cols = pattern.shape
+
+    # Runs touching the window border are exempt from Width: the clipped
+    # shape continues outside the pattern (standard window-DRC convention).
+    for run in _iter_row_runs(pattern.topology):
+        length = int(xs[run.stop] - xs[run.start])
+        interior = 0 < run.start and run.stop < cols
+        region = GridRegion(run.index, run.start, run.index, run.stop - 1)
+        if run.value == 1 and interior and length < rules.min_width:
+            violations.append(
+                Violation("width", region, length, rules.min_width, axis="x")
+            )
+        elif run.value == 0 and interior and length < rules.min_space:
+            violations.append(
+                Violation("space", region, length, rules.min_space, axis="x")
+            )
+
+    for run in _iter_column_runs(pattern.topology):
+        length = int(ys[run.stop] - ys[run.start])
+        interior = 0 < run.start and run.stop < rows
+        region = GridRegion(run.start, run.index, run.stop - 1, run.index)
+        if run.value == 1 and interior and length < rules.min_width:
+            violations.append(
+                Violation("width", region, length, rules.min_width, axis="y")
+            )
+        elif run.value == 0 and interior and length < rules.min_space:
+            violations.append(
+                Violation("space", region, length, rules.min_space, axis="y")
+            )
+    return violations
+
+
+def reference_check_corners(pattern: SquishPattern) -> List[Violation]:
+    """Distinct polygons touching only at a corner (zero spacing)."""
+    violations: List[Violation] = []
+    for row, col in diagonal_touch_pairs(pattern.topology):
+        region = GridRegion(row, col, row + 1, col + 1)
+        violations.append(Violation("corner", region, 0, 1))
+    return violations
+
+
+def reference_check_areas(
+    pattern: SquishPattern, rules: DesignRules
+) -> List[Violation]:
+    """Polygon area against ``min_area`` (border-touching polygons exempt)."""
+    violations: List[Violation] = []
+    n_rows, n_cols = pattern.shape
+    for poly in extract_polygons(pattern.topology, pattern.dx, pattern.dy):
+        rows = [r for r, _ in poly.cells]
+        cols = [c for _, c in poly.cells]
+        touches_border = (
+            min(rows) == 0
+            or min(cols) == 0
+            or max(rows) == n_rows - 1
+            or max(cols) == n_cols - 1
+        )
+        if touches_border:
+            continue
+        area = poly.area
+        if area < rules.min_area:
+            region = GridRegion(min(rows), min(cols), max(rows), max(cols))
+            violations.append(Violation("area", region, area, rules.min_area))
+    return violations

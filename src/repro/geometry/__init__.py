@@ -2,13 +2,16 @@
 
 from repro.geometry.grid import (
     Run,
+    RunSet,
     all_column_runs,
     all_row_runs,
     as_topology,
+    column_run_set,
     column_runs,
     component_count,
     diagonal_touch_pairs,
     label_components,
+    row_run_set,
     row_runs,
 )
 from repro.geometry.polygon import GridPolygon, extract_polygons
@@ -17,17 +20,20 @@ from repro.geometry.rect import Rect, bounding_box, clip_rects, merge_touching_r
 __all__ = [
     "Rect",
     "Run",
+    "RunSet",
     "GridPolygon",
     "as_topology",
     "all_column_runs",
     "all_row_runs",
     "bounding_box",
     "clip_rects",
+    "column_run_set",
     "column_runs",
     "component_count",
     "diagonal_touch_pairs",
     "extract_polygons",
     "label_components",
     "merge_touching_rects",
+    "row_run_set",
     "row_runs",
 ]

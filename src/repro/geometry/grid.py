@@ -33,6 +33,91 @@ class Run:
         return self.stop - self.start
 
 
+@dataclass(frozen=True)
+class RunSet:
+    """All maximal runs of one scan direction, as a struct of arrays.
+
+    The vectorized counterpart of a ``List[Run]``: entry ``i`` of the four
+    parallel arrays describes one run, ordered by scan line then start cell
+    (the same order the per-line extractors produce).  ``n_cells`` is the
+    length of every scan line, so interiority (the window-DRC border
+    exemption) is a pure array expression.
+    """
+
+    index: np.ndarray  # scan-line index per run (row for "x", column for "y")
+    start: np.ndarray
+    stop: np.ndarray
+    value: np.ndarray
+    n_lines: int
+    n_cells: int
+
+    def __len__(self) -> int:
+        return int(self.index.shape[0])
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Cell count of every run."""
+        return self.stop - self.start
+
+    @property
+    def interior(self) -> np.ndarray:
+        """Mask of runs not touching either end of their scan line."""
+        return (self.start > 0) & (self.stop < self.n_cells)
+
+    def runs(self) -> List[Run]:
+        """Materialise per-run :class:`Run` views (compatibility path)."""
+        return [
+            Run(index=int(i), start=int(a), stop=int(b), value=int(v))
+            for i, a, b, v in zip(self.index, self.start, self.stop, self.value)
+        ]
+
+
+def _run_set(lines: np.ndarray) -> RunSet:
+    """Extract maximal runs of every row of ``lines`` in one vectorized pass.
+
+    Boundaries are the positions where consecutive cells differ; each line
+    contributes ``changes + 1`` runs.  ``np.nonzero`` returns change
+    coordinates in row-major order, which is exactly the flattened run order,
+    so starts/stops assemble by masked assignment without any Python loop.
+    """
+    n_lines, n_cells = lines.shape
+    diff = lines[:, 1:] != lines[:, :-1]
+    runs_per_line = 1 + np.count_nonzero(diff, axis=1)
+    total = int(runs_per_line.sum())
+    index = np.repeat(np.arange(n_lines, dtype=np.int64), runs_per_line)
+    _, change_col = np.nonzero(diff)
+
+    ends = np.cumsum(runs_per_line)
+    is_first = np.zeros(total, dtype=bool)
+    is_first[ends - runs_per_line] = True
+    is_last = np.zeros(total, dtype=bool)
+    is_last[ends - 1] = True
+
+    starts = np.zeros(total, dtype=np.int64)
+    starts[~is_first] = change_col + 1
+    stops = np.full(total, n_cells, dtype=np.int64)
+    stops[~is_last] = change_col + 1
+    values = lines[index, starts]
+    return RunSet(
+        index=index,
+        start=starts,
+        stop=stops,
+        value=values,
+        n_lines=n_lines,
+        n_cells=n_cells,
+    )
+
+
+def row_run_set(topology: np.ndarray) -> RunSet:
+    """Vectorized :func:`all_row_runs`: every row's runs in one pass."""
+    return _run_set(as_topology(topology))
+
+
+def column_run_set(topology: np.ndarray) -> RunSet:
+    """Vectorized :func:`all_column_runs`: every column's runs in one pass."""
+    return _run_set(as_topology(topology).T)
+
+
 def as_topology(array: np.ndarray) -> np.ndarray:
     """Validate and canonicalise a topology matrix to 2-D ``uint8`` of {0,1}."""
     t = np.asarray(array)
@@ -66,19 +151,13 @@ def _runs_1d(line: np.ndarray, index: int) -> List[Run]:
 
 
 def all_row_runs(topology: np.ndarray) -> List[Run]:
-    """Runs for every row, concatenated."""
-    out: List[Run] = []
-    for row in range(topology.shape[0]):
-        out.extend(row_runs(topology, row))
-    return out
+    """Runs for every row, concatenated (vectorized extraction)."""
+    return row_run_set(topology).runs()
 
 
 def all_column_runs(topology: np.ndarray) -> List[Run]:
-    """Runs for every column, concatenated."""
-    out: List[Run] = []
-    for col in range(topology.shape[1]):
-        out.extend(column_runs(topology, col))
-    return out
+    """Runs for every column, concatenated (vectorized extraction)."""
+    return column_run_set(topology).runs()
 
 
 def label_components(topology: np.ndarray, connectivity: int = 4) -> np.ndarray:
@@ -103,15 +182,19 @@ def component_count(topology: np.ndarray, connectivity: int = 4) -> int:
     return int(labels.max())
 
 
-def diagonal_touch_pairs(topology: np.ndarray) -> List[tuple]:
+def diagonal_touch_pairs(
+    topology: np.ndarray, labels: np.ndarray = None
+) -> List[tuple]:
     """Cells of *different* polygons touching only at a corner.
 
     Returns a list of ``(row, col)`` positions naming the lower-left cell of
     each offending 2x2 window.  Corner-touching polygons have zero physical
-    spacing, which every space rule forbids.
+    spacing, which every space rule forbids.  ``labels`` may carry a
+    precomputed 4-connected labelling to spare a relabel on hot paths.
     """
     t = as_topology(topology)
-    labels = label_components(t, connectivity=4)
+    if labels is None:
+        labels = label_components(t, connectivity=4)
     a = labels[:-1, :-1]
     b = labels[1:, 1:]
     c = labels[:-1, 1:]

@@ -5,7 +5,12 @@ from repro.legalize.constraints import (
     extract_axis_constraints,
     requirement_per_line,
 )
-from repro.legalize.legalizer import LegalizationResult, legalize
+from repro.legalize.legalizer import (
+    LegalizationResult,
+    collect_legalize_timing,
+    legalize,
+    reset_legalize_timing,
+)
 from repro.legalize.solver import (
     AxisInfeasibleError,
     AxisSolution,
@@ -18,8 +23,10 @@ __all__ = [
     "AxisSolution",
     "IntervalConstraint",
     "LegalizationResult",
+    "collect_legalize_timing",
     "extract_axis_constraints",
     "legalize",
+    "reset_legalize_timing",
     "requirement_per_line",
     "solve_axis",
     "solve_axis_lp",

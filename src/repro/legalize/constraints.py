@@ -16,7 +16,14 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.drc.rules import DesignRules
-from repro.geometry.grid import all_column_runs, all_row_runs, as_topology
+from repro.geometry.grid import (
+    RunSet,
+    as_topology,
+    column_run_set,
+    column_runs,
+    row_run_set,
+    row_runs,
+)
 
 
 @dataclass(frozen=True)
@@ -39,20 +46,82 @@ class IntervalConstraint:
             raise ValueError("min_length must be positive")
 
 
+def _axis_run_set(topology: np.ndarray, axis: str) -> RunSet:
+    t = as_topology(topology)
+    if axis == "x":
+        return row_run_set(t)
+    if axis == "y":
+        return column_run_set(t)
+    raise ValueError("axis must be 'x' or 'y'")
+
+
 def extract_axis_constraints(
-    topology: np.ndarray, axis: str, rules: DesignRules
+    topology: np.ndarray,
+    axis: str,
+    rules: DesignRules,
+    engine: str = "vectorized",
 ) -> List[IntervalConstraint]:
     """Collect deduplicated interval constraints for one axis.
 
     ``axis="x"`` constrains the column deltas ``dx`` (scanning rows);
     ``axis="y"`` constrains the row deltas ``dy`` (scanning columns).
+
+    The vectorized engine screens all runs at once and deduplicates spans
+    with NumPy group-by reductions; ``engine="reference"`` keeps the original
+    run-by-run dict loop as the property-test ground truth.
     """
+    if engine == "reference":
+        return _extract_axis_constraints_reference(topology, axis, rules)
+    if engine != "vectorized":
+        raise ValueError(f"unknown constraint engine {engine!r}")
+    run_set = _axis_run_set(topology, axis)
+    interior = run_set.interior
+    # Border runs are exempt (the shape/space continues outside the window),
+    # matching the DRC convention in repro.drc.checker.
+    start = run_set.start[interior]
+    if start.size == 0:
+        return []
+    stop = run_set.stop[interior]
+    value = run_set.value[interior]
+    bound = np.where(value == 1, rules.min_width, rules.min_space).astype(
+        np.int64
+    )
+
+    # Group runs by span; keep the tightest bound per span and — for the
+    # diagnostic ``kind`` — the first run (in scan order) achieving it,
+    # mirroring the reference dict semantics exactly.
+    span_key = start * np.int64(run_set.n_cells + 1) + stop
+    unique_keys, inverse = np.unique(span_key, return_inverse=True)
+    best = np.zeros(unique_keys.shape[0], dtype=np.int64)
+    np.maximum.at(best, inverse, bound)
+    achieves = bound == best[inverse]
+    first = np.full(unique_keys.shape[0], start.shape[0], dtype=np.int64)
+    np.minimum.at(first, inverse[achieves], np.flatnonzero(achieves))
+
+    # np.unique sorts the composite key, which is (start, stop) lexicographic.
+    return [
+        IntervalConstraint(
+            int(start[pos]),
+            int(stop[pos]),
+            int(best[group]),
+            "width" if value[pos] == 1 else "space",
+        )
+        for group, pos in enumerate(first)
+    ]
+
+
+def _extract_axis_constraints_reference(
+    topology: np.ndarray, axis: str, rules: DesignRules
+) -> List[IntervalConstraint]:
+    """Original scalar implementation (ground truth / benchmark baseline)."""
     t = as_topology(topology)
     if axis == "x":
-        runs = all_row_runs(t)
+        runs = [run for row in range(t.shape[0]) for run in row_runs(t, row)]
         n_cells = t.shape[1]
     elif axis == "y":
-        runs = all_column_runs(t)
+        runs = [
+            run for col in range(t.shape[1]) for run in column_runs(t, col)
+        ]
         n_cells = t.shape[0]
     else:
         raise ValueError("axis must be 'x' or 'y'")
@@ -61,8 +130,6 @@ def extract_axis_constraints(
     for run in runs:
         interior = 0 < run.start and run.stop < n_cells
         if not interior:
-            # Border runs are exempt (the shape/space continues outside the
-            # window), matching the DRC convention in repro.drc.checker.
             continue
         if run.value == 1:
             bound, kind = rules.min_width, "width"
@@ -85,17 +152,12 @@ def requirement_per_line(
     The line with the largest requirement is the natural infeasibility
     witness reported back to the agent.
     """
-    t = as_topology(topology)
-    runs = all_row_runs(t) if axis == "x" else all_column_runs(t)
-    n_lines = t.shape[0] if axis == "x" else t.shape[1]
-    n_cells = t.shape[1] if axis == "x" else t.shape[0]
-    req = np.zeros(n_lines, dtype=np.int64)
-    for run in runs:
-        interior = 0 < run.start and run.stop < n_cells
-        if not interior:
-            req[run.index] += run.length * min_delta
-        elif run.value == 1:
-            req[run.index] += max(rules.min_width, run.length * min_delta)
-        else:
-            req[run.index] += max(rules.min_space, run.length * min_delta)
+    run_set = _axis_run_set(topology, axis)
+    floor = run_set.lengths * np.int64(min_delta)
+    bound = np.where(run_set.value == 1, rules.min_width, rules.min_space)
+    contribution = np.where(
+        run_set.interior, np.maximum(bound, floor), floor
+    )
+    req = np.zeros(run_set.n_lines, dtype=np.int64)
+    np.add.at(req, run_set.index, contribution)
     return req

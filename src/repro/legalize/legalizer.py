@@ -12,6 +12,8 @@ the LLM agent's mistake processing (Section 4.2).
 from __future__ import annotations
 
 import math
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -55,18 +57,62 @@ class LegalizationResult:
         return "\n".join(self.log)
 
 
+# Per-thread legalization accounting.  A served request runs all its
+# legalize() calls on one worker thread, so the service can bracket a request
+# with reset/collect to report the request's legalization wall-time without
+# threading a timer through the agent pipeline.
+_TIMING = threading.local()
+
+
+def reset_legalize_timing() -> None:
+    """Zero the calling thread's legalization call/time counters."""
+    _TIMING.calls = 0
+    _TIMING.seconds = 0.0
+
+
+def collect_legalize_timing() -> Tuple[int, float]:
+    """Return ``(calls, seconds)`` accumulated on the calling thread."""
+    return (
+        int(getattr(_TIMING, "calls", 0)),
+        float(getattr(_TIMING, "seconds", 0.0)),
+    )
+
+
 def legalize(
     topology: np.ndarray,
     physical_size: Tuple[int, int],
     rules: DesignRules,
     style: Optional[str] = None,
     max_area_iterations: int = 4,
+    engine: str = "vectorized",
 ) -> LegalizationResult:
     """Legalize ``topology`` into ``physical_size`` nm under ``rules``.
 
     Pipeline: corner pre-check (unfixable by geometry) -> per-axis interval
     solve -> area check -> iterative area repair -> final full DRC verify.
+    ``engine`` selects the run/DRC implementation ("vectorized" is the
+    production path; "reference" the scalar ground truth).
     """
+    started = time.perf_counter()
+    try:
+        return _legalize(
+            topology, physical_size, rules, style, max_area_iterations, engine
+        )
+    finally:
+        _TIMING.calls = getattr(_TIMING, "calls", 0) + 1
+        _TIMING.seconds = (
+            getattr(_TIMING, "seconds", 0.0) + time.perf_counter() - started
+        )
+
+
+def _legalize(
+    topology: np.ndarray,
+    physical_size: Tuple[int, int],
+    rules: DesignRules,
+    style: Optional[str],
+    max_area_iterations: int,
+    engine: str,
+) -> LegalizationResult:
     result = LegalizationResult(ok=False)
     t = as_topology(topology)
     width_nm, height_nm = int(physical_size[0]), int(physical_size[1])
@@ -86,8 +132,8 @@ def legalize(
         )
         return result
 
-    x_constraints = extract_axis_constraints(t, "x", rules)
-    y_constraints = extract_axis_constraints(t, "y", rules)
+    x_constraints = extract_axis_constraints(t, "x", rules, engine=engine)
+    y_constraints = extract_axis_constraints(t, "y", rules, engine=engine)
     result.log.append(
         f"extracted {len(x_constraints)} x / {len(y_constraints)} y "
         f"interval constraints for {rows}x{cols} topology"
@@ -96,7 +142,9 @@ def legalize(
     extra_x: List[IntervalConstraint] = []
     extra_y: List[IntervalConstraint] = []
     for iteration in range(max_area_iterations):
-        result.area_iterations = iteration
+        # Count rounds actually run (1-based), matching the success log's
+        # "legalized in N round(s)".
+        result.area_iterations = iteration + 1
         try:
             sol_x = solve_axis(cols, width_nm, x_constraints + extra_x)
         except AxisInfeasibleError as exc:
@@ -111,7 +159,7 @@ def legalize(
         pattern = SquishPattern(
             topology=t.copy(), dx=sol_x.deltas, dy=sol_y.deltas, style=style
         )
-        report = check_pattern(pattern, rules)
+        report = check_pattern(pattern, rules, engine=engine)
         result.report = report
         area_violations = [v for v in report.violations if v.rule == "area"]
         other = [v for v in report.violations if v.rule != "area"]

@@ -8,7 +8,9 @@ from repro.metrics.diversity import (
 )
 from repro.metrics.legality import (
     LegalityResult,
+    default_legalize_workers,
     legalize_batch,
+    legalize_many,
     physical_size_for,
 )
 from repro.metrics.stats import LibraryStats, library_stats
@@ -18,8 +20,10 @@ __all__ = [
     "LibraryStats",
     "complexity_distribution",
     "complexity_of",
+    "default_legalize_workers",
     "diversity",
     "legalize_batch",
+    "legalize_many",
     "library_stats",
     "physical_size_for",
     "shannon_entropy",

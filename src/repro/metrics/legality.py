@@ -9,6 +9,9 @@ protocol.
 
 from __future__ import annotations
 
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -38,6 +41,7 @@ class LegalityResult:
     legal: PatternLibrary
     failure_causes: Dict[str, int] = field(default_factory=dict)
     failures: List[LegalizationResult] = field(default_factory=list)
+    wall_seconds: float = 0.0
 
     @property
     def legality(self) -> float:
@@ -45,6 +49,85 @@ class LegalityResult:
         if self.total == 0:
             return 0.0
         return len(self.legal) / self.total
+
+    @property
+    def patterns_per_sec(self) -> float:
+        """Batch legalization throughput (attempted patterns per second)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.total / self.wall_seconds
+
+
+def default_legalize_workers() -> int:
+    """Worker count used when ``legalize_many`` is not told otherwise."""
+    return min(32, os.cpu_count() or 1)
+
+
+def legalize_many(
+    topologies: Sequence[np.ndarray],
+    style: str,
+    rules: Optional[DesignRules] = None,
+    physical_size: Optional[Tuple[int, int]] = None,
+    keep_failures: bool = False,
+    max_workers: Optional[int] = None,
+    engine: str = "vectorized",
+    fault_isolation: bool = True,
+) -> LegalityResult:
+    """Legalize a batch of topologies on a worker pool.
+
+    The batch counterpart of :func:`repro.legalize.legalizer.legalize`: items
+    fan out over a thread pool (the vectorized engine spends its time in
+    NumPy, which releases the GIL), results come back in input order, and a
+    topology that *raises* — rather than merely failing legalization — is
+    fault-isolated into a synthetic failed :class:`LegalizationResult` whose
+    cause is the exception type, so one malformed item cannot sink the batch.
+    Pass ``fault_isolation=False`` to let such exceptions propagate instead
+    (a malformed topology is then a programming error, not a statistic).
+    """
+    rules = rules or rules_for_style(style)
+    items = list(topologies)
+    workers = max_workers if max_workers is not None else default_legalize_workers()
+    workers = max(1, min(int(workers), len(items) or 1))
+
+    def _one(topology: np.ndarray) -> LegalizationResult:
+        try:
+            target = physical_size or physical_size_for(topology.shape)
+            return legalize(topology, target, rules, style=style, engine=engine)
+        except Exception as exc:
+            if not fault_isolation:
+                raise
+            failed = LegalizationResult(ok=False)
+            failed.log.append(f"FAIL {type(exc).__name__}: {exc}")
+            return failed
+
+    started = time.perf_counter()
+    if workers == 1:
+        results = [_one(topology) for topology in items]
+    else:
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-legalize"
+        ) as pool:
+            results = list(pool.map(_one, items))
+    wall = time.perf_counter() - started
+
+    legal = PatternLibrary(name=f"legal-{style}")
+    causes: Dict[str, int] = {}
+    failures: List[LegalizationResult] = []
+    for result in results:
+        if result.ok:
+            legal.add(result.pattern)
+        else:
+            cause = _failure_cause(result)
+            causes[cause] = causes.get(cause, 0) + 1
+            if keep_failures:
+                failures.append(result)
+    return LegalityResult(
+        total=len(items),
+        legal=legal,
+        failure_causes=causes,
+        failures=failures,
+        wall_seconds=wall,
+    )
 
 
 def legalize_batch(
@@ -54,25 +137,20 @@ def legalize_batch(
     physical_size: Optional[Tuple[int, int]] = None,
     keep_failures: bool = False,
 ) -> LegalityResult:
-    """Legalize every topology and collect legality statistics."""
-    rules = rules or rules_for_style(style)
-    legal = PatternLibrary(name=f"legal-{style}")
-    causes: Dict[str, int] = {}
-    failures: List[LegalizationResult] = []
-    total = 0
-    for topology in topologies:
-        total += 1
-        target = physical_size or physical_size_for(topology.shape)
-        result = legalize(topology, target, rules, style=style)
-        if result.ok:
-            legal.add(result.pattern)
-        else:
-            cause = _failure_cause(result)
-            causes[cause] = causes.get(cause, 0) + 1
-            if keep_failures:
-                failures.append(result)
-    return LegalityResult(
-        total=total, legal=legal, failure_causes=causes, failures=failures
+    """Legalize every topology sequentially and collect legality statistics.
+
+    Kept for callers that want deterministic single-thread execution with
+    the original error contract (malformed topologies raise); the parallel,
+    fault-isolated path is :func:`legalize_many`.
+    """
+    return legalize_many(
+        topologies,
+        style,
+        rules=rules,
+        physical_size=physical_size,
+        keep_failures=keep_failures,
+        max_workers=1,
+        fault_isolation=False,
     )
 
 

@@ -85,7 +85,8 @@ def concat_legalized_patterns(
     the stitched pattern — there is no joint legalization step, matching
     what a fixed-size generator can actually do.  A tile that fails its own
     legalization makes the whole stitched pattern illegal (``pattern`` is
-    still returned as ``None`` in that case and ``tiles_failed`` counts).
+    returned as ``None``), so the loop short-circuits immediately: sampling
+    and legalizing the remaining tiles cannot change the outcome.
     """
     height, width = target_shape
     window = model.window
@@ -103,16 +104,16 @@ def concat_legalized_patterns(
             if not tile.ok:
                 result.tiles_failed += 1
                 result.log.append(
-                    f"tile ({j},{i}) failed its own legalization"
+                    f"tile ({j},{i}) failed its own legalization; "
+                    "aborting the doomed stitch without sampling the "
+                    f"remaining {gy * gx - result.samplings} tile(s)"
                 )
-                continue
+                return result
             dx_off = i * tile_physical_nm
             dy_off = j * tile_physical_nm
             all_rects.extend(
                 r.translated(dx_off, dy_off) for r in tile.pattern.to_rects()
             )
-    if result.tiles_failed:
-        return result
     window_rect = Rect(0, 0, gx * tile_physical_nm, gy * tile_physical_nm)
     stitched = encode_rects(all_rects, window_rect, style=style)
     result.pattern = stitched

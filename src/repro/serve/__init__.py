@@ -27,7 +27,12 @@ from repro.serve.service import (
     ServeResponse,
     ServiceStats,
 )
-from repro.serve.stats import BatchRecord, RequestStats, SchedulerStats
+from repro.serve.stats import (
+    BatchRecord,
+    LegalizeStageRecord,
+    RequestStats,
+    SchedulerStats,
+)
 from repro.serve.store import (
     LibraryStore,
     StoreRecord,
@@ -38,6 +43,7 @@ from repro.serve.store import (
 __all__ = [
     "BatchRecord",
     "BatchedSamplingModel",
+    "LegalizeStageRecord",
     "LibraryStore",
     "MicroBatchScheduler",
     "ModelKey",

@@ -84,6 +84,12 @@ class MicroBatchScheduler:
         self._records_lock = threading.Lock()
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        # Serializes start/stop/submit so a submit cannot slip a job into
+        # the queue between a stop()'s drain and its stopped-flag flip (the
+        # job would hang forever), and a stop()'s final sweep cannot steal
+        # jobs submitted to a concurrently restarted scheduler.  The worker
+        # thread never takes this lock, so stop()'s join cannot deadlock.
+        self._lifecycle_lock = threading.Lock()
 
     # -- lifecycle -----------------------------------------------------
 
@@ -92,14 +98,15 @@ class MicroBatchScheduler:
         return self._thread is not None and self._thread.is_alive()
 
     def start(self) -> "MicroBatchScheduler":
-        if self.running:
+        with self._lifecycle_lock:
+            if self.running:
+                return self
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="repro-serve-scheduler", daemon=True
+            )
+            self._thread.start()
             return self
-        self._stop.clear()
-        self._thread = threading.Thread(
-            target=self._run, name="repro-serve-scheduler", daemon=True
-        )
-        self._thread.start()
-        return self
 
     def stop(self, timeout: float = 10.0) -> None:
         """Drain queued jobs, then stop the worker thread.
@@ -109,16 +116,20 @@ class MicroBatchScheduler:
         handle is only released once the worker is actually dead, so
         ``running`` never lies and a restart cannot race a live worker.
         """
-        if not self.running:
-            return
-        self._queue.put(_SENTINEL)
-        self._thread.join(timeout=timeout)
-        if self._thread.is_alive():
-            self._stop.set()
+        with self._lifecycle_lock:
+            if not self.running:
+                return
+            self._queue.put(_SENTINEL)
             self._thread.join(timeout=timeout)
-        if self._thread is not None and not self._thread.is_alive():
-            self._stop.set()
-            self._thread = None
+            if self._thread.is_alive():
+                self._stop.set()
+                self._thread.join(timeout=timeout)
+            if self._thread is not None and not self._thread.is_alive():
+                self._stop.set()
+                self._thread = None
+                # Hard-stop case: the worker died mid-queue, so sweep what
+                # it never drained rather than strand those callers.
+                self._fail_pending()
 
     def __enter__(self) -> "MicroBatchScheduler":
         return self.start()
@@ -138,7 +149,9 @@ class MicroBatchScheduler:
         """Queue a sampling job; returns immediately with its handle.
 
         Jobs may be submitted before :meth:`start` — they sit in the queue
-        and form the first batch when the worker comes up.
+        and form the first batch when the worker comes up.  Submitting to a
+        *stopped* scheduler raises instead: no worker will ever drain the
+        queue again, so the job's ``result()`` would hang forever.
         """
         if count < 1:
             raise ValueError("count must be >= 1")
@@ -148,8 +161,28 @@ class MicroBatchScheduler:
             shape=tuple(shape) if shape else (self.model.window,) * 2,
             seed=int(seed),
         )
-        self._queue.put(job)
+        with self._lifecycle_lock:
+            if self._stop.is_set() and not self.running:
+                raise RuntimeError(
+                    "scheduler is stopped; call start() before submitting"
+                )
+            self._queue.put(job)
         return job
+
+    def _fail_pending(self) -> None:
+        """Fail every job still queued so no caller hangs on ``result()``."""
+        while True:
+            try:
+                leftover = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if leftover is not _SENTINEL and not leftover.future.done():
+                try:
+                    leftover.future.set_exception(
+                        RuntimeError("scheduler stopped before job ran")
+                    )
+                except Exception:  # already resolved by a concurrent sweep
+                    pass
 
     # -- worker --------------------------------------------------------
 
@@ -183,15 +216,7 @@ class MicroBatchScheduler:
             if stopping:
                 break
         # Fail any jobs still queued after shutdown rather than hang callers.
-        while True:
-            try:
-                leftover = self._queue.get_nowait()
-            except queue.Empty:
-                break
-            if leftover is not _SENTINEL:
-                leftover.future.set_exception(
-                    RuntimeError("scheduler stopped before job ran")
-                )
+        self._fail_pending()
 
     def _execute(self, jobs: Sequence[SampleJob]) -> None:
         now = time.perf_counter()

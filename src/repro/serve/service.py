@@ -12,17 +12,30 @@ persisted into an indexed :class:`~repro.serve.store.LibraryStore`.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.agent.backend import LLMBackend, SimulatedLLM
 from repro.core.chatpattern import ChatPattern, ChatResult
 from repro.diffusion.model import ConditionalDiffusionModel
+from repro.drc.rules import DesignRules
+from repro.legalize.legalizer import (
+    collect_legalize_timing,
+    reset_legalize_timing,
+)
+from repro.metrics.legality import (
+    LegalityResult,
+    default_legalize_workers,
+    legalize_many,
+)
 from repro.serve.batching import BatchedSamplingModel, MicroBatchScheduler
 from repro.serve.registry import ModelKey, ModelRegistry
-from repro.serve.stats import RequestStats, SchedulerStats
+from repro.serve.stats import LegalizeStageRecord, RequestStats, SchedulerStats
 from repro.serve.store import LibraryStore
 
 
@@ -77,6 +90,9 @@ class ServiceStats:
     scheduler: SchedulerStats
     registry: Dict = field(default_factory=dict)
     store: Optional[Dict] = None
+    legalize_calls: int = 0
+    legalize_seconds: float = 0.0
+    legalize_stages: List[LegalizeStageRecord] = field(default_factory=list)
 
     def as_dict(self) -> Dict:
         payload = {
@@ -85,6 +101,9 @@ class ServiceStats:
             "dropped": self.dropped,
             "scheduler": self.scheduler.as_dict(),
             "registry": dict(self.registry),
+            "legalize_calls": self.legalize_calls,
+            "legalize_seconds": round(self.legalize_seconds, 4),
+            "legalize_stages": [s.as_dict() for s in self.legalize_stages],
         }
         if self.store is not None:
             payload["store"] = self.store
@@ -141,6 +160,22 @@ class PatternService:
         self.max_retries = int(max_retries)
         self._scheduler: Optional[MicroBatchScheduler] = None
         self._responses: List[ServeResponse] = []
+        self._legalize_stages: List[LegalizeStageRecord] = []
+        # Request ids must be unique across overlapping serve() calls: they
+        # seed per-request RNG streams, so a collision would make two live
+        # requests sample identically.
+        self._id_lock = threading.Lock()
+        self._last_request_id = 0
+
+    def _next_request_id(self) -> int:
+        with self._id_lock:
+            self._last_request_id += 1
+            return self._last_request_id
+
+    def _reserve_request_ids(self, ids: Sequence[int]) -> None:
+        """Advance the counter past caller-supplied ids so autos can't collide."""
+        with self._id_lock:
+            self._last_request_id = max(self._last_request_id, *ids)
 
     # -- lifecycle -----------------------------------------------------
 
@@ -200,9 +235,12 @@ class PatternService:
             else ServeRequest(text=request)
             for request in requests
         ]
-        for i, request in enumerate(resolved):
+        explicit_ids = [r.request_id for r in resolved if r.request_id != 0]
+        if explicit_ids:
+            self._reserve_request_ids(explicit_ids)
+        for request in resolved:
             if request.request_id == 0:
-                request.request_id = len(self._responses) + i + 1
+                request.request_id = self._next_request_id()
         with ThreadPoolExecutor(
             max_workers=min(self.max_workers, len(resolved)),
             thread_name_prefix="repro-serve-request",
@@ -223,6 +261,9 @@ class PatternService:
         client = BatchedSamplingModel(self._scheduler)
         result: Optional[ChatResult] = None
         error: Optional[str] = None
+        # The whole agent pipeline for this request runs on this thread, so
+        # the thread-local legalization counters isolate its legalize cost.
+        reset_legalize_timing()
         try:  # fault isolation: one bad request must not sink the batch,
             # and that covers per-request setup (backend construction) too
             chat = ChatPattern(
@@ -237,6 +278,7 @@ class PatternService:
             )
         except Exception as exc:
             error = f"{type(exc).__name__}: {exc}"
+        legalize_calls, legalize_seconds = collect_legalize_timing()
         stats = RequestStats(
             request_id=request.request_id,
             wall_seconds=time.perf_counter() - started,
@@ -246,6 +288,8 @@ class PatternService:
             batch_sizes=list(client.batch_sizes),
             produced=result.produced if result is not None else 0,
             dropped=result.dropped if result is not None else 0,
+            legalize_calls=legalize_calls,
+            legalize_seconds=legalize_seconds,
         )
         if (
             self.store is not None
@@ -261,6 +305,51 @@ class PatternService:
         return ServeResponse(
             request=request, result=result, stats=stats, error=error
         )
+
+    # -- batch legalization stage --------------------------------------
+
+    def legalize_and_store(
+        self,
+        topologies: Sequence[np.ndarray],
+        style: str,
+        rules: Optional[DesignRules] = None,
+        physical_size: Optional[Tuple[int, int]] = None,
+        max_workers: Optional[int] = None,
+    ) -> LegalityResult:
+        """Post-sampling pipeline stage: batch-legalize, persist the legal.
+
+        Raw topologies (e.g. a batched sampling trajectory the caller pulled
+        straight off the scheduler) fan out over :func:`legalize_many`'s
+        worker pool; DRC-clean results are persisted into the attached store
+        (content-hash deduplicated).  Each invocation is recorded as a
+        :class:`LegalizeStageRecord` in :meth:`stats`.
+        """
+        items = list(topologies)
+        workers = (
+            max_workers if max_workers is not None else default_legalize_workers()
+        )
+        # Mirror legalize_many's clamp so the record shows the pool actually
+        # used, not the requested ceiling.
+        workers = max(1, min(int(workers), len(items) or 1))
+        result = legalize_many(
+            items,
+            style,
+            rules=rules,
+            physical_size=physical_size,
+            max_workers=workers,
+        )
+        record = LegalizeStageRecord(
+            topologies=result.total,
+            legal=len(result.legal),
+            wall_seconds=result.wall_seconds,
+            workers=workers,
+        )
+        if self.store is not None and len(result.legal):
+            report = self.store.add_library(result.legal, legal=True)
+            record.store_added = report.added
+            record.store_deduplicated = report.deduplicated
+        self._legalize_stages.append(record)
+        return result
 
     # -- observability -------------------------------------------------
 
@@ -281,4 +370,11 @@ class PatternService:
             scheduler=scheduler_stats,
             registry=self.registry.stats(),
             store=self.store.stats() if self.store is not None else None,
+            legalize_calls=sum(
+                r.stats.legalize_calls for r in self._responses
+            ),
+            legalize_seconds=sum(
+                r.stats.legalize_seconds for r in self._responses
+            ),
+            legalize_stages=list(self._legalize_stages),
         )

@@ -68,6 +68,35 @@ class SchedulerStats:
 
 
 @dataclass
+class LegalizeStageRecord:
+    """One batch legalize->store stage executed by the service."""
+
+    topologies: int
+    legal: int
+    wall_seconds: float
+    workers: int
+    store_added: int = 0
+    store_deduplicated: int = 0
+
+    @property
+    def patterns_per_sec(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.topologies / self.wall_seconds
+
+    def as_dict(self) -> Dict:
+        return {
+            "topologies": self.topologies,
+            "legal": self.legal,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "workers": self.workers,
+            "patterns_per_sec": round(self.patterns_per_sec, 2),
+            "store_added": self.store_added,
+            "store_deduplicated": self.store_deduplicated,
+        }
+
+
+@dataclass
 class RequestStats:
     """Per-request service metrics (queue wait, batching, throughput)."""
 
@@ -81,6 +110,8 @@ class RequestStats:
     dropped: int = 0
     store_added: int = 0
     store_deduplicated: int = 0
+    legalize_calls: int = 0
+    legalize_seconds: float = 0.0
 
     @property
     def mean_batch_size(self) -> float:
@@ -106,6 +137,8 @@ class RequestStats:
             "dropped": self.dropped,
             "store_added": self.store_added,
             "store_deduplicated": self.store_deduplicated,
+            "legalize_calls": self.legalize_calls,
+            "legalize_seconds": round(self.legalize_seconds, 4),
         }
 
     def summary(self) -> str:
@@ -114,6 +147,8 @@ class RequestStats:
             f"dropped {self.dropped}; {self.samples} sample(s) in "
             f"{self.sample_jobs} job(s), mean batch {self.mean_batch_size:.1f}, "
             f"queue wait {self.queue_wait_seconds * 1000:.0f} ms, "
+            f"legalize {self.legalize_seconds * 1000:.0f} ms in "
+            f"{self.legalize_calls} call(s), "
             f"{self.wall_seconds:.2f}s wall "
             f"({self.samples_per_sec:.1f} samples/s)"
         )

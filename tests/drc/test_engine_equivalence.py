@@ -1,0 +1,122 @@
+"""Property tests: the vectorized DRC engine equals the scalar reference.
+
+Randomized topologies and delta vectors across several rule decks must
+produce *identical* violation lists (same order, same fields) from
+``check_pattern`` and ``reference_check_pattern``, and identical constraint
+systems from both ``extract_axis_constraints`` engines.  This is the safety
+net that lets the vectorized engine own the production hot path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.drc import DesignRules, check_pattern, reference_check_pattern
+from repro.legalize.constraints import extract_axis_constraints
+from repro.legalize.legalizer import legalize
+from repro.squish import SquishPattern
+
+DECKS = [
+    DesignRules(min_space=30, min_width=40, min_area=4000, name="dense"),
+    DesignRules(min_space=60, min_width=80, min_area=16000, name="sparse"),
+    DesignRules(min_space=100, min_width=25, min_area=900, name="odd"),
+]
+
+
+def _random_pattern(rng):
+    rows = int(rng.integers(1, 20))
+    cols = int(rng.integers(1, 20))
+    density = rng.choice([0.15, 0.4, 0.6, 0.85])
+    topology = (rng.random((rows, cols)) < density).astype(np.uint8)
+    dx = rng.integers(10, 120, size=cols).astype(np.int64)
+    dy = rng.integers(10, 120, size=rows).astype(np.int64)
+    return SquishPattern(topology=topology, dx=dx, dy=dy)
+
+
+class TestCheckerEquivalence:
+    def test_identical_violations_on_random_topologies(self):
+        rng = np.random.default_rng(2024)
+        compared = 0
+        for trial in range(250):
+            pattern = _random_pattern(rng)
+            rules = DECKS[trial % len(DECKS)]
+            vectorized = check_pattern(pattern, rules).violations
+            reference = reference_check_pattern(pattern, rules).violations
+            assert vectorized == reference
+            compared += len(reference)
+        # The workload must actually exercise every rule kind.
+        assert compared > 100
+
+    def test_edge_shapes(self):
+        rules = DECKS[0]
+        for topology in (
+            np.zeros((1, 1), dtype=np.uint8),
+            np.ones((1, 1), dtype=np.uint8),
+            np.ones((1, 9), dtype=np.uint8),
+            np.ones((9, 1), dtype=np.uint8),
+            np.tile([0, 1], (6, 3)).astype(np.uint8),
+        ):
+            rows, cols = topology.shape
+            pattern = SquishPattern(
+                topology=topology,
+                dx=np.full(cols, 20, dtype=np.int64),
+                dy=np.full(rows, 20, dtype=np.int64),
+            )
+            assert (
+                check_pattern(pattern, rules).violations
+                == reference_check_pattern(pattern, rules).violations
+            )
+
+    def test_unknown_engine_rejected(self):
+        pattern = _random_pattern(np.random.default_rng(0))
+        with pytest.raises(ValueError, match="engine"):
+            check_pattern(pattern, DECKS[0], engine="gpu")
+
+
+class TestConstraintEquivalence:
+    def test_identical_constraints_on_random_topologies(self):
+        rng = np.random.default_rng(7)
+        for trial in range(250):
+            rows = int(rng.integers(1, 24))
+            cols = int(rng.integers(1, 24))
+            topology = (
+                rng.random((rows, cols)) < rng.choice([0.2, 0.5, 0.8])
+            ).astype(np.uint8)
+            rules = DECKS[trial % len(DECKS)]
+            for axis in ("x", "y"):
+                vectorized = extract_axis_constraints(topology, axis, rules)
+                reference = extract_axis_constraints(
+                    topology, axis, rules, engine="reference"
+                )
+                assert vectorized == reference
+
+
+class TestLegalizeEngineParity:
+    def test_same_outcome_and_geometry_on_random(self):
+        rng = np.random.default_rng(99)
+        rules = DECKS[0]
+        for _ in range(30):
+            topology = (rng.random((16, 16)) < 0.5).astype(np.uint8)
+            fast = legalize(topology, (1024, 1024), rules)
+            slow = legalize(topology, (1024, 1024), rules, engine="reference")
+            assert fast.ok == slow.ok
+            assert fast.area_iterations == slow.area_iterations
+            if fast.ok:
+                assert (fast.pattern.dx == slow.pattern.dx).all()
+                assert (fast.pattern.dy == slow.pattern.dy).all()
+
+    def test_dataset_tiles_legalize_identically(self, tiny_library):
+        from repro.drc import rules_for_style
+
+        rules = rules_for_style("Layer-10001")
+        successes = 0
+        for pattern in tiny_library.patterns:
+            fast = legalize(pattern.topology, (1024, 1024), rules)
+            slow = legalize(
+                pattern.topology, (1024, 1024), rules, engine="reference"
+            )
+            assert fast.ok == slow.ok
+            if fast.ok:
+                assert (fast.pattern.dx == slow.pattern.dx).all()
+                assert (fast.pattern.dy == slow.pattern.dy).all()
+                successes += 1
+        assert successes > 0

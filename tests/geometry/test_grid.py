@@ -5,10 +5,14 @@ import pytest
 
 from repro.geometry import (
     as_topology,
+    all_column_runs,
+    all_row_runs,
+    column_run_set,
     column_runs,
     component_count,
     diagonal_touch_pairs,
     label_components,
+    row_run_set,
     row_runs,
 )
 
@@ -46,6 +50,52 @@ class TestRuns:
     def test_uniform_line_single_run(self):
         t = np.ones((1, 7), dtype=np.uint8)
         assert len(row_runs(t, 0)) == 1
+
+
+class TestRunSet:
+    def test_matches_per_line_extraction(self):
+        rng = np.random.default_rng(0)
+        for _ in range(120):
+            rows = int(rng.integers(1, 14))
+            cols = int(rng.integers(1, 14))
+            t = (rng.random((rows, cols)) < rng.choice([0.2, 0.5, 0.8]))
+            t = t.astype(np.uint8)
+            assert all_row_runs(t) == [
+                run for i in range(rows) for run in row_runs(t, i)
+            ]
+            assert all_column_runs(t) == [
+                run for i in range(cols) for run in column_runs(t, i)
+            ]
+
+    def test_struct_of_arrays_fields(self):
+        t = np.array([[1, 1, 0, 0, 1], [0, 0, 0, 0, 0]], dtype=np.uint8)
+        rs = row_run_set(t)
+        assert len(rs) == 4
+        assert rs.n_lines == 2 and rs.n_cells == 5
+        assert list(rs.index) == [0, 0, 0, 1]
+        assert list(rs.start) == [0, 2, 4, 0]
+        assert list(rs.stop) == [2, 4, 5, 5]
+        assert list(rs.value) == [1, 0, 1, 0]
+        assert list(rs.lengths) == [2, 2, 1, 5]
+        # Only the middle 0-run of row 0 is interior.
+        assert list(rs.interior) == [False, True, False, False]
+
+    def test_single_cell_lines(self):
+        t = np.array([[1], [0], [1]], dtype=np.uint8)
+        rs = row_run_set(t)
+        assert len(rs) == 3
+        assert list(rs.start) == [0, 0, 0]
+        assert list(rs.stop) == [1, 1, 1]
+        cs = column_run_set(t)
+        assert len(cs) == 3
+        assert list(cs.value) == [1, 0, 1]
+
+    def test_uniform_topology(self):
+        t = np.ones((4, 6), dtype=np.uint8)
+        rs = row_run_set(t)
+        assert len(rs) == 4
+        assert (rs.lengths == 6).all()
+        assert not rs.interior.any()
 
 
 class TestComponents:

@@ -51,6 +51,34 @@ class TestSuccessPaths:
         assert poly.area >= RULES.min_area
 
 
+class TestAreaIterationCount:
+    def test_first_round_success_counts_one_round(self):
+        t = np.zeros((8, 8), dtype=np.uint8)
+        t[2:5, 2:6] = 1
+        result = legalize(t, (1000, 1000), RULES)
+        assert result.ok
+        assert result.area_iterations == 1
+        assert "legalized in 1 round(s)" in result.log_text()
+
+    def test_second_round_success_counts_two_rounds(self):
+        # Tight budget: slack spreading cannot inflate the lone pixel past
+        # min_area in round 1, so one genuine repair round must run.
+        t = np.zeros((16, 16), dtype=np.uint8)
+        t[8, 8] = 1
+        result = legalize(t, (64, 64), RULES)
+        assert result.ok
+        assert result.area_iterations == 2
+        assert "legalized in 2 round(s)" in result.log_text()
+
+    def test_exhausted_rounds_count_all_rounds(self):
+        t = np.zeros((16, 16), dtype=np.uint8)
+        t[8, 8] = 1
+        result = legalize(t, (60, 60), RULES, max_area_iterations=1)
+        assert not result.ok
+        assert result.area_iterations == 1
+        assert "after 1 repair rounds" in result.log_text()
+
+
 class TestFailurePaths:
     def test_corner_touch_fails_fast(self):
         t = np.zeros((8, 8), dtype=np.uint8)

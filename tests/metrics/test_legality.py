@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.metrics import LegalityResult, legalize_batch, physical_size_for
+from repro.metrics import (
+    LegalityResult,
+    legalize_batch,
+    legalize_many,
+    physical_size_for,
+)
 from repro.metrics.stats import library_stats
 from repro.squish import PatternLibrary
 
@@ -60,6 +65,74 @@ class TestLegalizeBatch:
         result = legalize_batch([], "Layer-10001")
         assert result.legality == 0.0
         assert result.total == 0
+
+
+class TestLegalizeMany:
+    def test_parallel_matches_sequential(self, tiny_library):
+        bad = np.zeros((16, 16), dtype=np.uint8)
+        bad[2:6, 2:6] = 1
+        bad[6:10, 6:10] = 1
+        topologies = [p.topology for p in tiny_library] + [bad]
+        sequential = legalize_batch(
+            topologies, "Layer-10001", physical_size=(1024, 1024)
+        )
+        parallel = legalize_many(
+            topologies,
+            "Layer-10001",
+            physical_size=(1024, 1024),
+            max_workers=4,
+        )
+        assert parallel.total == sequential.total
+        assert parallel.legality == sequential.legality
+        assert parallel.failure_causes == sequential.failure_causes
+        # Results come back in input order regardless of worker scheduling.
+        for a, b in zip(parallel.legal.patterns, sequential.legal.patterns):
+            assert (a.topology == b.topology).all()
+            assert (a.dx == b.dx).all() and (a.dy == b.dy).all()
+
+    def test_wall_seconds_recorded(self, tiny_library):
+        result = legalize_many(
+            [p.topology for p in tiny_library],
+            "Layer-10001",
+            physical_size=(1024, 1024),
+        )
+        assert result.wall_seconds > 0
+        assert result.patterns_per_sec > 0
+
+    def test_raising_item_is_fault_isolated(self, tiny_library):
+        # A 1-D array raises inside as_topology; the batch must survive it.
+        topologies = [
+            tiny_library[0].topology,
+            np.zeros(16, dtype=np.uint8),
+            tiny_library[1].topology,
+        ]
+        result = legalize_many(
+            topologies,
+            "Layer-10001",
+            physical_size=(1024, 1024),
+            max_workers=3,
+            keep_failures=True,
+        )
+        assert result.total == 3
+        assert len(result.legal) == 2
+        assert result.failure_causes == {"ValueError": 1}
+        assert len(result.failures) == 1
+        assert not result.failures[0].ok
+
+    def test_empty_batch(self):
+        result = legalize_many([], "Layer-10001")
+        assert result.total == 0
+        assert result.legality == 0.0
+
+    def test_legalize_batch_propagates_errors(self):
+        # The sequential API keeps the original contract: a malformed
+        # topology is a programming error, not a legality statistic.
+        with pytest.raises(ValueError):
+            legalize_batch(
+                [np.zeros(16, dtype=np.uint8)],
+                "Layer-10001",
+                physical_size=(1024, 1024),
+            )
 
 
 class TestLibraryStats:

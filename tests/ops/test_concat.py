@@ -17,7 +17,11 @@ class TestConcatLegalizedPatterns:
             small_model, (128, 128), 0, rng, RULES, TILE_NM, "Layer-10001"
         )
         assert isinstance(result, ConcatResult)
-        assert result.samplings == 4  # 2x2 tiles
+        if result.tiles_failed:
+            # Short-circuit: a failed tile aborts the doomed stitch early.
+            assert 1 <= result.samplings <= 4
+        else:
+            assert result.samplings == 4  # 2x2 tiles
         if result.pattern is not None:
             assert result.pattern.physical_size == (2 * TILE_NM, 2 * TILE_NM)
             assert result.pattern.style == "Layer-10001"
@@ -50,3 +54,24 @@ class TestConcatLegalizedPatterns:
             small_model, (128, 128), 0, rng, RULES, TILE_NM, "Layer-10001"
         )
         assert result.log
+
+    def test_failed_tile_short_circuits(self, small_model, monkeypatch):
+        """A failed tile dooms the stitch: no further sampling happens."""
+        from repro.legalize.legalizer import LegalizationResult
+        from repro.ops import concat as concat_module
+
+        def always_fail(topology, physical_size, rules, style=None, **kwargs):
+            result = LegalizationResult(ok=False)
+            result.log.append("FAIL x-axis: forced by test")
+            return result
+
+        monkeypatch.setattr(concat_module, "legalize", always_fail)
+        rng = np.random.default_rng(4)
+        result = concat_legalized_patterns(
+            small_model, (128, 128), 0, rng, RULES, TILE_NM, "Layer-10001"
+        )
+        assert result.pattern is None
+        assert result.tiles_failed == 1
+        # 2x2 tiles, but only the first was ever sampled and legalized.
+        assert result.samplings == 1
+        assert "aborting" in result.log[-1]

@@ -82,6 +82,38 @@ class TestSchedulerBatching:
             MicroBatchScheduler(small_model, max_batch=0)
 
 
+class TestSchedulerLifecycle:
+    def test_submit_after_stop_fails_fast(self, small_model):
+        scheduler = MicroBatchScheduler(small_model, gather_window=0.01)
+        with scheduler:
+            scheduler.submit(1, 0, seed=1).result(timeout=60)
+        assert not scheduler.running
+        # No worker will ever drain the queue again: result() would hang.
+        with pytest.raises(RuntimeError, match="stopped"):
+            scheduler.submit(1, 0, seed=2)
+
+    def test_restart_after_stop_accepts_jobs_again(self, small_model):
+        scheduler = MicroBatchScheduler(small_model, gather_window=0.01)
+        with scheduler:
+            scheduler.submit(1, 0, seed=1).result(timeout=60)
+        with scheduler:  # restart clears the stopped state
+            result = scheduler.submit(1, 0, seed=2).result(timeout=60)
+        assert result.shape == (1, 64, 64)
+
+    def test_submit_before_start_still_allowed(self, small_model):
+        scheduler = MicroBatchScheduler(small_model, gather_window=0.01)
+        job = scheduler.submit(1, 0, seed=3)  # queued, worker not up yet
+        with scheduler:
+            assert job.result(timeout=60).shape == (1, 64, 64)
+
+    def test_stop_before_start_keeps_scheduler_usable(self, small_model):
+        scheduler = MicroBatchScheduler(small_model, gather_window=0.01)
+        scheduler.stop()  # no-op: never started
+        job = scheduler.submit(1, 0, seed=4)
+        with scheduler:
+            assert job.result(timeout=60).shape == (1, 64, 64)
+
+
 class TestBatchedSamplingModel:
     def test_delegates_model_attributes(self, small_model):
         scheduler = MicroBatchScheduler(small_model)

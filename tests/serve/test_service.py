@@ -156,3 +156,89 @@ class TestServeConcurrent:
         payload = stats.as_dict()
         assert payload["scheduler"]["samples"] >= 2
         assert "registry" in payload
+
+    def test_concurrent_serve_calls_get_unique_request_ids(self, registry):
+        from concurrent.futures import ThreadPoolExecutor
+
+        service = PatternService(
+            model_key=ModelKey(window=64),
+            registry=registry,
+            max_workers=4,
+            max_retries=0,
+        )
+        with service:
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                futures = [
+                    pool.submit(service.serve, _requests(2)) for _ in range(4)
+                ]
+                batches = [f.result() for f in futures]
+        ids = [r.request.request_id for batch in batches for r in batch]
+        # Duplicate ids would collapse two requests onto one derived seed.
+        assert len(ids) == 8
+        assert len(set(ids)) == 8
+        assert sorted(ids) == list(range(1, 9))
+
+    def test_explicit_ids_never_collide_with_auto_ids(self, registry):
+        service = PatternService(
+            model_key=ModelKey(window=64), registry=registry, max_retries=0
+        )
+        explicit = ServeRequest(text=_requests(1)[0], request_id=5)
+        with service:
+            responses = service.serve([explicit, _requests(1)[0]])
+            later = service.serve(_requests(1))
+        ids = [r.request.request_id for r in responses + later]
+        assert ids[0] == 5
+        # Auto-assigned ids skip past the explicit one instead of reusing it.
+        assert len(set(ids)) == 3
+        assert min(ids[1:]) > 5
+
+    def test_request_reports_legalization_time(self, registry):
+        service = PatternService(
+            model_key=ModelKey(window=64), registry=registry, max_retries=1
+        )
+        with service:
+            response = service.handle(_requests(1)[0])
+        # The request pipeline legalizes every candidate pattern on the
+        # request's worker thread; the stats must surface that work.
+        assert response.stats.legalize_calls >= 1
+        assert response.stats.legalize_seconds > 0
+        assert "legalize" in response.stats.summary()
+        stats = service.stats()
+        assert stats.legalize_calls >= response.stats.legalize_calls
+        assert stats.legalize_seconds > 0
+
+
+class TestLegalizeAndStore:
+    def test_batch_stage_persists_legal_patterns(
+        self, registry, tiny_library, tmp_path
+    ):
+        store = LibraryStore(tmp_path)
+        service = PatternService(
+            model_key=ModelKey(window=64), registry=registry, store=store
+        )
+        topologies = [p.topology for p in tiny_library]
+        result = service.legalize_and_store(
+            topologies, "Layer-10001", physical_size=(1024, 1024)
+        )
+        assert result.legality == 1.0
+        assert result.wall_seconds > 0
+        stats = service.stats()
+        assert len(stats.legalize_stages) == 1
+        stage = stats.legalize_stages[0]
+        assert stage.topologies == len(topologies)
+        assert stage.legal == len(topologies)
+        assert stage.store_added + stage.store_deduplicated == len(topologies)
+        assert stats.as_dict()["legalize_stages"][0]["legal"] == len(
+            topologies
+        )
+
+    def test_stage_without_store_still_reports(self, registry, tiny_library):
+        service = PatternService(
+            model_key=ModelKey(window=64), registry=registry
+        )
+        result = service.legalize_and_store(
+            [tiny_library[0].topology], "Layer-10001", physical_size=(1024, 1024)
+        )
+        assert result.legality == 1.0
+        stage = service.stats().legalize_stages[0]
+        assert stage.store_added == 0 and stage.store_deduplicated == 0
