@@ -27,7 +27,8 @@ from repro.diffusion import (
     DiffusionSchedule,
     NeighborhoodDenoiser,
 )
-from repro.metrics import complexity_of, legalize_batch
+from repro.metrics import complexity_of, legalize_sequential
+
 
 SAMPLES = 12 * scale()
 
@@ -69,13 +70,13 @@ def _evaluate(train_data, chatpattern_model):
         cond_match = np.mean(
             [_classify(t, centroids) == idx for t in cond_samples]
         )
-        cond_leg = legalize_batch(list(cond_samples), style).legality
+        cond_leg = legalize_sequential(list(cond_samples), style).legality
 
         mixed_samples = uncond.sample(SAMPLES, None, rng)
         mixed_match = np.mean(
             [_classify(t, centroids) == idx for t in mixed_samples]
         )
-        mixed_leg = legalize_batch(list(mixed_samples), style).legality
+        mixed_leg = legalize_sequential(list(mixed_samples), style).legality
         control[style] = (float(cond_match), float(mixed_match))
         rows.append(
             [
@@ -102,7 +103,7 @@ def _evaluate(train_data, chatpattern_model):
         )
         model.fitted = True
         samples = model.sample(max(4, SAMPLES // 3), 0, rng)
-        result = legalize_batch(list(samples), STYLES[0])
+        result = legalize_sequential(list(samples), STYLES[0])
         k_rows.append([steps, f"{result.legality:.2%}", f"{samples.mean():.3f}"])
     print_table(
         "Ablation: reverse-chain length K (Layer-10001)",

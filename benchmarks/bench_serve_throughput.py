@@ -20,6 +20,7 @@ import os
 import time
 
 from benchmarks.conftest import print_table, scale
+from repro.api import PipelineConfig, ServeConfig, TrainConfig
 from repro.core import ChatPattern
 from repro.serve import ModelKey, ModelRegistry, PatternService, ServeRequest
 
@@ -60,13 +61,13 @@ def _run_batched(model, texts):
     registry = ModelRegistry()
     key = ModelKey(window=model.window)
     registry.put(key, model)
-    service = PatternService(
-        model_key=key,
-        registry=registry,
-        gather_window=0.05,
-        max_workers=N_REQUESTS,
-        max_retries=1,
+    config = PipelineConfig(
+        train=TrainConfig(window=model.window),
+        serve=ServeConfig(
+            gather_window=0.05, max_workers=N_REQUESTS, max_retries=1
+        ),
     )
+    service = PatternService.from_config(config, registry=registry)
     started = time.perf_counter()
     with service:
         responses = service.serve(

@@ -26,7 +26,8 @@ from benchmarks.table1_common import (
 from repro.baselines import CAEGenerator, LayouTransformer, LegalGAN, VCAEGenerator
 from repro.data import STYLES, TILE_NM, MODEL_SIZE
 from repro.drc import rules_for_style
-from repro.metrics import legalize_batch
+from repro.metrics import legalize_sequential
+
 
 SAMPLES = 24 * scale()
 
@@ -64,7 +65,7 @@ def _evaluate(benchmark, train_data, chatpattern_model, per_style_models):
     dp_libs = []
     for style in STYLES:
         samples = per_style_models[style].sample(SAMPLES, rng)
-        result = legalize_batch(list(samples), style)
+        result = legalize_sequential(list(samples), style)
         dp_cells[style] = Cell(
             result.legality,
             _diversity_of(result),
@@ -78,7 +79,7 @@ def _evaluate(benchmark, train_data, chatpattern_model, per_style_models):
     cp_libs = []
     for idx, style in enumerate(STYLES):
         samples = chatpattern_model.sample(SAMPLES, idx, rng)
-        result = legalize_batch(list(samples), style)
+        result = legalize_sequential(list(samples), style)
         cp_cells[style] = Cell(result.legality, _diversity_of(result), SAMPLES)
         cp_libs.append(result.legal)
     rows.append(_row("ChatPattern", cp_cells, total_cell(cp_cells, cp_libs)))

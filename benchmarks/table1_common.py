@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.data import TILE_NM, reference_library
 from repro.drc import check_pattern, rules_for_style
-from repro.metrics import diversity, legalize_batch
+from repro.metrics import diversity, legalize_sequential
 from repro.ops import concat_legalized_patterns, extend
 from repro.squish.pattern import PatternLibrary
 
@@ -47,7 +47,7 @@ def generator_cell(
     topologies: List[np.ndarray], style: str
 ) -> Cell:
     """Legalize generated topologies and evaluate (fixed-size protocol)."""
-    result = legalize_batch(topologies, style)
+    result = legalize_sequential(topologies, style)
     return Cell(
         legality=result.legality,
         diversity=diversity(result.legal),

@@ -14,13 +14,14 @@ from repro.data import DatasetConfig, STYLES, TILE_NM, build_training_set
 from repro.diffusion import ConditionalDiffusionModel
 from repro.drc import check_pattern, rules_for_style
 from repro.io import ascii_art
-from repro.metrics import legalize_batch
+from repro.metrics import legalize_sequential
 from repro.ops import (
     concat_legalized_patterns,
     extend,
     n_in_samplings,
     n_out_samplings,
 )
+
 
 TARGET = 384  # 3x3 model windows
 STYLE = "Layer-10001"
@@ -44,7 +45,7 @@ def main() -> None:
 
     for method in ("out", "in"):
         result = extend(model, (TARGET, TARGET), condition, rng, method=method)
-        legality = legalize_batch([result.topology], STYLE)
+        legality = legalize_sequential([result.topology], STYLE)
         print(f"\n{method}-painting: {result.samplings} samplings, "
               f"legal={bool(legality.legality)}")
         print(ascii_art(result.topology, max_size=48))

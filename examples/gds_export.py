@@ -13,7 +13,8 @@ import numpy as np
 from repro.data import DatasetConfig, STYLES, build_training_set
 from repro.diffusion import ConditionalDiffusionModel
 from repro.io import read_gds, write_gds
-from repro.metrics import legalize_batch
+from repro.metrics import legalize_sequential
+
 
 
 def main() -> None:
@@ -26,7 +27,7 @@ def main() -> None:
 
     rng = np.random.default_rng(9)
     samples = model.sample(3, 0, rng)
-    library = legalize_batch(list(samples), "Layer-10001").legal
+    library = legalize_sequential(list(samples), "Layer-10001").legal
     print(f"generated {len(library)} legal pattern(s)")
 
     path = write_gds(library, "patterns.gds")

@@ -13,7 +13,8 @@ import numpy as np
 from repro.data import DatasetConfig, STYLES, build_training_set
 from repro.diffusion import ConditionalDiffusionModel
 from repro.io import ascii_art
-from repro.metrics import complexity_of, legalize_batch
+from repro.metrics import complexity_of, legalize_sequential
+
 
 SAMPLES = 4
 
@@ -29,7 +30,7 @@ def main() -> None:
     rng = np.random.default_rng(5)
     for idx, style in enumerate(STYLES):
         samples = model.sample(SAMPLES, idx, rng)
-        result = legalize_batch(list(samples), style)
+        result = legalize_sequential(list(samples), style)
         fills = samples.mean()
         print(f"\n=== condition {idx} -> {style} ===")
         print(f"legality under the {style} rule deck: {result.legality:.0%}")
@@ -38,8 +39,8 @@ def main() -> None:
 
     # Cross-check: Layer-10003 samples evaluated against the *wrong* deck.
     samples = model.sample(SAMPLES, 1, rng)
-    wrong = legalize_batch(list(samples), "Layer-10001")
-    right = legalize_batch(list(samples), "Layer-10003")
+    wrong = legalize_sequential(list(samples), "Layer-10001")
+    right = legalize_sequential(list(samples), "Layer-10003")
     print("\nLayer-10003-conditioned samples:")
     print(f"  legality under Layer-10003 rules: {right.legality:.0%}")
     print(f"  legality under Layer-10001 rules: {wrong.legality:.0%}")

@@ -16,9 +16,14 @@ Natural Language* (DAC 2024).  It contains:
 - ``repro.agent``: the expert LLM agent front-end (requirement
   auto-formatting, task planning, tool execution, failure recovery).
 - ``repro.core``: the ``ChatPattern`` facade tying everything together.
+- ``repro.api``: the typed-config pipeline behind every entrypoint
+  (``PipelineConfig`` -> ``PatternPipeline``), with a persistent model
+  cache.
 """
 
+from repro.api.config import PipelineConfig
+from repro.api.pipeline import PatternPipeline
 from repro.core.chatpattern import ChatPattern
 
-__all__ = ["ChatPattern"]
-__version__ = "1.0.0"
+__all__ = ["ChatPattern", "PatternPipeline", "PipelineConfig"]
+__version__ = "1.1.0"

@@ -17,13 +17,13 @@ import numpy as np
 if TYPE_CHECKING:  # runtime import would cycle through repro.serve -> core
     from repro.serve.store import LibraryStore
 
+from repro.api.pipeline import PatternPipeline
 from repro.data.styles import style_condition
 from repro.diffusion.model import ConditionalDiffusionModel
 from repro.drc.rules import rules_for_style
 from repro.drc.violations import GridRegion
-from repro.legalize.legalizer import LegalizationResult, legalize
+from repro.legalize.legalizer import LegalizationResult
 from repro.metrics.stats import library_stats
-from repro.ops.extend import extend
 from repro.ops.modify import modify_region
 from repro.squish.complexity import topology_complexity
 from repro.squish.pattern import PatternLibrary
@@ -83,6 +83,11 @@ class AgentTools:
         store: optional indexed :class:`~repro.serve.store.LibraryStore`;
             when attached, ``Save_Library`` persists the output library with
             content-hash dedup and ``Analyze_Library`` reports store totals.
+        pipeline: the :class:`PatternPipeline` the sampling/extension/
+            legalization tools route through; rebound to ``model`` so the
+            tools and the pipeline always agree on the back-end (the serve
+            path hands in a batched scheduler client).  A default pipeline
+            is built when omitted.
     """
 
     def __init__(
@@ -91,6 +96,7 @@ class AgentTools:
         workspace: Optional[Workspace] = None,
         base_seed: int = 0,
         store: Optional["LibraryStore"] = None,
+        pipeline: Optional[PatternPipeline] = None,
     ):
         self.model = model
         # Note: "workspace or Workspace()" would discard an *empty* caller
@@ -98,6 +104,11 @@ class AgentTools:
         self.workspace = workspace if workspace is not None else Workspace()
         self.base_seed = base_seed
         self.store = store
+        self.pipeline = (
+            pipeline.bound_to(model)
+            if pipeline is not None
+            else PatternPipeline(model=model)
+        )
         self.call_log: List[Tuple[str, Dict]] = []
         self._registry: Dict[str, Callable[..., ToolResult]] = {
             "Topology_Generation": self.topology_generation,
@@ -173,9 +184,8 @@ class AgentTools:
                     f"{self.model.window}; use Topology_Extension"
                 ),
             )
-        condition = style_condition(style) if self.model.n_classes else None
-        topo = self.model.sample(
-            1, condition, self._rng(seed), shape=(size, size)
+        topo = self.pipeline.sample_topologies(
+            1, style, size=size, rng=self._rng(seed)
         )[0]
         handle = self.workspace.put(topo, style)
         cx, cy = topology_complexity(topo)
@@ -199,16 +209,14 @@ class AgentTools:
         """Extend a topology to ``target_size`` (In/Out-Painting)."""
         topo = self.workspace.get(topology_path)
         style = style or self.workspace.style_of(topology_path)
-        condition = style_condition(style) if self.model.n_classes else None
         method_key = method.lower()
         if method_key not in ("in", "out"):
             return ToolResult(ok=False, message=f"unknown method {method!r}")
-        result = extend(
-            self.model,
-            (target_size, target_size),
-            condition,
-            self._rng(seed),
+        result = self.pipeline.extend_one(
+            target_size,
+            style,
             method=method_key,
+            rng=self._rng(seed),
             seed_topology=topo if topo.shape == (self.model.window,) * 2 else None,
         )
         handle = self.workspace.put(result.topology, style)
@@ -230,9 +238,8 @@ class AgentTools:
         """Legalize; success adds the pattern to the output library."""
         topo = self.workspace.get(topology_path)
         style = self.workspace.style_of(topology_path)
-        rules = rules_for_style(style)
-        result: LegalizationResult = legalize(
-            topo, physical_size, rules, style=style
+        result: LegalizationResult = self.pipeline.legalize_one(
+            topo, style, physical_size
         )
         if result.ok:
             self.workspace.library.add(result.pattern)
@@ -313,15 +320,18 @@ class AgentTools:
             )
         max_attempts = max_attempts or count * 10
         physical = physical_size or physical_size_for((size, size))
-        condition = style_condition(style) if self.model.n_classes else None
         rules = rules_for_style(style)
         rng = self._rng(seed)
         kept = 0
         attempts = 0
         while kept < count and attempts < max_attempts:
             attempts += 1
-            topo = self.model.sample(1, condition, rng, shape=(size, size))[0]
-            result = legalize(topo, physical, rules, style=style)
+            topo = self.pipeline.sample_topologies(
+                1, style, size=size, rng=rng
+            )[0]
+            result = self.pipeline.legalize_one(
+                topo, style, physical, rules=rules
+            )
             if result.ok:
                 self.workspace.library.add(result.pattern)
                 kept += 1

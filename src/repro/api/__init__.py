@@ -1,0 +1,38 @@
+"""The typed-config pipeline API: one front door for every entrypoint.
+
+- :mod:`repro.api.config` — frozen per-stage configs composed into
+  :class:`PipelineConfig`, with lossless dict/JSON round-trips.
+- :mod:`repro.api.pipeline` — :class:`PatternPipeline`, the chainable
+  sample -> extend -> legalize -> score -> persist pipeline all CLI
+  subcommands, the ``ChatPattern`` facade and the serving subsystem share.
+"""
+
+from repro.api.config import (
+    ConfigError,
+    LegalizeConfig,
+    PipelineConfig,
+    SampleConfig,
+    ServeConfig,
+    StoreConfig,
+    TrainConfig,
+)
+from repro.api.pipeline import (
+    PatternPipeline,
+    PipelineResult,
+    StageTiming,
+    default_registry,
+)
+
+__all__ = [
+    "ConfigError",
+    "LegalizeConfig",
+    "PatternPipeline",
+    "PipelineConfig",
+    "PipelineResult",
+    "SampleConfig",
+    "ServeConfig",
+    "StageTiming",
+    "StoreConfig",
+    "TrainConfig",
+    "default_registry",
+]

@@ -1,0 +1,240 @@
+"""Typed configuration for the one true pipeline.
+
+Every entrypoint of the system — the CLI subcommands, the ``ChatPattern``
+facade, the batched ``PatternService`` — describes the same pipeline
+(condition -> diffusion sampling -> legalization -> library), so they share
+one configuration vocabulary: five frozen dataclasses, one per stage,
+composed into :class:`PipelineConfig`.  Each config round-trips losslessly
+through ``as_dict``/``from_dict`` and :class:`PipelineConfig` through JSON
+(``save``/``load``), which is what the CLI's ``--config pipeline.json``
+flag consumes.
+
+:class:`TrainConfig` doubles as the *recipe* of a fitted back-end: the
+registry's ``ModelKey`` derives from it (see :mod:`repro.serve.registry`),
+so the config system and the model cache speak the same language, and
+``recipe_hash`` names the on-disk cache entry of a fitted model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from repro.data.dataset import DatasetConfig
+from repro.data.styles import STYLES, TILE_NM
+
+
+class ConfigError(ValueError):
+    """A config payload does not describe a valid pipeline."""
+
+
+@dataclass(frozen=True)
+class StageConfig:
+    """Shared dict/JSON plumbing for the flat per-stage configs.
+
+    ``from_dict`` rejects unknown keys (a typo in a pipeline.json must fail
+    loudly, not silently fall back to a default) and normalises lists to
+    tuples so a JSON round-trip compares equal to the original.
+    """
+
+    def as_dict(self) -> Dict:
+        out = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            out[spec.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "StageConfig":
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"{cls.__name__} payload must be a mapping, got "
+                f"{type(data).__name__}"
+            )
+        known = {spec.name for spec in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown {cls.__name__} field(s): {unknown}; "
+                f"known: {sorted(known)}"
+            )
+        kwargs = {
+            name: tuple(value) if isinstance(value, list) else value
+            for name, value in data.items()
+        }
+        return cls(**kwargs)
+
+    def replace(self, **changes) -> "StageConfig":
+        """Functional update (configs are frozen)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class TrainConfig(StageConfig):
+    """Everything that determines a fitted diffusion back-end.
+
+    The defaults reproduce the paper's base setting (both styles, 128
+    window, 48 training tiles per style).  ``seed`` drives both the dataset
+    tiling and the denoiser's fit, exactly as the registry's builder does.
+    """
+
+    styles: Tuple[str, ...] = tuple(STYLES)
+    window: int = 128
+    train_count: int = 48
+    seed: int = 2024
+    tile_nm: int = TILE_NM
+    map_scale: int = 8
+
+    def dataset_config(self) -> DatasetConfig:
+        return DatasetConfig(
+            tile_nm=self.tile_nm,
+            topology_size=self.window,
+            map_scale=self.map_scale,
+            seed=self.seed,
+        )
+
+    def recipe_hash(self) -> str:
+        """Stable content hash of the recipe (the disk-cache key)."""
+        payload = json.dumps(self.as_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+@dataclass(frozen=True)
+class SampleConfig(StageConfig):
+    """Fixed-size sampling and free-size extension parameters.
+
+    ``size`` defaults to the model window; ``seed`` falls back to the
+    training seed when unset.  ``extend_size`` switches the pipeline's
+    default run from the ``sample`` stage to the ``extend`` stage.
+    """
+
+    style: str = STYLES[0]
+    count: int = 4
+    size: Optional[int] = None
+    seed: Optional[int] = None
+    extend_size: Optional[int] = None
+    extend_method: str = "out"
+
+    def __post_init__(self):
+        if self.extend_method not in ("out", "in"):
+            raise ConfigError(
+                f"extend_method must be 'out' or 'in', got "
+                f"{self.extend_method!r}"
+            )
+
+
+@dataclass(frozen=True)
+class LegalizeConfig(StageConfig):
+    """Batch-legalization knobs (see :func:`repro.metrics.legalize_many`)."""
+
+    physical_size: Optional[Tuple[int, int]] = None
+    max_workers: Optional[int] = None
+    engine: str = "vectorized"
+    keep_failures: bool = False
+    fault_isolation: bool = True
+
+
+@dataclass(frozen=True)
+class StoreConfig(StageConfig):
+    """Where pipeline output goes: flat ``.npz`` and/or the indexed store."""
+
+    store_dir: Optional[str] = None
+    output_path: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ServeConfig(StageConfig):
+    """Multi-request service knobs (see :class:`PatternService`)."""
+
+    objective: str = "legality"
+    gather_window: float = 0.02
+    max_batch: int = 64
+    max_workers: int = 8
+    max_retries: int = 2
+    base_seed: int = 0
+
+
+@dataclass(frozen=True)
+class PipelineConfig(StageConfig):
+    """The composed pipeline description behind every entrypoint.
+
+    ``model_cache`` names a directory for the persistent fitted-model cache:
+    when set, a second run with the same :class:`TrainConfig` loads the
+    fitted back-end from disk instead of retraining.
+    """
+
+    train: TrainConfig = field(default_factory=TrainConfig)
+    sample: SampleConfig = field(default_factory=SampleConfig)
+    legalize: LegalizeConfig = field(default_factory=LegalizeConfig)
+    store: StoreConfig = field(default_factory=StoreConfig)
+    serve: ServeConfig = field(default_factory=ServeConfig)
+    model_cache: Optional[str] = None
+
+    _SECTIONS = {
+        "train": TrainConfig,
+        "sample": SampleConfig,
+        "legalize": LegalizeConfig,
+        "store": StoreConfig,
+        "serve": ServeConfig,
+    }
+
+    def as_dict(self) -> Dict:
+        out = {
+            name: getattr(self, name).as_dict() for name in self._SECTIONS
+        }
+        out["model_cache"] = self.model_cache
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PipelineConfig":
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"PipelineConfig payload must be a mapping, got "
+                f"{type(data).__name__}"
+            )
+        known = set(cls._SECTIONS) | {"model_cache"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown PipelineConfig field(s): {unknown}; "
+                f"known: {sorted(known)}"
+            )
+        kwargs = {}
+        for name, section_cls in cls._SECTIONS.items():
+            if name in data:
+                value = data[name]
+                if isinstance(value, section_cls):
+                    kwargs[name] = value
+                else:
+                    kwargs[name] = section_cls.from_dict(value)
+        if "model_cache" in data:
+            kwargs["model_cache"] = data["model_cache"]
+        return cls(**kwargs)
+
+    # -- JSON round-trip ----------------------------------------------
+
+    def dumps(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def loads(cls, text: str) -> "PipelineConfig":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"invalid pipeline JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(self.dumps() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "PipelineConfig":
+        return cls.loads(Path(path).read_text())

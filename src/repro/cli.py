@@ -9,10 +9,14 @@ Subcommands:
 - ``evaluate`` — legality/diversity report for a saved library.
 - ``export``   — convert a saved library to GDSII.
 
-All subcommands train the back-end on the synthetic dataset at start-up
-(seconds on CPU); pass ``--train-count`` to trade training data for time.
+Every subcommand is a thin shell over the typed pipeline API
+(:class:`repro.api.PipelineConfig` -> :class:`repro.api.PatternPipeline`):
+``--config pipeline.json`` loads a full pipeline description, individual
+flags override it, and ``--model-cache DIR`` persists the fitted back-end
+on disk so repeated invocations skip training::
 
     python -m repro.cli chat "Generate 6 patterns ..." -o library.npz
+    python -m repro.cli generate --count 4 --model-cache ~/.cache/repro
 """
 
 from __future__ import annotations
@@ -21,16 +25,49 @@ import argparse
 import sys
 from typing import List, Optional
 
-import numpy as np
-
-from repro.core.chatpattern import ChatPattern
-from repro.data import STYLES, style_condition
-from repro.io.gds import write_gds
+from repro.api.config import PipelineConfig
+from repro.api.pipeline import PatternPipeline
+from repro.data import STYLES
 from repro.io.render import ascii_art
-from repro.io.store import load_library, save_library
-from repro.metrics import diversity, legalize_batch
+from repro.io.store import load_library
 from repro.metrics.stats import library_stats
-from repro.ops import extend
+
+_GLOBAL_OPTIONS = (
+    (
+        "--config",
+        {"metavar": "PIPELINE_JSON",
+         "help": "pipeline config file (see repro.api.PipelineConfig)"},
+    ),
+    (
+        "--model-cache",
+        {"metavar": "DIR",
+         "help": "persistent fitted-model cache; a second run with the "
+                 "same training recipe loads the model instead of "
+                 "retraining"},
+    ),
+    (
+        "--train-count",
+        {"type": int,
+         "help": "training tiles per style for the diffusion back-end "
+                 "(default 48)"},
+    ),
+    ("--seed", {"type": int, "help": "training/sampling seed (default 2024)"}),
+)
+
+
+def _add_global_options(parser: argparse.ArgumentParser, root: bool) -> None:
+    """Install the shared options on the root parser and every subparser.
+
+    The subparser copies default to ``SUPPRESS`` so ``repro generate
+    --model-cache DIR`` (flag after the subcommand) works without a
+    subcommand's unset flag clobbering a value parsed before it.
+    """
+    for flag, kwargs in _GLOBAL_OPTIONS:
+        parser.add_argument(
+            flag,
+            default=None if root else argparse.SUPPRESS,
+            **kwargs,
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -38,18 +75,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="ChatPattern: layout pattern customization via natural language",
     )
-    parser.add_argument(
-        "--train-count", type=int, default=48,
-        help="training tiles per style for the diffusion back-end",
-    )
-    parser.add_argument("--seed", type=int, default=2024)
+    _add_global_options(parser, root=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
     chat = sub.add_parser("chat", help="handle a natural-language request")
     chat.add_argument("request", help="the requirement, in English")
     chat.add_argument("-o", "--output", help="save the library (.npz)")
     chat.add_argument(
-        "--objective", choices=("legality", "diversity"), default="legality"
+        "--objective", choices=("legality", "diversity"), default=None
     )
 
     srv = sub.add_parser(
@@ -63,18 +96,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="file with one request per line ('#' lines are comments)",
     )
     srv.add_argument(
-        "--objective", choices=("legality", "diversity"), default="legality"
+        "--objective", choices=("legality", "diversity"), default=None
     )
     srv.add_argument(
-        "--gather-window", type=float, default=0.02,
+        "--gather-window", type=float, default=None,
         help="seconds the scheduler collects jobs per batch",
     )
     srv.add_argument(
-        "--max-batch", type=int, default=64,
+        "--max-batch", type=int, default=None,
         help="max samples per batched trajectory",
     )
     srv.add_argument(
-        "--workers", type=int, default=8, help="concurrent request workers"
+        "--workers", type=int, default=None,
+        help="concurrent request workers",
     )
     srv.add_argument(
         "--store", help="directory of the indexed pattern store (dedup)"
@@ -82,16 +116,16 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("-o", "--output", help="save the merged library (.npz)")
 
     gen = sub.add_parser("generate", help="sample fixed-size patterns")
-    gen.add_argument("--style", choices=STYLES, default=STYLES[0])
-    gen.add_argument("--count", type=int, default=4)
+    gen.add_argument("--style", choices=STYLES, default=None)
+    gen.add_argument("--count", type=int, default=None)
     gen.add_argument("-o", "--output", help="save the library (.npz)")
     gen.add_argument("--show", action="store_true", help="print ASCII art")
 
     ext = sub.add_parser("extend", help="free-size synthesis")
-    ext.add_argument("--style", choices=STYLES, default=STYLES[0])
-    ext.add_argument("--size", type=int, default=256)
-    ext.add_argument("--method", choices=("out", "in"), default="out")
-    ext.add_argument("--count", type=int, default=1)
+    ext.add_argument("--style", choices=STYLES, default=None)
+    ext.add_argument("--size", type=int, default=None)
+    ext.add_argument("--method", choices=("out", "in"), default=None)
+    ext.add_argument("--count", type=int, default=None)
     ext.add_argument("-o", "--output", help="save the library (.npz)")
 
     ev = sub.add_parser("evaluate", help="report stats for a saved library")
@@ -100,29 +134,50 @@ def build_parser() -> argparse.ArgumentParser:
     ex = sub.add_parser("export", help="convert a saved library to GDSII")
     ex.add_argument("library", help="path to a .npz library")
     ex.add_argument("output", help="path of the .gds file to write")
+
+    for command_parser in (chat, srv, gen, ext, ev, ex):
+        _add_global_options(command_parser, root=False)
     return parser
 
 
-def _pretrained(args) -> ChatPattern:
-    print(
-        f"[repro] training back-end ({args.train_count} tiles/style)...",
-        file=sys.stderr,
+def _pipeline_config(args) -> PipelineConfig:
+    """``--config`` file (or defaults) with the global flag overrides."""
+    cfg = (
+        PipelineConfig.load(args.config)
+        if args.config
+        else PipelineConfig()
     )
-    return ChatPattern.pretrained(train_count=args.train_count, seed=args.seed)
+    train = cfg.train
+    if args.train_count is not None:
+        train = train.replace(train_count=args.train_count)
+    if args.seed is not None:
+        train = train.replace(seed=args.seed)
+    cfg = cfg.replace(train=train)
+    if args.model_cache is not None:
+        cfg = cfg.replace(model_cache=args.model_cache)
+    return cfg
+
+
+def _build_pipeline(args, cfg: PipelineConfig) -> PatternPipeline:
+    """The one seam every subcommand builds its pipeline through."""
+    return PatternPipeline(cfg, verbose=True)
 
 
 def _cmd_chat(args) -> int:
-    chat = _pretrained(args)
-    result = chat.handle_request(args.request, objective=args.objective)
+    cfg = _pipeline_config(args)
+    pipeline = _build_pipeline(args, cfg)
+    result = pipeline.chat(args.request, objective=args.objective)
     print(result.summary())
     if args.output and len(result.library):
-        save_library(result.library, args.output)
-        print(f"library saved to {args.output}")
+        saved = pipeline.with_library(result.library).persist(
+            output=args.output
+        )
+        print(f"library saved to {saved.output_path}")
     return 0 if result.produced else 1
 
 
 def _cmd_serve(args) -> int:
-    from repro.serve import LibraryStore, PatternService, ServeRequest
+    from repro.serve import ServeRequest
     from repro.squish.pattern import PatternLibrary
 
     texts = list(args.requests)
@@ -137,19 +192,35 @@ def _cmd_serve(args) -> int:
         print("no requests given", file=sys.stderr)
         return 2
 
-    chat = _pretrained(args)
-    store = LibraryStore(args.store) if args.store else None
-    service = PatternService(
-        model=chat.model,
-        store=store,
-        gather_window=args.gather_window,
-        max_batch=args.max_batch,
-        max_workers=args.workers,
-        base_seed=args.seed,
-    )
+    cfg = _pipeline_config(args)
+    serve_cfg = cfg.serve
+    if args.objective is not None:
+        serve_cfg = serve_cfg.replace(objective=args.objective)
+    if args.seed is not None:
+        serve_cfg = serve_cfg.replace(base_seed=args.seed)
+    elif not args.config:
+        # No config file: keep the old CLI behavior of seeding request
+        # streams from the training seed.
+        serve_cfg = serve_cfg.replace(base_seed=cfg.train.seed)
+    if args.gather_window is not None:
+        serve_cfg = serve_cfg.replace(gather_window=args.gather_window)
+    if args.max_batch is not None:
+        serve_cfg = serve_cfg.replace(max_batch=args.max_batch)
+    if args.workers is not None:
+        serve_cfg = serve_cfg.replace(max_workers=args.workers)
+    cfg = cfg.replace(serve=serve_cfg)
+    if args.store:
+        cfg = cfg.replace(store=cfg.store.replace(store_dir=args.store))
+
+    pipeline = _build_pipeline(args, cfg)
+    pipeline.model  # resolve through the registry (and the disk cache) now
+    service = pipeline.service()
     with service:
         responses = service.serve(
-            [ServeRequest(text=t, objective=args.objective) for t in texts]
+            [
+                ServeRequest(text=t, objective=cfg.serve.objective)
+                for t in texts
+            ]
         )
 
     merged = PatternLibrary(name="serve-output")
@@ -160,55 +231,71 @@ def _cmd_serve(args) -> int:
     stats = service.stats()
     print(f"service: {stats.as_dict()}")
     if args.output and len(merged):
-        written = save_library(merged, args.output)
-        print(f"library saved to {written}")
+        saved = pipeline.with_library(merged).persist(output=args.output)
+        print(f"library saved to {saved.output_path}")
     return 0 if all(r.produced for r in responses) else 1
 
 
 def _cmd_generate(args) -> int:
-    chat = _pretrained(args)
-    rng = np.random.default_rng(args.seed)
-    condition = style_condition(args.style)
-    samples = chat.model.sample(args.count, condition, rng)
-    result = legalize_batch(list(samples), args.style)
+    cfg = _pipeline_config(args)
+    sample_cfg = cfg.sample
+    if args.style:
+        sample_cfg = sample_cfg.replace(style=args.style)
+    if args.count is not None:
+        sample_cfg = sample_cfg.replace(count=args.count)
+    cfg = cfg.replace(sample=sample_cfg)
+    pipeline = _build_pipeline(args, cfg)
+    result = pipeline.sample().legalize().score()
+    legality = result.legality
     print(
-        f"generated {args.count}, legal {len(result.legal)} "
-        f"({result.legality:.0%}); diversity {diversity(result.legal):.3f}"
+        f"generated {legality.total}, legal {len(legality.legal)} "
+        f"({legality.legality:.0%}); diversity "
+        f"{result.scores.get('diversity', 0.0):.3f}"
     )
-    if args.show and len(result.legal):
-        print(ascii_art(result.legal[0].topology, max_size=48))
-    if args.output and len(result.legal):
-        save_library(result.legal, args.output)
-        print(f"library saved to {args.output}")
-    return 0 if len(result.legal) else 1
+    if args.show and len(result.library):
+        print(ascii_art(result.library[0].topology, max_size=48))
+    if args.output and len(result.library):
+        result = pipeline.persist(result, output=args.output)
+        print(f"library saved to {result.output_path}")
+    return 0 if len(result.library) else 1
 
 
 def _cmd_extend(args) -> int:
-    chat = _pretrained(args)
-    rng = np.random.default_rng(args.seed)
-    condition = style_condition(args.style)
-    topologies = [
-        extend(
-            chat.model, (args.size, args.size), condition, rng, method=args.method
-        ).topology
-        for _ in range(args.count)
-    ]
-    result = legalize_batch(topologies, args.style)
-    print(
-        f"extended {args.count} pattern(s) to {args.size}x{args.size} via "
-        f"{args.method}-painting; legal {len(result.legal)} "
-        f"({result.legality:.0%})"
+    cfg = _pipeline_config(args)
+    sample_cfg = cfg.sample
+    if args.style:
+        sample_cfg = sample_cfg.replace(style=args.style)
+    if args.count is not None:
+        sample_cfg = sample_cfg.replace(count=args.count)
+    elif not args.config:
+        sample_cfg = sample_cfg.replace(count=1)  # old extend default
+    if args.method:
+        sample_cfg = sample_cfg.replace(extend_method=args.method)
+    sample_cfg = sample_cfg.replace(
+        extend_size=args.size or sample_cfg.extend_size or 256
     )
-    if args.output and len(result.legal):
-        save_library(result.legal, args.output)
-        print(f"library saved to {args.output}")
-    return 0 if len(result.legal) else 1
+    cfg = cfg.replace(sample=sample_cfg)
+    pipeline = _build_pipeline(args, cfg)
+    result = pipeline.extend().legalize().score()
+    legality = result.legality
+    size = cfg.sample.extend_size
+    print(
+        f"extended {legality.total} pattern(s) to {size}x{size} via "
+        f"{cfg.sample.extend_method}-painting; legal {len(legality.legal)} "
+        f"({legality.legality:.0%})"
+    )
+    if args.output and len(result.library):
+        result = pipeline.persist(result, output=args.output)
+        print(f"library saved to {result.output_path}")
+    return 0 if len(result.library) else 1
 
 
 def _cmd_evaluate(args) -> int:
+    cfg = _pipeline_config(args)
+    pipeline = _build_pipeline(args, cfg)
     library = load_library(args.library)
-    stats = library_stats(library)
-    print(f"library {library.name!r}: {stats.as_dict()}")
+    result = pipeline.with_library(library).score()
+    print(f"library {library.name!r}: {result.scores['stats']}")
     for style in library.styles():
         sub = library.filter_style(style)
         print(f"  {style}: {library_stats(sub).as_dict()}")
@@ -216,9 +303,11 @@ def _cmd_evaluate(args) -> int:
 
 
 def _cmd_export(args) -> int:
+    cfg = _pipeline_config(args)
+    pipeline = _build_pipeline(args, cfg)
     library = load_library(args.library)
-    path = write_gds(library, args.output)
-    print(f"wrote {len(library)} structure(s) to {path}")
+    result = pipeline.with_library(library).export(args.output)
+    print(f"wrote {len(library)} structure(s) to {result.gds_path}")
     return 0
 
 

@@ -10,14 +10,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-import numpy as np
-
 from repro.agent.backend import LLMBackend, SimulatedLLM
 from repro.agent.documents import ExperienceDocuments, WorkHistory
 from repro.agent.executor import SubTaskReport, TaskExecutor
 from repro.agent.planner import Plan, TaskPlanner
 from repro.agent.tools import AgentTools, Workspace
-from repro.data.dataset import DatasetConfig, build_training_set
+from repro.api.config import PipelineConfig, TrainConfig
+from repro.api.pipeline import PatternPipeline
+from repro.data.dataset import DatasetConfig
 from repro.data.styles import STYLES
 from repro.diffusion.model import ConditionalDiffusionModel
 from repro.squish.pattern import PatternLibrary
@@ -63,6 +63,10 @@ class ChatPattern:
         max_retries: per-pattern legalization recovery budget.
         store: optional indexed :class:`~repro.serve.store.LibraryStore`
             handed to the agent's tools (``Save_Library`` persistence).
+        pipeline: the :class:`PatternPipeline` the agent's sampling and
+            legalization tools route through; a default one bound to
+            ``model`` is built when omitted, so the constructor stays a
+            thin facade over the typed pipeline API.
     """
 
     def __init__(
@@ -73,6 +77,7 @@ class ChatPattern:
         max_retries: int = 2,
         base_seed: int = 0,
         store=None,
+        pipeline: Optional[PatternPipeline] = None,
     ):
         if not model.fitted:
             raise ValueError("model must be fitted; see ChatPattern.pretrained")
@@ -82,6 +87,11 @@ class ChatPattern:
         self.max_retries = max_retries
         self.base_seed = base_seed
         self.store = store
+        self.pipeline = (
+            pipeline.bound_to(model)
+            if pipeline is not None
+            else PatternPipeline(model=model)
+        )
 
     @classmethod
     def pretrained(
@@ -89,23 +99,48 @@ class ChatPattern:
         styles: tuple = STYLES,
         train_count: int = 48,
         window: int = 128,
-        seed: int = 2024,
+        seed: Optional[int] = None,
         backend: Optional[LLMBackend] = None,
         dataset_config: Optional[DatasetConfig] = None,
+        registry=None,
+        model_cache: Optional[str] = None,
         **kwargs,
     ) -> "ChatPattern":
         """Build + train the full system on the synthetic dataset.
 
-        Trains the class-conditional diffusion back-end on ``train_count``
-        tiles per style (seconds on CPU with the default denoiser).
+        A back-compat facade over the typed pipeline API: the arguments
+        become a :class:`TrainConfig` and the fitted back-end is resolved
+        through the shared :class:`~repro.serve.registry.ModelRegistry`
+        (memory LRU, plus the ``model_cache`` disk tier when given), so
+        repeated calls with the same recipe reuse the fitted model instead
+        of retraining.
+
+        When ``dataset_config`` is given its ``topology_size`` defines the
+        model window — the model must generate the tiles it was trained on,
+        so a conflicting ``window`` argument is overridden.  The recipe's
+        single seed is an explicit ``seed`` argument if given, else the
+        ``dataset_config`` seed, else the paper's 2024.
         """
+        if seed is None:
+            seed = (
+                dataset_config.seed if dataset_config is not None else 2024
+            )
         cfg = dataset_config or DatasetConfig(topology_size=window, seed=seed)
-        topologies, conditions = build_training_set(
-            list(styles), train_count, cfg
+        train = TrainConfig(
+            styles=tuple(styles),
+            window=cfg.topology_size,
+            train_count=train_count,
+            seed=seed,
+            tile_nm=cfg.tile_nm,
+            map_scale=cfg.map_scale,
         )
-        model = ConditionalDiffusionModel(window=window, n_classes=len(styles))
-        model.fit(topologies, conditions, np.random.default_rng(seed))
-        return cls(model=model, backend=backend, **kwargs)
+        pipeline = PatternPipeline(
+            PipelineConfig(train=train, model_cache=model_cache),
+            registry=registry,
+        )
+        return cls(
+            model=pipeline.model, backend=backend, pipeline=pipeline, **kwargs
+        )
 
     def handle_request(
         self, user_text: str, objective: str = "legality"
@@ -113,7 +148,11 @@ class ChatPattern:
         """End-to-end: auto-format, plan, execute, summarise (Fig. 4)."""
         workspace = Workspace()
         tools = AgentTools(
-            self.model, workspace, base_seed=self.base_seed, store=self.store
+            self.model,
+            workspace,
+            base_seed=self.base_seed,
+            store=self.store,
+            pipeline=self.pipeline,
         )
         planner = TaskPlanner(
             self.backend,

@@ -11,6 +11,7 @@ from repro.metrics.legality import (
     default_legalize_workers,
     legalize_batch,
     legalize_many,
+    legalize_sequential,
     physical_size_for,
 )
 from repro.metrics.stats import LibraryStats, library_stats
@@ -24,6 +25,7 @@ __all__ = [
     "diversity",
     "legalize_batch",
     "legalize_many",
+    "legalize_sequential",
     "library_stats",
     "physical_size_for",
     "shannon_entropy",

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -130,18 +131,18 @@ def legalize_many(
     )
 
 
-def legalize_batch(
+def legalize_sequential(
     topologies: Sequence[np.ndarray],
     style: str,
     rules: Optional[DesignRules] = None,
     physical_size: Optional[Tuple[int, int]] = None,
     keep_failures: bool = False,
 ) -> LegalityResult:
-    """Legalize every topology sequentially and collect legality statistics.
+    """Deterministic single-thread batch legalization (Table-1 protocol).
 
-    Kept for callers that want deterministic single-thread execution with
-    the original error contract (malformed topologies raise); the parallel,
-    fault-isolated path is :func:`legalize_many`.
+    The blessed spelling of ``legalize_many(..., max_workers=1,
+    fault_isolation=False)``: items run in order on the calling thread and
+    a malformed topology raises (a programming error, not a statistic).
     """
     return legalize_many(
         topologies,
@@ -151,6 +152,38 @@ def legalize_batch(
         keep_failures=keep_failures,
         max_workers=1,
         fault_isolation=False,
+    )
+
+
+def legalize_batch(
+    topologies: Sequence[np.ndarray],
+    style: str,
+    rules: Optional[DesignRules] = None,
+    physical_size: Optional[Tuple[int, int]] = None,
+    keep_failures: bool = False,
+) -> LegalityResult:
+    """Deprecated alias of :func:`legalize_sequential`.
+
+    .. deprecated::
+        ``legalize_batch`` and ``legalize_many`` were overlapping batch
+        APIs sharing one implementation.  :func:`legalize_sequential`
+        keeps this alias's exact contract (deterministic single-thread
+        execution, malformed topologies raise); :func:`legalize_many` is
+        the parallel, fault-isolated path with a *different* error
+        contract.
+    """
+    warnings.warn(
+        "legalize_batch is deprecated; use legalize_sequential (same "
+        "contract) or legalize_many (parallel, fault-isolated)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return legalize_sequential(
+        topologies,
+        style,
+        rules=rules,
+        physical_size=physical_size,
+        keep_failures=keep_failures,
     )
 
 

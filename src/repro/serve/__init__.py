@@ -10,7 +10,9 @@ Layers (front to back):
   requests coalesces into single batched denoise trajectories
   (``ConditionalDiffusionModel.sample_batch``).
 - :class:`ModelRegistry` / :class:`ModelKey` — fitted models cached by
-  training recipe so repeated requests never retrain.
+  training recipe (``ModelKey`` derives from
+  :class:`repro.api.config.TrainConfig`) so repeated requests never
+  retrain; an optional disk tier extends the cache across processes.
 - :class:`LibraryStore` — content-hash-indexed persistent pattern store
   with dedup and query-by-style/size/legality.
 """

@@ -1,50 +1,61 @@
-"""Fitted-model registry: train once, serve many.
+"""Fitted-model registry: train once, serve many — now across processes.
 
 Every request that reaches :class:`~repro.serve.service.PatternService`
 needs a fitted :class:`~repro.diffusion.model.ConditionalDiffusionModel`.
 Training is seconds-cheap but far from free, and a production service must
 never retrain per request — the registry caches fitted models keyed by the
-full recipe that determines them: styles, window, dataset configuration and
-seed.  Concurrent requests for the same key block on a per-key lock so the
-model is fitted exactly once.
+full recipe that determines them.  The key vocabulary is shared with the
+config system: :class:`ModelKey` derives from
+:class:`~repro.api.config.TrainConfig`, so a pipeline config and the
+registry describe a back-end identically.
+
+Two cache tiers:
+
+- **memory** — a thread-safe LRU; concurrent requests for the same key
+  block on a per-key lock so the model is fitted exactly once.
+- **disk** (optional ``save_dir``) — fitted models pickled under the
+  recipe's content hash, so a *second process* (e.g. a repeated CLI run
+  with ``--model-cache``) loads the fitted model instead of retraining.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import os
+import pickle
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.data.dataset import DatasetConfig, build_training_set
-from repro.data.styles import STYLES, TILE_NM
+from repro.api.config import TrainConfig
+from repro.data.dataset import build_training_set
 from repro.diffusion.model import ConditionalDiffusionModel
+
+_CACHE_FORMAT = 1  # bump when the pickled model layout changes
 
 
 @dataclass(frozen=True)
-class ModelKey:
-    """Everything that determines a fitted back-end, hashable for caching.
+class ModelKey(TrainConfig):
+    """The registry's cache key: exactly a :class:`TrainConfig` recipe.
 
-    The defaults mirror :meth:`repro.core.chatpattern.ChatPattern.pretrained`:
-    both styles, the paper's 128 window, 48 training tiles per style.
+    Deriving from ``TrainConfig`` keeps one recipe vocabulary between the
+    config system and the registry; :meth:`from_config` upgrades a plain
+    ``TrainConfig`` (the registry normalises its inputs, so either type
+    works everywhere a key is accepted).
     """
 
-    styles: Tuple[str, ...] = tuple(STYLES)
-    window: int = 128
-    train_count: int = 48
-    seed: int = 2024
-    tile_nm: int = TILE_NM
-    map_scale: int = 8
-
-    def dataset_config(self) -> DatasetConfig:
-        return DatasetConfig(
-            tile_nm=self.tile_nm,
-            topology_size=self.window,
-            map_scale=self.map_scale,
-            seed=self.seed,
-        )
+    @classmethod
+    def from_config(cls, config: TrainConfig) -> "ModelKey":
+        if isinstance(config, cls):
+            return config
+        return cls(**{
+            spec.name: getattr(config, spec.name)
+            for spec in dataclasses.fields(TrainConfig)
+        })
 
 
 def fit_model(key: ModelKey) -> ConditionalDiffusionModel:
@@ -60,23 +71,36 @@ def fit_model(key: ModelKey) -> ConditionalDiffusionModel:
 
 
 class ModelRegistry:
-    """Thread-safe LRU cache of fitted models.
+    """Thread-safe LRU cache of fitted models, optionally disk-persistent.
 
     Args:
         builder: ``key -> fitted model`` factory (default :func:`fit_model`).
         max_models: LRU capacity; the least-recently-used model is evicted
-            when a new key would exceed it.
+            when a new key would exceed it (memory tier only — disk entries
+            are never evicted).
+        save_dir: directory for the persistent cache.  On a memory miss the
+            registry tries ``save_dir/model-<recipe_hash>.pkl`` before
+            fitting, and every freshly fitted model is written back, so the
+            fit cost is paid once per recipe *per machine*, not per process.
+            The disk tier is keyed by recipe only: every registry sharing a
+            ``save_dir`` must use an equivalent ``builder``, or a
+            stub-built model would be served to processes expecting the
+            real recipe.
     """
 
     def __init__(
         self,
         builder: Optional[Callable[[ModelKey], ConditionalDiffusionModel]] = None,
         max_models: int = 8,
+        save_dir: Optional[Union[str, Path]] = None,
     ):
         if max_models < 1:
             raise ValueError("max_models must be >= 1")
         self._builder = builder or fit_model
         self._max_models = max_models
+        self._save_dir = (
+            Path(save_dir).expanduser() if save_dir is not None else None
+        )
         self._models: "OrderedDict[ModelKey, ConditionalDiffusionModel]" = (
             OrderedDict()
         )
@@ -84,15 +108,40 @@ class ModelRegistry:
         self._key_locks: Dict[ModelKey, threading.Lock] = {}
         self._hits = 0
         self._misses = 0
+        self._disk_hits = 0
 
-    def get_or_fit(self, key: ModelKey) -> ConditionalDiffusionModel:
+    @property
+    def save_dir(self) -> Optional[Path]:
+        return self._save_dir
+
+    def cache_path(self, key: Union[ModelKey, TrainConfig]) -> Optional[Path]:
+        """On-disk location of ``key``'s model (``None`` when not persistent)."""
+        if self._save_dir is None:
+            return None
+        key = ModelKey.from_config(key)
+        return self._save_dir / f"model-{key.recipe_hash()}.pkl"
+
+    def get_or_fit(
+        self, key: Union[ModelKey, TrainConfig]
+    ) -> ConditionalDiffusionModel:
         """Return the cached model for ``key``, fitting it on first use."""
+        return self.resolve(key)[0]
+
+    def resolve(
+        self,
+        key: Union[ModelKey, TrainConfig],
+        on_fit_start: Optional[Callable[[ModelKey], None]] = None,
+    ) -> Tuple[ConditionalDiffusionModel, str]:
+        """Like :meth:`get_or_fit`, but also reports where the model came
+        from: ``"memory"``, ``"disk"`` or ``"fit"``.  ``on_fit_start`` is
+        invoked just before the builder runs (progress reporting)."""
+        key = ModelKey.from_config(key)
         with self._lock:
             model = self._models.get(key)
             if model is not None:
                 self._hits += 1
                 self._models.move_to_end(key)
-                return model
+                return model, "memory"
             key_lock = self._key_locks.setdefault(key, threading.Lock())
         with key_lock:
             # Double-check: another thread may have finished fitting while
@@ -102,20 +151,76 @@ class ModelRegistry:
                 if model is not None:
                     self._hits += 1
                     self._models.move_to_end(key)
-                    return model
+                    return model, "memory"
+            model = self._load_from_disk(key)
+            if model is not None:
+                with self._lock:
+                    self._disk_hits += 1
+                self.put(key, model)
+                return model, "disk"
+            if on_fit_start is not None:
+                on_fit_start(key)
             model = self._builder(key)
             self.put(key, model, _count_miss=True)
-            return model
+            self._save_to_disk(key, model)
+            return model, "fit"
+
+    # -- disk tier -----------------------------------------------------
+
+    def _load_from_disk(
+        self, key: ModelKey
+    ) -> Optional[ConditionalDiffusionModel]:
+        path = self.cache_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            if payload.get("format") != _CACHE_FORMAT:
+                return None
+            model = payload["model"]
+        except Exception:
+            # A corrupt/partial/foreign cache file must degrade to a refit,
+            # never crash the service.
+            return None
+        if not getattr(model, "fitted", False):
+            return None
+        return model
+
+    def _save_to_disk(self, key: ModelKey, model) -> Optional[Path]:
+        path = self.cache_path(key)
+        if path is None:
+            return None
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Unique per writer: two processes saving the same recipe must not
+        # interleave writes into one tmp file before the atomic publish.
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        payload = {
+            "format": _CACHE_FORMAT,
+            "recipe": key.as_dict(),
+            "model": model,
+        }
+        try:
+            with open(tmp, "wb") as handle:
+                pickle.dump(payload, handle)
+            tmp.replace(path)  # atomic: concurrent readers see old or new
+        except Exception:
+            tmp.unlink(missing_ok=True)
+            return None
+        return path
+
+    # -- memory tier ---------------------------------------------------
 
     def put(
         self,
-        key: ModelKey,
+        key: Union[ModelKey, TrainConfig],
         model: ConditionalDiffusionModel,
         _count_miss: bool = False,
     ) -> None:
         """Insert a pre-fitted model (e.g. a benchmark fixture) under ``key``."""
         if not model.fitted:
             raise ValueError("registry only caches fitted models")
+        key = ModelKey.from_config(key)
         with self._lock:
             if _count_miss:
                 self._misses += 1
@@ -128,7 +233,8 @@ class ModelRegistry:
                 # not corruption), and the lock table stays bounded.
                 self._key_locks.pop(evicted_key, None)
 
-    def __contains__(self, key: ModelKey) -> bool:
+    def __contains__(self, key: Union[ModelKey, TrainConfig]) -> bool:
+        key = ModelKey.from_config(key)
         with self._lock:
             return key in self._models
 
@@ -147,4 +253,5 @@ class ModelRegistry:
                 "cached": len(self._models),
                 "hits": self._hits,
                 "misses": self._misses,
+                "disk_hits": self._disk_hits,
             }

@@ -21,6 +21,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.agent.backend import LLMBackend, SimulatedLLM
+from repro.api.config import PipelineConfig
+from repro.api.pipeline import PatternPipeline
 from repro.core.chatpattern import ChatPattern, ChatResult
 from repro.diffusion.model import ConditionalDiffusionModel
 from repro.drc.rules import DesignRules
@@ -28,11 +30,7 @@ from repro.legalize.legalizer import (
     collect_legalize_timing,
     reset_legalize_timing,
 )
-from repro.metrics.legality import (
-    LegalityResult,
-    default_legalize_workers,
-    legalize_many,
-)
+from repro.metrics.legality import LegalityResult, default_legalize_workers
 from repro.serve.batching import BatchedSamplingModel, MicroBatchScheduler
 from repro.serve.registry import ModelKey, ModelRegistry
 from repro.serve.stats import LegalizeStageRecord, RequestStats, SchedulerStats
@@ -131,6 +129,11 @@ class PatternService:
         base_seed: per-request seeds derive from this, so a served workload
             is reproducible for a fixed batch composition.
         max_retries: per-pattern legalization recovery budget.
+        config: the :class:`PipelineConfig` backing the per-request
+            pipelines (sampling/legalization knobs); scheduler/worker
+            arguments above still win, keeping the old constructor a thin
+            facade.  Use :meth:`from_config` to derive everything from one
+            config object.
     """
 
     def __init__(
@@ -145,12 +148,16 @@ class PatternService:
         max_workers: int = 8,
         base_seed: int = 0,
         max_retries: int = 2,
+        config: Optional[PipelineConfig] = None,
     ):
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        self.config = config or PipelineConfig()
         self._model = model
-        self.model_key = model_key or ModelKey()
-        self.registry = registry or ModelRegistry()
+        self.model_key = model_key or ModelKey.from_config(self.config.train)
+        self.registry = registry or ModelRegistry(
+            save_dir=self.config.model_cache
+        )
         self.store = store
         self._backend_factory = backend_factory or SimulatedLLM
         self._gather_window = gather_window
@@ -166,6 +173,37 @@ class PatternService:
         # requests sample identically.
         self._id_lock = threading.Lock()
         self._last_request_id = 0
+
+    @classmethod
+    def from_config(
+        cls,
+        config: PipelineConfig,
+        model: Optional[ConditionalDiffusionModel] = None,
+        registry: Optional[ModelRegistry] = None,
+        store: Optional[LibraryStore] = None,
+        backend_factory: Optional[Callable[[], LLMBackend]] = None,
+    ) -> "PatternService":
+        """Build a service entirely from one :class:`PipelineConfig`.
+
+        The model recipe comes from ``config.train`` (resolved through the
+        registry, including the ``config.model_cache`` disk tier), the
+        scheduler/worker knobs from ``config.serve`` and the store from
+        ``config.store.store_dir``.
+        """
+        if store is None and config.store.store_dir:
+            store = LibraryStore(config.store.store_dir)
+        return cls(
+            model=model,
+            registry=registry,
+            store=store,
+            backend_factory=backend_factory,
+            gather_window=config.serve.gather_window,
+            max_batch=config.serve.max_batch,
+            max_workers=config.serve.max_workers,
+            base_seed=config.serve.base_seed,
+            max_retries=config.serve.max_retries,
+            config=config,
+        )
 
     def _next_request_id(self) -> int:
         with self._id_lock:
@@ -272,6 +310,9 @@ class PatternService:
                 max_retries=self.max_retries,
                 base_seed=self.base_seed + 7919 * request.request_id,
                 store=self.store,
+                pipeline=PatternPipeline(
+                    self.config, model=client, store=self.store
+                ),
             )
             result = chat.handle_request(
                 request.text, objective=request.objective
@@ -319,19 +360,26 @@ class PatternService:
         """Post-sampling pipeline stage: batch-legalize, persist the legal.
 
         Raw topologies (e.g. a batched sampling trajectory the caller pulled
-        straight off the scheduler) fan out over :func:`legalize_many`'s
-        worker pool; DRC-clean results are persisted into the attached store
-        (content-hash deduplicated).  Each invocation is recorded as a
-        :class:`LegalizeStageRecord` in :meth:`stats`.
+        straight off the scheduler) run through the shared
+        :class:`PatternPipeline` legalize/persist primitives: they fan out
+        over :func:`legalize_many`'s worker pool and DRC-clean results are
+        persisted into the attached store (content-hash deduplicated).  Each
+        invocation is recorded as a :class:`LegalizeStageRecord` in
+        :meth:`stats`.
         """
         items = list(topologies)
+        if max_workers is None:
+            max_workers = self.config.legalize.max_workers
         workers = (
             max_workers if max_workers is not None else default_legalize_workers()
         )
         # Mirror legalize_many's clamp so the record shows the pool actually
         # used, not the requested ceiling.
         workers = max(1, min(int(workers), len(items) or 1))
-        result = legalize_many(
+        pipeline = PatternPipeline(
+            self.config, model=self._model, store=self.store
+        )
+        result = pipeline.legalize_topologies(
             items,
             style,
             rules=rules,
@@ -344,8 +392,8 @@ class PatternService:
             wall_seconds=result.wall_seconds,
             workers=workers,
         )
-        if self.store is not None and len(result.legal):
-            report = self.store.add_library(result.legal, legal=True)
+        report = pipeline.persist_library(result.legal)
+        if report is not None:
             record.store_added = report.added
             record.store_deduplicated = report.deduplicated
         self._legalize_stages.append(record)

@@ -1,0 +1,156 @@
+"""Property-style round-trip tests for the typed pipeline configs."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api.config import (
+    ConfigError,
+    LegalizeConfig,
+    PipelineConfig,
+    SampleConfig,
+    ServeConfig,
+    StoreConfig,
+    TrainConfig,
+)
+
+SECTIONS = (TrainConfig, SampleConfig, LegalizeConfig, StoreConfig, ServeConfig)
+
+
+def _variants():
+    """A non-default instance of every config, exercising every field."""
+    return [
+        TrainConfig(styles=("Layer-10003",), window=64, train_count=8,
+                    seed=7, tile_nm=1024, map_scale=4),
+        SampleConfig(style="Layer-10003", count=3, size=32, seed=11,
+                     extend_size=128, extend_method="in"),
+        LegalizeConfig(physical_size=(1024, 1024), max_workers=2,
+                       engine="reference", keep_failures=True,
+                       fault_isolation=False),
+        StoreConfig(store_dir="store", output_path="out.npz"),
+        ServeConfig(objective="diversity", gather_window=0.5, max_batch=16,
+                    max_workers=2, max_retries=0, base_seed=3),
+    ]
+
+
+class TestSectionRoundTrip:
+    @pytest.mark.parametrize("cls", SECTIONS)
+    def test_defaults_round_trip(self, cls):
+        cfg = cls()
+        assert cls.from_dict(cfg.as_dict()) == cfg
+
+    @pytest.mark.parametrize("cfg", _variants(), ids=lambda c: type(c).__name__)
+    def test_non_defaults_round_trip(self, cfg):
+        rebuilt = type(cfg).from_dict(cfg.as_dict())
+        assert rebuilt == cfg
+        # ... and through actual JSON text (lists vs tuples normalised)
+        rebuilt = type(cfg).from_dict(json.loads(json.dumps(cfg.as_dict())))
+        assert rebuilt == cfg
+
+    @pytest.mark.parametrize("cls", SECTIONS)
+    def test_unknown_key_rejected(self, cls):
+        with pytest.raises(ConfigError, match="unknown"):
+            cls.from_dict({"definitely_not_a_field": 1})
+
+    @pytest.mark.parametrize("cls", SECTIONS)
+    def test_non_mapping_rejected(self, cls):
+        with pytest.raises(ConfigError):
+            cls.from_dict([1, 2, 3])
+
+    def test_frozen(self):
+        cfg = TrainConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.window = 64
+
+    def test_replace_is_functional(self):
+        cfg = TrainConfig()
+        other = cfg.replace(window=64)
+        assert cfg.window == 128 and other.window == 64
+
+    def test_sample_config_validates_method(self):
+        with pytest.raises(ConfigError):
+            SampleConfig(extend_method="sideways")
+
+
+class TestPipelineConfig:
+    def test_defaults_stability(self):
+        """The default config's serialized form is the fixed point every
+        entrypoint assumes — accidental default drift must fail a test."""
+        cfg = PipelineConfig()
+        data = cfg.as_dict()
+        assert data["train"]["window"] == 128
+        assert data["train"]["train_count"] == 48
+        assert data["train"]["seed"] == 2024
+        assert data["sample"]["count"] == 4
+        assert data["legalize"]["engine"] == "vectorized"
+        assert data["serve"]["max_retries"] == 2
+        assert data["model_cache"] is None
+        assert PipelineConfig.from_dict(data) == cfg
+
+    def test_nested_round_trip(self):
+        cfg = PipelineConfig(
+            train=_variants()[0],
+            sample=_variants()[1],
+            legalize=_variants()[2],
+            store=_variants()[3],
+            serve=_variants()[4],
+            model_cache="cache",
+        )
+        assert PipelineConfig.from_dict(cfg.as_dict()) == cfg
+        assert PipelineConfig.loads(cfg.dumps()) == cfg
+
+    def test_partial_dict_fills_defaults(self):
+        cfg = PipelineConfig.from_dict({"train": {"window": 64}})
+        assert cfg.train.window == 64
+        assert cfg.train.train_count == 48
+        assert cfg.sample == SampleConfig()
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ConfigError, match="unknown PipelineConfig"):
+            PipelineConfig.from_dict({"trian": {}})
+
+    def test_unknown_nested_key_rejected(self):
+        with pytest.raises(ConfigError, match="TrainConfig"):
+            PipelineConfig.from_dict({"train": {"windw": 64}})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigError, match="invalid pipeline JSON"):
+            PipelineConfig.loads("{not json")
+
+    def test_file_round_trip(self, tmp_path):
+        cfg = PipelineConfig(
+            train=TrainConfig(window=64, train_count=8),
+            model_cache=str(tmp_path / "mc"),
+        )
+        path = cfg.save(tmp_path / "pipeline.json")
+        assert PipelineConfig.load(path) == cfg
+
+    def test_tuple_fields_survive_json(self, tmp_path):
+        cfg = PipelineConfig(
+            train=TrainConfig(styles=("Layer-10001", "Layer-10003")),
+            legalize=LegalizeConfig(physical_size=(2048, 2048)),
+        )
+        loaded = PipelineConfig.load(cfg.save(tmp_path / "p.json"))
+        assert loaded.train.styles == ("Layer-10001", "Layer-10003")
+        assert loaded.legalize.physical_size == (2048, 2048)
+        assert loaded == cfg
+
+
+class TestRecipeHash:
+    def test_stable_across_instances(self):
+        assert TrainConfig().recipe_hash() == TrainConfig().recipe_hash()
+
+    def test_sensitive_to_every_field(self):
+        base = TrainConfig()
+        changed = [
+            base.replace(styles=("Layer-10001",)),
+            base.replace(window=64),
+            base.replace(train_count=8),
+            base.replace(seed=1),
+            base.replace(tile_nm=1024),
+            base.replace(map_scale=4),
+        ]
+        hashes = {cfg.recipe_hash() for cfg in changed}
+        assert len(hashes) == len(changed)
+        assert base.recipe_hash() not in hashes

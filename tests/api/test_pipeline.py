@@ -1,0 +1,137 @@
+"""Tests for PatternPipeline: chainable stages, timings, facades."""
+
+import numpy as np
+import pytest
+
+from repro.api import PipelineConfig, PatternPipeline
+from repro.api.config import SampleConfig, StoreConfig, TrainConfig
+from repro.serve.store import LibraryStore
+
+
+@pytest.fixture
+def pipeline(small_model):
+    cfg = PipelineConfig(
+        train=TrainConfig(window=64, train_count=24, tile_nm=1024, seed=7),
+        sample=SampleConfig(style="Layer-10001", count=2, seed=0),
+    )
+    return PatternPipeline(cfg, model=small_model)
+
+
+class TestStages:
+    def test_sample_legalize_score_persist_chain(self, pipeline, tmp_path):
+        out = tmp_path / "lib.npz"
+        result = (
+            pipeline.sample().legalize().score().persist(output=out)
+        )
+        assert len(result.topologies) == 2
+        assert result.legality is not None
+        assert result.legality.total == 2
+        assert len(result.library) == len(result.legality.legal)
+        assert result.scores["count"] == len(result.library)
+        assert "legality" in result.scores
+        stages = [t.stage for t in result.timings]
+        assert stages == ["sample", "legalize", "score", "persist"]
+        assert all(t.seconds >= 0 for t in result.timings)
+        if len(result.library):
+            assert result.output_path == out
+            assert out.exists()
+
+    def test_chaining_equals_explicit_calls(self, pipeline):
+        chained = pipeline.sample(seed=5).legalize()
+        explicit = pipeline.legalize(pipeline.sample(seed=5))
+        assert len(chained.topologies) == len(explicit.topologies)
+        for a, b in zip(chained.topologies, explicit.topologies):
+            assert np.array_equal(a, b)
+
+    def test_sample_respects_overrides(self, pipeline):
+        result = pipeline.sample(count=3, style="Layer-10003", size=32)
+        assert len(result.topologies) == 3
+        assert result.topologies[0].shape == (32, 32)
+        assert result.style == "Layer-10003"
+
+    def test_extend_stage(self, pipeline):
+        result = pipeline.extend(size=96, count=1).legalize()
+        assert result.topologies[0].shape == (96, 96)
+        timing = result.timings[0]
+        assert timing.stage == "extend"
+        assert timing.detail["samplings"] >= 1
+
+    def test_run_uses_config_defaults(self, pipeline, tmp_path):
+        out = tmp_path / "run.npz"
+        pipeline.config = pipeline.config.replace(
+            store=StoreConfig(output_path=str(out))
+        )
+        result = pipeline.run()
+        assert [t.stage for t in result.timings] == [
+            "sample", "legalize", "score", "persist",
+        ]
+        assert result.legality.total == 2
+
+    def test_with_library_score_needs_no_model(self, pipeline):
+        legal = pipeline.sample().legalize().library
+        scoring = PatternPipeline(PipelineConfig())  # no model attached
+        result = scoring.with_library(legal).score()
+        assert result.scores["count"] == len(legal)
+        assert scoring._model is None  # scoring never resolved a back-end
+
+    def test_persist_into_indexed_store(self, pipeline, tmp_path):
+        store = LibraryStore(tmp_path / "store")
+        pipeline._store = store
+        pipeline._store_resolved = True
+        result = pipeline.sample().legalize().persist()
+        assert result.store_added == len(result.library)
+        # same patterns again: all deduplicated
+        again = pipeline.sample().legalize().persist()
+        assert again.store_added == 0
+        assert again.store_deduplicated == len(again.library)
+
+    def test_export_stage(self, pipeline, tmp_path):
+        result = pipeline.sample().legalize()
+        if not len(result.library):
+            pytest.skip("no legal pattern on this seed")
+        result = result.export(tmp_path / "lib.gds")
+        assert result.gds_path.exists()
+
+
+class TestPrimitives:
+    def test_legalize_one_keeps_log_contract(self, pipeline):
+        topo = pipeline.sample_topologies(1, "Layer-10001")[0]
+        outcome = pipeline.legalize_one(topo, "Layer-10001", (1024, 1024))
+        assert hasattr(outcome, "ok") and hasattr(outcome, "log")
+
+    def test_bound_to_shares_config_not_model(self, pipeline, small_model):
+        other = object.__new__(type(small_model))  # distinct identity
+        other.__dict__ = dict(small_model.__dict__)
+        bound = pipeline.bound_to(other)
+        assert bound.config is pipeline.config
+        assert bound.model is other
+        assert pipeline.bound_to(small_model) is pipeline
+
+    def test_seed_falls_back_to_train_seed(self, small_model):
+        cfg = PipelineConfig(
+            train=TrainConfig(window=64, seed=13),
+            sample=SampleConfig(style="Layer-10001", count=1, seed=None),
+        )
+        a = PatternPipeline(cfg, model=small_model).sample()
+        b = PatternPipeline(cfg, model=small_model).sample()
+        assert np.array_equal(a.topologies[0], b.topologies[0])
+
+
+class TestFacades:
+    def test_chat_routes_through_pipeline(self, pipeline):
+        result = pipeline.chat(
+            "Generate 2 layout patterns, 64*64 topology, physical size "
+            "1024nm * 1024nm, style Layer-10001."
+        )
+        assert result.produced + result.dropped == 2
+
+    def test_service_from_config(self, pipeline):
+        service = pipeline.service()
+        assert service.config is pipeline.config
+        assert service.max_workers == pipeline.config.serve.max_workers
+        with service:
+            response = service.handle(
+                "Generate 1 layout patterns, 64*64 topology, physical size "
+                "1024nm * 1024nm, style Layer-10001."
+            )
+        assert response.ok

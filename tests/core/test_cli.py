@@ -1,27 +1,33 @@
 """Unit tests for the command-line interface.
 
-The CLI trains its own back-end, which is too slow per-test; these tests
-patch ``ChatPattern.pretrained`` to return a session-scoped small model.
+The CLI resolves its back-end through the pipeline's model registry, which
+is too slow per-test; these tests patch the ``_build_pipeline`` seam to
+return a pipeline bound to the session-scoped small model.
 """
+
+import json
 
 import numpy as np
 import pytest
 
 from repro import cli
-from repro.core import ChatPattern
+from repro.api import PatternPipeline, PipelineConfig
 from repro.io import load_library, save_library
-from repro.metrics import legalize_batch
+from repro.metrics import legalize_many
 
 
 @pytest.fixture(autouse=True)
-def fast_pretrained(small_model, monkeypatch):
-    def fake(cls=None, **kwargs):
-        return ChatPattern(model=small_model, max_retries=0)
+def fast_pipeline(small_model, monkeypatch):
+    built = []
 
-    monkeypatch.setattr(ChatPattern, "pretrained", classmethod(
-        lambda cls, **kwargs: ChatPattern(model=small_model, max_retries=0)
-    ))
-    yield
+    def fake_build(args, cfg):
+        cfg = cfg.replace(serve=cfg.serve.replace(max_retries=0))
+        pipeline = PatternPipeline(cfg, model=small_model)
+        built.append(pipeline)
+        return pipeline
+
+    monkeypatch.setattr(cli, "_build_pipeline", fake_build)
+    yield built
 
 
 class TestParser:
@@ -35,6 +41,64 @@ class TestParser:
         assert args.request == "hello"
         assert args.output == "x.npz"
 
+    def test_global_flags_accepted_before_and_after_subcommand(self):
+        before = cli.build_parser().parse_args(
+            ["--model-cache", "mc", "--train-count", "8", "generate"]
+        )
+        after = cli.build_parser().parse_args(
+            ["generate", "--model-cache", "mc", "--train-count", "8"]
+        )
+        for args in (before, after):
+            assert args.model_cache == "mc"
+            assert args.train_count == 8
+
+    def test_subcommand_absence_does_not_clobber_global_flag(self):
+        args = cli.build_parser().parse_args(["--seed", "5", "generate"])
+        assert args.seed == 5
+
+
+class TestPipelineConfigResolution:
+    def test_defaults(self):
+        args = cli.build_parser().parse_args(["generate"])
+        cfg = cli._pipeline_config(args)
+        assert cfg == PipelineConfig()
+
+    def test_cli_flags_override(self):
+        args = cli.build_parser().parse_args(
+            ["generate", "--train-count", "8", "--seed", "5",
+             "--model-cache", "mc"]
+        )
+        cfg = cli._pipeline_config(args)
+        assert cfg.train.train_count == 8
+        assert cfg.train.seed == 5
+        assert cfg.model_cache == "mc"
+
+    def test_config_file_loaded_and_overridden(self, tmp_path):
+        path = tmp_path / "pipeline.json"
+        base = PipelineConfig()
+        base = base.replace(
+            train=base.train.replace(train_count=12, seed=9),
+            sample=base.sample.replace(style="Layer-10003", count=3),
+        )
+        base.save(path)
+        args = cli.build_parser().parse_args(
+            ["generate", "--config", str(path), "--train-count", "6"]
+        )
+        cfg = cli._pipeline_config(args)
+        assert cfg.train.train_count == 6  # flag wins
+        assert cfg.train.seed == 9  # file wins where no flag given
+        assert cfg.sample.style == "Layer-10003"
+        assert cfg.sample.count == 3
+
+    def test_bad_config_file_rejected(self, tmp_path):
+        path = tmp_path / "pipeline.json"
+        path.write_text(json.dumps({"train": {"window": 64}, "typo": {}}))
+        args = cli.build_parser().parse_args(
+            ["generate", "--config", str(path)]
+        )
+        with pytest.raises(ValueError, match="typo"):
+            cli._pipeline_config(args)
+
 
 class TestCommands:
     def test_generate(self, tmp_path, capsys):
@@ -47,6 +111,26 @@ class TestCommands:
         assert "generated 2" in captured
         if code == 0:
             assert load_library(out)
+
+    def test_generate_uses_config_sample_section(self, tmp_path, capsys):
+        path = tmp_path / "pipeline.json"
+        cfg = PipelineConfig()
+        cfg = cfg.replace(sample=cfg.sample.replace(count=3))
+        cfg.save(path)
+        cli.main(["generate", "--config", str(path)])
+        assert "generated 3" in capsys.readouterr().out
+
+    def test_extend_count_from_config(self, tmp_path, capsys):
+        path = tmp_path / "pipeline.json"
+        cfg = PipelineConfig()
+        cfg = cfg.replace(sample=cfg.sample.replace(count=2, extend_size=96))
+        cfg.save(path)
+        cli.main(["extend", "--config", str(path)])
+        assert "extended 2 pattern(s) to 96x96" in capsys.readouterr().out
+
+    def test_extend_default_count_is_one(self, capsys):
+        cli.main(["extend", "--size", "96"])
+        assert "extended 1 pattern(s)" in capsys.readouterr().out
 
     def test_chat(self, tmp_path, capsys):
         out = tmp_path / "lib.npz"
@@ -113,8 +197,10 @@ class TestCommands:
 
     def test_evaluate_and_export(self, tmp_path, small_model, capsys):
         samples = small_model.sample(2, 0, np.random.default_rng(0))
-        result = legalize_batch(list(samples), "Layer-10001",
-                                physical_size=(1024, 1024))
+        result = legalize_many(
+            list(samples), "Layer-10001", physical_size=(1024, 1024),
+            max_workers=1, fault_isolation=False,
+        )
         lib_path = tmp_path / "lib.npz"
         save_library(result.legal, lib_path)
 

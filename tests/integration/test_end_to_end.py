@@ -30,6 +30,25 @@ class TestPretrained:
         with pytest.raises(ValueError):
             ChatPattern(model=ConditionalDiffusionModel(window=64))
 
+    def test_window_follows_dataset_config(self):
+        """A dataset_config with a topology_size different from ``window``
+        must win: the model generates the tiles it was trained on."""
+        chat = ChatPattern.pretrained(
+            train_count=4,
+            dataset_config=DatasetConfig(tile_nm=1024, topology_size=64, seed=5),
+        )
+        assert chat.model.window == 64
+
+    def test_pretrained_reuses_fitted_model(self):
+        kwargs = dict(
+            train_count=4,
+            dataset_config=DatasetConfig(tile_nm=1024, topology_size=64, seed=5),
+        )
+        first = ChatPattern.pretrained(**kwargs)
+        second = ChatPattern.pretrained(**kwargs)
+        # same recipe -> the shared registry serves one fitted back-end
+        assert second.model is first.model
+
 
 class TestHandleRequest:
     def test_fixed_size_request(self, chat):

@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 from repro.drc import DesignRules, check_pattern
 from repro.geometry import diagonal_touch_pairs
 from repro.legalize import legalize
-from repro.metrics import legalize_batch, physical_size_for
+from repro.metrics import legalize_sequential, physical_size_for
 from repro.ops import extend, modify, region_mask
 from repro.drc.violations import GridRegion
 
@@ -65,7 +65,7 @@ class TestSamplePipelineInvariants:
         """Legalization assigns geometry but never edits the topology."""
         rng = np.random.default_rng(0)
         samples = small_model.sample(3, 0, rng)
-        result = legalize_batch(list(samples), "Layer-10001")
+        result = legalize_sequential(list(samples), "Layer-10001")
         for pattern in result.legal:
             matches = [
                 np.array_equal(pattern.topology, s) for s in samples

@@ -6,6 +6,7 @@ from types import SimpleNamespace
 
 import pytest
 
+from repro.api.config import TrainConfig
 from repro.serve import ModelKey, ModelRegistry
 
 
@@ -29,6 +30,20 @@ class TestModelKey:
         assert cfg.map_scale == 4
         assert cfg.seed == 9
 
+    def test_derives_from_train_config(self):
+        train = TrainConfig(window=64, train_count=4, seed=9)
+        key = ModelKey.from_config(train)
+        assert isinstance(key, TrainConfig)
+        assert key == ModelKey(window=64, train_count=4, seed=9)
+        assert key.recipe_hash() == train.recipe_hash()
+        # an actual ModelKey passes through untouched
+        assert ModelKey.from_config(key) is key
+
+    def test_recipe_hash_distinguishes_recipes(self):
+        base = ModelKey(window=64)
+        assert base.recipe_hash() == ModelKey(window=64).recipe_hash()
+        assert base.recipe_hash() != ModelKey(window=128).recipe_hash()
+
 
 class TestModelRegistry:
     def test_fits_once_then_hits(self):
@@ -44,7 +59,22 @@ class TestModelRegistry:
         second = registry.get_or_fit(key)
         assert first is second
         assert len(calls) == 1
-        assert registry.stats() == {"cached": 1, "hits": 1, "misses": 1}
+        assert registry.stats() == {
+            "cached": 1, "hits": 1, "misses": 1, "disk_hits": 0,
+        }
+
+    def test_train_config_and_model_key_share_one_cache_slot(self):
+        calls = []
+
+        def builder(key):
+            calls.append(key)
+            return _fake_model()
+
+        registry = ModelRegistry(builder=builder)
+        a = registry.get_or_fit(TrainConfig(window=64, train_count=4))
+        b = registry.get_or_fit(ModelKey(window=64, train_count=4))
+        assert a is b
+        assert len(calls) == 1
 
     def test_distinct_keys_distinct_models(self):
         registry = ModelRegistry(builder=lambda key: _fake_model())
@@ -97,6 +127,106 @@ class TestModelRegistry:
             thread.join()
         assert len(calls) == 1
         assert all(model is results[0] for model in results)
+
+
+class TestDiskCache:
+    """The persistent tier: fitted models survive across registries
+    (i.e. across processes) keyed by the TrainConfig recipe hash."""
+
+    @staticmethod
+    def _counting_builder(calls):
+        def builder(key):
+            calls.append(key)
+            return SimpleNamespace(fitted=True, recipe=key.as_dict())
+
+        return builder
+
+    def test_second_registry_hits_disk_instead_of_refitting(self, tmp_path):
+        key = ModelKey(window=64, train_count=4)
+        first_calls = []
+        first = ModelRegistry(
+            builder=self._counting_builder(first_calls), save_dir=tmp_path
+        )
+        model, source = first.resolve(key)
+        assert source == "fit"
+        assert first.cache_path(key).exists()
+        assert len(first_calls) == 1
+
+        # "new process": a fresh registry over the same save_dir
+        second_calls = []
+        second = ModelRegistry(
+            builder=self._counting_builder(second_calls), save_dir=tmp_path
+        )
+        loaded, source = second.resolve(key)
+        assert source == "disk"
+        assert second_calls == []  # no retraining
+        assert loaded.recipe == model.recipe
+        assert second.stats()["disk_hits"] == 1
+        # and the loaded model is now memory-resident
+        again, source = second.resolve(key)
+        assert again is loaded and source == "memory"
+
+    def test_different_recipe_misses_disk(self, tmp_path):
+        calls = []
+        registry = ModelRegistry(
+            builder=self._counting_builder(calls), save_dir=tmp_path
+        )
+        registry.get_or_fit(ModelKey(window=64, train_count=4))
+        fresh = ModelRegistry(
+            builder=self._counting_builder(calls), save_dir=tmp_path
+        )
+        _, source = fresh.resolve(ModelKey(window=64, train_count=8))
+        assert source == "fit"
+        assert len(calls) == 2
+
+    def test_train_config_resolves_same_disk_entry(self, tmp_path):
+        calls = []
+        registry = ModelRegistry(
+            builder=self._counting_builder(calls), save_dir=tmp_path
+        )
+        registry.get_or_fit(TrainConfig(window=64, train_count=4))
+        fresh = ModelRegistry(
+            builder=self._counting_builder(calls), save_dir=tmp_path
+        )
+        _, source = fresh.resolve(ModelKey(window=64, train_count=4))
+        assert source == "disk"
+        assert len(calls) == 1
+
+    def test_corrupt_cache_file_degrades_to_refit(self, tmp_path):
+        calls = []
+        key = ModelKey(window=64, train_count=4)
+        registry = ModelRegistry(
+            builder=self._counting_builder(calls), save_dir=tmp_path
+        )
+        registry.get_or_fit(key)
+        registry.cache_path(key).write_bytes(b"not a pickle")
+        fresh = ModelRegistry(
+            builder=self._counting_builder(calls), save_dir=tmp_path
+        )
+        _, source = fresh.resolve(key)
+        assert source == "fit"
+        assert len(calls) == 2
+        # the refit repaired the cache entry
+        final = ModelRegistry(
+            builder=self._counting_builder(calls), save_dir=tmp_path
+        )
+        _, source = final.resolve(key)
+        assert source == "disk"
+
+    def test_save_dir_expands_user(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("HOME", str(tmp_path))
+        registry = ModelRegistry(
+            builder=lambda key: _fake_model(), save_dir="~/model-cache"
+        )
+        assert registry.save_dir == tmp_path / "model-cache"
+        registry.get_or_fit(ModelKey(window=64))
+        assert (tmp_path / "model-cache").is_dir()
+
+    def test_no_save_dir_means_no_disk_tier(self):
+        registry = ModelRegistry(builder=lambda key: _fake_model())
+        assert registry.cache_path(ModelKey()) is None
+        _, source = registry.resolve(ModelKey(window=64))
+        assert source == "fit"
 
 
 class TestRealFit:

@@ -104,7 +104,9 @@ class TestServeConcurrent:
         )
         with service:
             service.serve(_requests(1))
-        assert registry.stats() == {"cached": 0, "hits": 0, "misses": 0}
+        assert registry.stats() == {
+            "cached": 0, "hits": 0, "misses": 0, "disk_hits": 0,
+        }
 
     def test_request_ids_continue_across_serve_calls(self, registry):
         service = PatternService(
