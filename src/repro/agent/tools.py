@@ -282,7 +282,8 @@ class AgentTools:
         )
         condition = style_condition(style) if self.model.n_classes else None
         repaired = modify_region(
-            self.model, topo, region, condition, self._rng(seed)
+            self.model, topo, region, condition, self._rng(seed),
+            sampler_steps=self.pipeline.config.sample.sampler_steps,
         )
         handle = self.workspace.put(repaired, style)
         return ToolResult(

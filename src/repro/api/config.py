@@ -26,6 +26,7 @@ from typing import Dict, Optional, Tuple, Union
 
 from repro.data.dataset import DatasetConfig
 from repro.data.styles import STYLES, TILE_NM
+from repro.diffusion.schedule import validate_sampler_steps
 
 
 class ConfigError(ValueError):
@@ -112,6 +113,10 @@ class SampleConfig(StageConfig):
     ``size`` defaults to the model window; ``seed`` falls back to the
     training seed when unset.  ``extend_size`` switches the pipeline's
     default run from the ``sample`` stage to the ``extend`` stage.
+    ``sampler_steps`` picks the reverse-step schedule: ``"full"`` walks
+    every schedule step, ``"bucketed"`` collapses steps sharing a denoiser
+    noise bucket to one representative (~``n_buckets`` denoiser evaluations
+    instead of K), an int visits that many evenly spaced steps.
     """
 
     style: str = STYLES[0]
@@ -120,6 +125,7 @@ class SampleConfig(StageConfig):
     seed: Optional[int] = None
     extend_size: Optional[int] = None
     extend_method: str = "out"
+    sampler_steps: Union[str, int] = "full"
 
     def __post_init__(self):
         if self.extend_method not in ("out", "in"):
@@ -127,6 +133,10 @@ class SampleConfig(StageConfig):
                 f"extend_method must be 'out' or 'in', got "
                 f"{self.extend_method!r}"
             )
+        try:
+            validate_sampler_steps(self.sampler_steps)
+        except ValueError as exc:
+            raise ConfigError(str(exc)) from exc
 
 
 @dataclass(frozen=True)

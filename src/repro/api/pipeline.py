@@ -306,6 +306,7 @@ class PatternPipeline:
         return self.model.sample(
             count, self._condition(style), rng or self._rng(),
             shape=(size, size),
+            sampler_steps=self.config.sample.sampler_steps,
         )
 
     def extend_one(
@@ -331,6 +332,7 @@ class PatternPipeline:
             rng or self._rng(),
             method=(method or self.config.sample.extend_method).lower(),
             seed_topology=seed_topology,
+            sampler_steps=self.config.sample.sampler_steps,
         )
 
     def legalize_topologies(
@@ -378,6 +380,25 @@ class PatternPipeline:
             engine=self.config.legalize.engine,
         )
 
+    def _sampler_detail(self) -> Dict:
+        """Step-schedule provenance for stage timings.
+
+        Reports how many denoiser evaluations one trajectory costs under
+        the configured ``sampler_steps`` against the full chain, so
+        ``PipelineResult.timings`` carries the per-stage speedup factor.
+        """
+        detail: Dict = {"sampler_steps": self.config.sample.sampler_steps}
+        model = self.model
+        if hasattr(model, "denoise_evals") and hasattr(model, "schedule"):
+            evals = int(model.denoise_evals(self.config.sample.sampler_steps))
+            full = int(model.schedule.steps)
+            detail.update(
+                denoise_evals=evals,
+                full_steps=full,
+                step_speedup=round(full / max(evals, 1), 2),
+            )
+        return detail
+
     def persist_library(self, library: PatternLibrary):
         """Add a library to the attached indexed store (dedup); no-op
         without a store.  Returns the store report or ``None``."""
@@ -412,6 +433,7 @@ class PatternPipeline:
             count=count,
             style=style,
             size=int(samples.shape[-1]) if len(samples) else size,
+            **self._sampler_detail(),
         )
         return result
 
@@ -444,6 +466,7 @@ class PatternPipeline:
             size=size,
             method=(method or self.config.sample.extend_method).lower(),
             samplings=samplings,
+            **self._sampler_detail(),
         )
         return result
 

@@ -28,9 +28,22 @@ from typing import List, Optional
 from repro.api.config import PipelineConfig
 from repro.api.pipeline import PatternPipeline
 from repro.data import STYLES
+from repro.diffusion.schedule import validate_sampler_steps
 from repro.io.render import ascii_art
 from repro.io.store import load_library
 from repro.metrics.stats import library_stats
+
+def _sampler_steps_arg(value: str):
+    """Parse ``--sampler-steps``: 'full' | 'bucketed' | a step count."""
+    try:
+        spec = int(value)
+    except ValueError:
+        spec = value
+    try:
+        return validate_sampler_steps(spec)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
 
 _GLOBAL_OPTIONS = (
     (
@@ -52,6 +65,13 @@ _GLOBAL_OPTIONS = (
                  "(default 48)"},
     ),
     ("--seed", {"type": int, "help": "training/sampling seed (default 2024)"}),
+    (
+        "--sampler-steps",
+        {"type": _sampler_steps_arg, "metavar": "SPEC",
+         "help": "reverse-step schedule: 'full' (every step), 'bucketed' "
+                 "(one step per denoiser noise bucket, ~8x fewer denoiser "
+                 "evaluations), or an integer step count"},
+    ),
 )
 
 
@@ -153,6 +173,10 @@ def _pipeline_config(args) -> PipelineConfig:
     if args.seed is not None:
         train = train.replace(seed=args.seed)
     cfg = cfg.replace(train=train)
+    if args.sampler_steps is not None:
+        cfg = cfg.replace(
+            sample=cfg.sample.replace(sampler_steps=args.sampler_steps)
+        )
     if args.model_cache is not None:
         cfg = cfg.replace(model_cache=args.model_cache)
     return cfg

@@ -13,6 +13,21 @@ Iterating the reverse process with these local conditionals behaves like
 annealed Gibbs sampling of a learned Markov random field; it trains in
 seconds on CPU.  See DESIGN.md for why this substitution preserves the
 paper's behaviour.
+
+**Compiled logit tables.**  The raw count tables are frozen once ``fit``
+returns, so everything the sampling hot loop derives from them per step —
+Laplace smoothing toward the class marginal, the probability ratio, the
+``log`` — is folded into per-(class, bucket, scale) float32 *logit lookup
+tables* at compile time: entry ``[c, b, code]`` holds
+``(w_s / sum(w)) * log(p / (1 - p))`` for the smoothed ``p`` of that
+neighbourhood code.  ``predict_x0`` then reduces to one gather-and-add per
+scale and a single final sigmoid — no per-step elementwise ``log``/``exp``
+arithmetic over float64 intermediates.  The compiled form is rebuilt at the
+end of every :meth:`NeighborhoodDenoiser.fit` (the only operation that can
+change the counts) and rehydrated when a pickled model is loaded, so it is
+never stale; ``use_compiled = False`` switches back to the on-the-fly
+reference path, which the equivalence tests pin to the compiled output
+within 1e-6.
 """
 
 from __future__ import annotations
@@ -65,15 +80,25 @@ def window_offsets(spec: WindowSpec) -> List[Offset]:
     return [tuple(o) for o in spec]  # explicit offsets
 
 
-def neighborhood_codes(x: np.ndarray, offsets: Sequence[Offset]) -> np.ndarray:
+def neighborhood_codes(
+    x: np.ndarray,
+    offsets: Sequence[Offset],
+    pads: Optional[Tuple[int, int]] = None,
+) -> np.ndarray:
     """Hash each pixel's neighbourhood (given by offsets) to an int code.
 
     Pads with zeros outside the image.  Accepts ``(H, W)`` or ``(B, H, W)``.
+    ``pads`` may carry the precomputed ``(max_row, max_col)`` offset reach so
+    hot callers skip re-deriving it per call.
     """
     batched = x.ndim == 3
     arr = x if batched else x[None]
-    max_r = max(abs(dr) for dr, _ in offsets)
-    max_c = max(abs(dc) for _, dc in offsets)
+    if pads is None:
+        pads = (
+            max(abs(dr) for dr, _ in offsets),
+            max(abs(dc) for _, dc in offsets),
+        )
+    max_r, max_c = pads
     pad = np.pad(arr, ((0, 0), (max_r, max_r), (max_c, max_c)), constant_values=0)
     h, w = arr.shape[1], arr.shape[2]
     codes = np.zeros(arr.shape, dtype=np.int64)
@@ -150,6 +175,13 @@ class NeighborhoodDenoiser(Denoiser):
         self.n_buckets = n_buckets
         self.smoothing = float(smoothing)
         self._n_codes = 1 << len(self.offsets)
+        # Hoisted once: the PoE normaliser and the neighbourhood's padding
+        # reach are constants of the architecture, not of the input.
+        self._weight_total = float(sum(self.scale_weights))
+        self._pads = (
+            max(abs(dr) for dr, _ in self.offsets),
+            max(abs(dc) for _, dc in self.offsets),
+        )
         slots = max(1, n_classes)
         self._counts = {
             s: np.zeros((slots, n_buckets, self._n_codes, 2), dtype=np.float64)
@@ -157,6 +189,11 @@ class NeighborhoodDenoiser(Denoiser):
         }
         self._marginals = np.full((slots, n_buckets), 0.5)
         self._fitted = False
+        #: gate for the compiled fast path (the reference path stays
+        #: available for equivalence tests and baseline benchmarks)
+        self.use_compiled = True
+        self._compiled = False
+        self._logit_tables: dict = {}
 
     def bucket_of(self, noise_level: float) -> int:
         """Map ``beta_bar`` in (0, 0.5] to a bucket index."""
@@ -193,28 +230,46 @@ class NeighborhoodDenoiser(Denoiser):
             s: np.zeros(slots * self.n_buckets * self._n_codes * 2)
             for s in self.scales
         }
-        for i in range(n):
-            x0 = topologies[i]
-            c = int(cond[i])
-            for draw in range(draws_per_pattern):
-                if draws_per_pattern >= self.n_buckets:
-                    bucket = draw % self.n_buckets
-                else:
-                    bucket = int(rng.integers(0, self.n_buckets))
-                level = (bucket + rng.random()) * 0.5 / self.n_buckets
-                level = min(0.5, max(1e-4, level))
-                flip = rng.random(x0.shape) < level
-                xk = np.where(flip, 1 - x0, x0).astype(np.uint8)
-                base = (c * self.n_buckets + bucket) * self._n_codes
-                for s in self.scales:
-                    codes = neighborhood_codes(
-                        downsample_binary(xk, s), self.offsets
-                    )
-                    pixel_codes = upsample_to(codes, s, x0.shape)
-                    index = (base + pixel_codes) * 2 + x0.astype(np.int64)
-                    flat[s] += np.bincount(
-                        index.ravel(), minlength=flat[s].shape[0]
-                    )
+        # Vectorized accumulation: buckets and noise levels for every
+        # (pattern, draw) pair are drawn up front, then each bucket's draws
+        # are noised as one stacked batch and counted with one bincount per
+        # (bucket, scale) — the class offset is already folded into the
+        # flattened index, so mixed-class batches count in a single pass.
+        if draws_per_pattern >= self.n_buckets:
+            buckets = np.broadcast_to(
+                np.arange(draws_per_pattern) % self.n_buckets,
+                (n, draws_per_pattern),
+            )
+        else:
+            buckets = rng.integers(
+                0, self.n_buckets, size=(n, draws_per_pattern)
+            )
+        levels = (
+            (buckets + rng.random((n, draws_per_pattern)))
+            * 0.5 / self.n_buckets
+        )
+        levels = np.clip(levels, 1e-4, 0.5)
+        for bucket in range(self.n_buckets):
+            pat_idx, draw_idx = np.nonzero(buckets == bucket)
+            if pat_idx.size == 0:
+                continue
+            x0 = topologies[pat_idx]
+            flip = (
+                rng.random(x0.shape)
+                < levels[pat_idx, draw_idx][:, None, None]
+            )
+            xk = np.where(flip, 1 - x0, x0).astype(np.uint8)
+            base = (cond[pat_idx] * self.n_buckets + bucket) * self._n_codes
+            target = x0.astype(np.int64)
+            for s in self.scales:
+                codes = neighborhood_codes(
+                    downsample_binary(xk, s), self.offsets, pads=self._pads
+                )
+                pixel_codes = upsample_to(codes, s, x0.shape[1:])
+                index = (base[:, None, None] + pixel_codes) * 2 + target
+                flat[s] += np.bincount(
+                    index.ravel(), minlength=flat[s].shape[0]
+                )
         for s in self.scales:
             self._counts[s] = flat[s].reshape(
                 slots, self.n_buckets, self._n_codes, 2
@@ -227,6 +282,7 @@ class NeighborhoodDenoiser(Denoiser):
             sums > 0, totals[..., 1] / np.maximum(sums, 1.0), 0.5
         )
         self._fitted = True
+        self.compile_tables(force=True)
         return {
             "patterns": int(n),
             "observations": float(fine.sum()),
@@ -236,9 +292,98 @@ class NeighborhoodDenoiser(Denoiser):
             },
         }
 
+    # -- compiled logit tables -----------------------------------------
+
+    def compile_tables(self, force: bool = False) -> bool:
+        """Fold smoothing and the logit transform into float32 lookup tables.
+
+        For each scale ``s`` the table entry ``[class, bucket, code]`` holds
+        ``(w_s / sum(w)) * log(p / (1 - p))`` where ``p`` is the smoothed
+        probability the reference path derives per pixel — so sampling-time
+        prediction becomes gather + add + one sigmoid.  Idempotent unless
+        ``force`` (``fit`` forces, because it changes the counts).
+        """
+        if not self._fitted:
+            return False
+        if self._compiled and not force:
+            return True
+        tables = {}
+        for s, weight in zip(self.scales, self.scale_weights):
+            counts = self._counts[s]
+            ones = counts[..., 1]
+            total = counts.sum(axis=-1)
+            prior = self._marginals[..., None]
+            p = (ones + self.smoothing * prior) / (total + self.smoothing)
+            p = np.clip(p, _EPS, 1.0 - _EPS)
+            tables[s] = (
+                (weight / self._weight_total) * np.log(p / (1.0 - p))
+            ).astype(np.float32)
+        self._logit_tables = tables
+        self._compiled = True
+        return True
+
+    @property
+    def compiled(self) -> bool:
+        """Whether the compiled logit tables are built and current."""
+        return self._compiled
+
+    def __setstate__(self, state: dict) -> None:
+        """Rehydrate pickles, including pre-compiled-table ones.
+
+        Models cached on disk by an older registry lack the hoisted
+        attributes and the compiled tables; derive them here so a disk hit
+        serves the compiled fast path without a refit.
+        """
+        self.__dict__.update(state)
+        if "_weight_total" not in state:
+            self._weight_total = float(sum(self.scale_weights))
+        if "_pads" not in state:
+            self._pads = (
+                max(abs(dr) for dr, _ in self.offsets),
+                max(abs(dc) for _, dc in self.offsets),
+            )
+        if "use_compiled" not in state:
+            self.use_compiled = True
+        if not state.get("_compiled", False):
+            self._compiled = False
+            self._logit_tables = {}
+            self.compile_tables()
+
+    # -- prediction ----------------------------------------------------
+
     def predict_x0(
         self, xk: np.ndarray, noise_level: float, condition: Optional[int] = None
     ) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("denoiser not fitted; call fit() first")
+        if not (self._compiled and self.use_compiled):
+            return self._predict_x0_reference(xk, noise_level, condition)
+        c = self._validate_condition(condition)
+        bucket = self.bucket_of(noise_level)
+        arr = np.asarray(xk, dtype=np.uint8)
+        batched = arr.ndim == 3
+        stack = arr if batched else arr[None]
+        # The whole stack is pooled, hashed and gathered at once: one table
+        # lookup over (B, H, W) instead of B separate ones, which is what
+        # lets a micro-batched reverse chain amortise the per-step cost.
+        logit = np.zeros(stack.shape, dtype=np.float32)
+        for s in self.scales:
+            codes = neighborhood_codes(
+                downsample_binary(stack, s), self.offsets, pads=self._pads
+            )
+            pixel_codes = upsample_to(codes, s, stack.shape[1:])
+            logit += self._logit_tables[s][c, bucket][pixel_codes]
+        out = 1.0 / (1.0 + np.exp(-logit, dtype=np.float64))
+        return out if batched else out[0]
+
+    def _predict_x0_reference(
+        self, xk: np.ndarray, noise_level: float, condition: Optional[int] = None
+    ) -> np.ndarray:
+        """On-the-fly prediction from the raw count tables.
+
+        The numerical ground truth the compiled tables are pinned against
+        (and the baseline of the sampling-throughput benchmark).
+        """
         if not self._fitted:
             raise RuntimeError("denoiser not fitted; call fit() first")
         c = self._validate_condition(condition)
@@ -247,12 +392,11 @@ class NeighborhoodDenoiser(Denoiser):
         batched = arr.ndim == 3
         stack = arr if batched else arr[None]
         prior = self._marginals[c, bucket]
-        # The whole stack is pooled, hashed and gathered at once: one table
-        # lookup over (B, H, W) instead of B separate ones, which is what
-        # lets a micro-batched reverse chain amortise the per-step cost.
         logit = np.zeros(stack.shape, dtype=np.float64)
         for s, weight in zip(self.scales, self.scale_weights):
-            codes = neighborhood_codes(downsample_binary(stack, s), self.offsets)
+            codes = neighborhood_codes(
+                downsample_binary(stack, s), self.offsets, pads=self._pads
+            )
             pixel_codes = upsample_to(codes, s, stack.shape[1:])
             table = self._counts[s][c, bucket]
             ones = table[pixel_codes, 1]
@@ -260,7 +404,7 @@ class NeighborhoodDenoiser(Denoiser):
             p = (ones + self.smoothing * prior) / (total + self.smoothing)
             p = np.clip(p, _EPS, 1.0 - _EPS)
             logit += weight * np.log(p / (1.0 - p))
-        out = 1.0 / (1.0 + np.exp(-logit / sum(self.scale_weights)))
+        out = 1.0 / (1.0 + np.exp(-logit / self._weight_total))
         return out if batched else out[0]
 
     def predict_x0_many(
@@ -277,6 +421,59 @@ class NeighborhoodDenoiser(Denoiser):
         own class's table row).  This is what makes cross-style batches as
         cheap as single-style ones in the serving scheduler.
         """
+        stack, conds, bucket = self._check_many(xk, noise_level, conditions)
+        if not (self._compiled and self.use_compiled):
+            return self._many_reference_core(stack, conds, bucket)
+        # Per-item offset into the flattened (class, bucket, code) table:
+        # adding it to the pixel codes turns the per-item class lookup into
+        # one big gather with no intermediate table copies.
+        base = ((conds * self.n_buckets + bucket) * self._n_codes)[:, None, None]
+        logit = np.zeros(stack.shape, dtype=np.float32)
+        for s in self.scales:
+            codes = neighborhood_codes(
+                downsample_binary(stack, s), self.offsets, pads=self._pads
+            )
+            pixel_codes = upsample_to(codes, s, stack.shape[1:])
+            logit += self._logit_tables[s].reshape(-1)[base + pixel_codes]
+        return 1.0 / (1.0 + np.exp(-logit, dtype=np.float64))
+
+    def _predict_x0_many_reference(
+        self,
+        xk: np.ndarray,
+        noise_level: float,
+        conditions: Sequence[Optional[int]],
+    ) -> np.ndarray:
+        """On-the-fly counterpart of :meth:`predict_x0_many`."""
+        return self._many_reference_core(
+            *self._check_many(xk, noise_level, conditions)
+        )
+
+    def _many_reference_core(
+        self, stack: np.ndarray, conds: np.ndarray, bucket: int
+    ) -> np.ndarray:
+        priors = self._marginals[conds, bucket][:, None, None]
+        base = ((conds * self.n_buckets + bucket) * self._n_codes)[:, None, None]
+        logit = np.zeros(stack.shape, dtype=np.float64)
+        for s, weight in zip(self.scales, self.scale_weights):
+            codes = neighborhood_codes(
+                downsample_binary(stack, s), self.offsets, pads=self._pads
+            )
+            pixel_codes = upsample_to(codes, s, stack.shape[1:])
+            flat = self._counts[s].reshape(-1, 2)
+            index = base + pixel_codes
+            ones = flat[index, 1]
+            total = ones + flat[index, 0]
+            p = (ones + self.smoothing * priors) / (total + self.smoothing)
+            p = np.clip(p, _EPS, 1.0 - _EPS)
+            logit += weight * np.log(p / (1.0 - p))
+        return 1.0 / (1.0 + np.exp(-logit / self._weight_total))
+
+    def _check_many(
+        self,
+        xk: np.ndarray,
+        noise_level: float,
+        conditions: Sequence[Optional[int]],
+    ):
         stack = np.asarray(xk, dtype=np.uint8)
         if stack.ndim != 3:
             raise ValueError("predict_x0_many expects a (B, H, W) stack")
@@ -289,21 +486,4 @@ class NeighborhoodDenoiser(Denoiser):
         conds = np.asarray(
             [self._validate_condition(c) for c in conditions], dtype=np.int64
         )
-        bucket = self.bucket_of(noise_level)
-        priors = self._marginals[conds, bucket][:, None, None]
-        # Per-item offset into the flattened (class, bucket, code) table:
-        # adding it to the pixel codes turns the per-item class lookup into
-        # one big gather with no intermediate table copies.
-        base = ((conds * self.n_buckets + bucket) * self._n_codes)[:, None, None]
-        logit = np.zeros(stack.shape, dtype=np.float64)
-        for s, weight in zip(self.scales, self.scale_weights):
-            codes = neighborhood_codes(downsample_binary(stack, s), self.offsets)
-            pixel_codes = upsample_to(codes, s, stack.shape[1:])
-            flat = self._counts[s].reshape(-1, 2)
-            index = base + pixel_codes
-            ones = flat[index, 1]
-            total = ones + flat[index, 0]
-            p = (ones + self.smoothing * priors) / (total + self.smoothing)
-            p = np.clip(p, _EPS, 1.0 - _EPS)
-            logit += weight * np.log(p / (1.0 - p))
-        return 1.0 / (1.0 + np.exp(-logit / sum(self.scale_weights)))
+        return stack, conds, self.bucket_of(noise_level)

@@ -7,13 +7,17 @@ single reverse step (Eq. 9) and forward noising (Eq. 2).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.diffusion.denoisers.base import Denoiser
 from repro.diffusion.denoisers.neighborhood import NeighborhoodDenoiser
-from repro.diffusion.schedule import DiffusionSchedule
+from repro.diffusion.schedule import (
+    DiffusionSchedule,
+    SamplerSteps,
+    validate_sampler_steps,
+)
 
 
 class ConditionalDiffusionModel:
@@ -43,6 +47,7 @@ class ConditionalDiffusionModel:
         density_guidance: bool = True,
         sharpen: float = 2.0,
         polish_sweeps: int = 4,
+        sampler_steps: SamplerSteps = "full",
     ):
         if sampler not in ("x0", "posterior"):
             raise ValueError("sampler must be 'x0' or 'posterior'")
@@ -53,6 +58,9 @@ class ConditionalDiffusionModel:
         self.density_guidance = density_guidance
         self.sharpen = float(sharpen)
         self.polish_sweeps = int(polish_sweeps)
+        #: default reverse-step schedule ("full" | "bucketed" | int); every
+        #: sampling entry point accepts a per-call override.
+        self.sampler_steps = validate_sampler_steps(sampler_steps)
         self.fitted = False
 
     @property
@@ -83,6 +91,29 @@ class ConditionalDiffusionModel:
         """``T_K``: the fully-noised stationary distribution (fair coin)."""
         return (rng.random(shape) < 0.5).astype(np.uint8)
 
+    def reverse_step_plan(
+        self, sampler_steps: SamplerSteps = None
+    ) -> List[Tuple[int, int]]:
+        """The ``(k, k_next)`` pairs a reverse chain visits, in order.
+
+        ``sampler_steps`` overrides the model default (``None`` keeps it).
+        Under ``"full"`` the plan is the exact original chain
+        (``(K, K-1) .. (2, 1), (1, 0)``); ``"bucketed"`` collapses steps
+        sharing a denoiser noise bucket to one representative, so a K-step
+        schedule costs ~``n_buckets`` denoiser evaluations; an int picks
+        that many evenly spaced steps.  ``k_next == 0`` marks the
+        deterministic final step.
+        """
+        value = self.sampler_steps if sampler_steps is None else sampler_steps
+        ks = self.schedule.reverse_steps(
+            value, n_buckets=getattr(self.denoiser, "n_buckets", None)
+        )
+        return list(zip(ks, ks[1:] + [0]))
+
+    def denoise_evals(self, sampler_steps: SamplerSteps = None) -> int:
+        """Denoiser evaluations one trajectory costs under a step spec."""
+        return len(self.reverse_step_plan(sampler_steps))
+
     def denoise_step(
         self,
         xk: np.ndarray,
@@ -90,23 +121,34 @@ class ConditionalDiffusionModel:
         condition: Optional[int],
         rng: np.random.Generator,
         deterministic: bool = False,
+        k_next: Optional[int] = None,
     ) -> np.ndarray:
-        """One reverse step ``x_k -> x_{k-1}`` (Eq. 9).
+        """One reverse step ``x_k -> x_{k_next}`` (Eq. 9; default ``k - 1``).
 
         Two samplers implement the step:
 
         - ``"posterior"`` — the exact Eq. (5)/(9) ancestral step, summing the
           closed-form posterior over the predicted ``x_0``.
         - ``"x0"`` (default) — x0-resampling: draw ``x0_hat ~ p_theta(x0|x_k,c)``
-          and re-noise it to level ``k-1`` via the forward process.  Both
+          and re-noise it to level ``k_next`` via the forward process.  Both
           target the same learned posterior; x0-resampling applies the
           denoiser at full strength every step, which anneals global
           structure far more effectively for local (tabular) denoisers and
           is a standard sampler choice in D3PM implementations.
 
-        ``deterministic`` takes the mode instead of sampling — used for the
-        final step, the discrete analogue of dropping the noise term at k=1.
+        ``k_next`` is the step the state is re-noised to — ``k - 1`` for the
+        classic chain, further for the strided step schedules of
+        :meth:`reverse_step_plan` (x0-resampling re-noises to any level in
+        closed form, so a stride costs nothing extra; the adjacent-step
+        posterior sampler falls back to the same jump).  ``k_next == 0``
+        returns the clean prediction.  ``deterministic`` takes the mode
+        instead of sampling — used for the final step, the discrete
+        analogue of dropping the noise term at k=1.
         """
+        if k_next is None:
+            k_next = k - 1
+        if not 0 <= k_next < k:
+            raise ValueError(f"k_next {k_next} must be in [0, {k})")
         level = self.schedule.beta_bar(k)
         p_x0 = self.denoiser.predict_x0(xk, level, condition)
         if self.sharpen > 0:
@@ -119,7 +161,7 @@ class ConditionalDiffusionModel:
             p_x0 = p_x0 ** gamma / (p_x0 ** gamma + (1.0 - p_x0) ** gamma)
         if self.density_guidance:
             p_x0 = _calibrate_density(p_x0, self.denoiser.target_fill(condition))
-        if self.sampler == "posterior":
+        if self.sampler == "posterior" and k_next == k - 1:
             p_prev = self.schedule.posterior_mix(xk, p_x0, k)
             if deterministic:
                 return (p_prev > 0.5).astype(np.uint8)
@@ -128,9 +170,9 @@ class ConditionalDiffusionModel:
             x0_hat = (p_x0 > 0.5).astype(np.uint8)
         else:
             x0_hat = (rng.random(xk.shape) < p_x0).astype(np.uint8)
-        if k == 1:
+        if k_next == 0:
             return x0_hat
-        return self.schedule.forward_sample(x0_hat, k - 1, rng)
+        return self.schedule.forward_sample(x0_hat, k_next, rng)
 
     def polish(
         self,
@@ -180,8 +222,8 @@ class ConditionalDiffusionModel:
         from repro.geometry.grid import diagonal_touch_pairs
 
         if x.ndim == 3:
-            return np.stack(
-                [self._resolve_corner_touches(xi, condition, max_rounds) for xi in x]
+            return self._resolve_corner_touches_batch(
+                x, [condition] * x.shape[0], max_rounds
             )
         level = self.schedule.beta_bar(1)
         out = x.copy()
@@ -190,21 +232,43 @@ class ConditionalDiffusionModel:
             if not touches:
                 break
             p = self.denoiser.predict_x0(out, level, condition)
-            for row, col in touches:
-                # The 2x2 window holds one filled diagonal pair; clear the
-                # less confident of the two filled cells.
-                cells = [
-                    (r, c)
-                    for r, c in (
-                        (row, col), (row + 1, col + 1),
-                        (row, col + 1), (row + 1, col),
-                    )
-                    if out[r, c]
-                ]
-                if not cells:
-                    continue
-                weakest = min(cells, key=lambda rc: p[rc])
-                out[weakest] = 0
+            _clear_weakest_touch_cells(out, p, touches)
+        return out
+
+    def _resolve_corner_touches_batch(
+        self,
+        x: np.ndarray,
+        conditions: Sequence[Optional[int]],
+        max_rounds: int = 8,
+    ) -> np.ndarray:
+        """Batched corner resolution over a ``(B, H, W)`` stack.
+
+        Each round evaluates the k=1 posterior ONCE for every item that
+        still holds a corner touch (one ``predict_x0_many`` on the active
+        sub-stack) instead of running B independent per-item chains — the
+        per-item outcome is identical, only the denoiser amortisation
+        changes.
+        """
+        from repro.geometry.grid import diagonal_touch_pairs
+
+        out = np.asarray(x, dtype=np.uint8).copy()
+        conditions = list(conditions)
+        level = self.schedule.beta_bar(1)
+        active = list(range(out.shape[0]))
+        for _ in range(max_rounds):
+            touches_by_item = {}
+            for i in active:
+                touches = diagonal_touch_pairs(out[i])
+                if touches:
+                    touches_by_item[i] = touches
+            active = list(touches_by_item)
+            if not active:
+                break
+            p = self.denoiser.predict_x0_many(
+                out[active], level, [conditions[i] for i in active]
+            )
+            for j, i in enumerate(active):
+                _clear_weakest_touch_cells(out[i], p[j], touches_by_item[i])
         return out
 
     def sample(
@@ -213,21 +277,25 @@ class ConditionalDiffusionModel:
         condition: Optional[int],
         rng: np.random.Generator,
         shape: Optional[Tuple[int, int]] = None,
+        sampler_steps: SamplerSteps = None,
     ) -> np.ndarray:
-        """Sample ``count`` topologies via the full reverse chain (Eq. 11).
+        """Sample ``count`` topologies via the reverse chain (Eq. 11).
 
         Returns a ``(count, H, W)`` uint8 array.  ``shape`` defaults to the
         model window; larger shapes should go through
         :mod:`repro.ops.extend` instead, matching the paper's free-size
-        pipeline.
+        pipeline.  ``sampler_steps`` overrides the model's step schedule for
+        this trajectory (see :meth:`reverse_step_plan`).
         """
         if not self.fitted:
             raise RuntimeError("model not fitted; call fit() first")
         h, w = shape or (self.window, self.window)
         xk = self.prior_sample((count, h, w), rng)
-        for k in range(self.schedule.steps, 1, -1):
-            xk = self.denoise_step(xk, k, condition, rng)
-        xk = self.denoise_step(xk, 1, condition, rng, deterministic=True)
+        for k, k_next in self.reverse_step_plan(sampler_steps):
+            xk = self.denoise_step(
+                xk, k, condition, rng,
+                deterministic=(k_next == 0), k_next=k_next,
+            )
         return self.polish(xk, condition)
 
     def noise_to(
@@ -247,6 +315,7 @@ class ConditionalDiffusionModel:
         conditions: Sequence[Optional[int]],
         rng: np.random.Generator,
         deterministic: bool = False,
+        k_next: Optional[int] = None,
     ) -> np.ndarray:
         """One reverse step over a stacked batch with per-item conditions.
 
@@ -256,7 +325,8 @@ class ConditionalDiffusionModel:
         and the results are scattered back into place.  Density guidance is
         calibrated per item (each item pins its own class fill rate), which
         the sequential :meth:`denoise_step` approximates jointly over its
-        single-condition batch.
+        single-condition batch.  ``k_next`` strides exactly as in
+        :meth:`denoise_step`.
         """
         xk = np.asarray(xk, dtype=np.uint8)
         if xk.ndim != 3:
@@ -265,6 +335,10 @@ class ConditionalDiffusionModel:
             raise ValueError(
                 f"{len(conditions)} condition(s) for batch of {xk.shape[0]}"
             )
+        if k_next is None:
+            k_next = k - 1
+        if not 0 <= k_next < k:
+            raise ValueError(f"k_next {k_next} must be in [0, {k})")
         level = self.schedule.beta_bar(k)
         p_x0 = self.denoiser.predict_x0_many(xk, level, conditions)
         targets = np.asarray(
@@ -275,7 +349,7 @@ class ConditionalDiffusionModel:
             p_x0 = p_x0 ** gamma / (p_x0 ** gamma + (1.0 - p_x0) ** gamma)
         if self.density_guidance:
             p_x0 = _calibrate_density_batch(p_x0, targets)
-        if self.sampler == "posterior":
+        if self.sampler == "posterior" and k_next == k - 1:
             p_prev = self.schedule.posterior_mix(xk, p_x0, k)
             if deterministic:
                 return (p_prev > 0.5).astype(np.uint8)
@@ -284,9 +358,9 @@ class ConditionalDiffusionModel:
             x0_hat = (p_x0 > 0.5).astype(np.uint8)
         else:
             x0_hat = (rng.random(xk.shape) < p_x0).astype(np.uint8)
-        if k == 1:
+        if k_next == 0:
             return x0_hat
-        return self.schedule.forward_sample(x0_hat, k - 1, rng)
+        return self.schedule.forward_sample(x0_hat, k_next, rng)
 
     def polish_batch(
         self,
@@ -294,36 +368,44 @@ class ConditionalDiffusionModel:
         conditions: Sequence[Optional[int]],
         sweeps: Optional[int] = None,
     ) -> np.ndarray:
-        """Batched :meth:`polish` with per-item conditions and thresholds."""
+        """Batched :meth:`polish` with per-item conditions and thresholds.
+
+        The per-item guided thresholds come from one vectorized per-row
+        quantile over the stacked probability map (one sort instead of B
+        ``np.quantile`` calls), and corner resolution runs batched — one
+        ``predict_x0_many`` per round over the items that still touch.
+        """
         if sweeps is None:
             sweeps = self.polish_sweeps
         level = self.schedule.beta_bar(1)
         x = np.asarray(x0, dtype=np.uint8).copy()
         conditions = list(conditions)
+        if not conditions:
+            return x
+        targets = np.asarray(
+            [self.denoiser.target_fill(c) for c in conditions],
+            dtype=np.float64,
+        )
         for _ in range(sweeps):
             p = self.denoiser.predict_x0_many(x, level, conditions)
-            thresholds = np.full(x.shape[0], 0.5)
             if self.density_guidance:
-                for i, condition in enumerate(conditions):
-                    target = self.denoiser.target_fill(condition)
-                    thresholds[i] = min(
-                        max(float(np.quantile(p[i], 1.0 - target)), 1e-9),
-                        1.0 - 1e-9,
-                    )
+                thresholds = np.clip(
+                    _row_quantiles(p, 1.0 - targets), 1e-9, 1.0 - 1e-9
+                )
+            else:
+                thresholds = np.full(x.shape[0], 0.5)
             nxt = (p > thresholds[:, None, None]).astype(np.uint8)
             if np.array_equal(nxt, x):
                 break
             x = nxt
-        out = np.empty_like(x)
-        for i, condition in enumerate(conditions):
-            out[i] = self._resolve_corner_touches(x[i], condition)
-        return out
+        return self._resolve_corner_touches_batch(x, conditions)
 
     def sample_batch(
         self,
         conditions: Sequence[Optional[int]],
         rng: np.random.Generator,
         shape: Optional[Tuple[int, int]] = None,
+        sampler_steps: SamplerSteps = None,
     ) -> np.ndarray:
         """Sample ``len(conditions)`` topologies in ONE reverse trajectory.
 
@@ -331,7 +413,8 @@ class ConditionalDiffusionModel:
         possibly with *different* style conditions — costs a single batched
         denoise trajectory instead of N (Eq. 11 over a stacked batch).
         Returns a ``(len(conditions), H, W)`` uint8 array whose i-th item is
-        conditioned on ``conditions[i]``.
+        conditioned on ``conditions[i]``.  ``sampler_steps`` overrides the
+        model's step schedule for this trajectory.
         """
         if not self.fitted:
             raise RuntimeError("model not fitted; call fit() first")
@@ -340,10 +423,53 @@ class ConditionalDiffusionModel:
         if not conditions:
             return np.zeros((0, h, w), dtype=np.uint8)
         xk = self.prior_sample((len(conditions), h, w), rng)
-        for k in range(self.schedule.steps, 1, -1):
-            xk = self.denoise_step_batch(xk, k, conditions, rng)
-        xk = self.denoise_step_batch(xk, 1, conditions, rng, deterministic=True)
+        for k, k_next in self.reverse_step_plan(sampler_steps):
+            xk = self.denoise_step_batch(
+                xk, k, conditions, rng,
+                deterministic=(k_next == 0), k_next=k_next,
+            )
         return self.polish_batch(xk, conditions)
+
+
+def _clear_weakest_touch_cells(
+    x: np.ndarray, p: np.ndarray, touches: Sequence[Tuple[int, int]]
+) -> None:
+    """Clear the lower-posterior filled cell of each corner-touching pair.
+
+    ``touches`` holds the top-left coordinates of 2x2 windows containing a
+    filled diagonal pair; ``x`` is edited in place.
+    """
+    for row, col in touches:
+        cells = [
+            (r, c)
+            for r, c in (
+                (row, col), (row + 1, col + 1),
+                (row, col + 1), (row + 1, col),
+            )
+            if x[r, c]
+        ]
+        if not cells:
+            continue
+        weakest = min(cells, key=lambda rc: p[rc])
+        x[weakest] = 0
+
+
+def _row_quantiles(p: np.ndarray, qs: np.ndarray) -> np.ndarray:
+    """Per-row quantiles of a ``(B, ...)`` stack, one level per row.
+
+    One sort over the flattened trailing axes replaces B separate
+    ``np.quantile`` calls; the interpolation matches ``np.quantile``'s
+    default ``"linear"`` method exactly.
+    """
+    flat = np.sort(p.reshape(p.shape[0], -1), axis=1)
+    pos = np.clip(np.asarray(qs, dtype=np.float64), 0.0, 1.0) * (
+        flat.shape[1] - 1
+    )
+    lo = np.floor(pos).astype(np.intp)
+    hi = np.minimum(lo + 1, flat.shape[1] - 1)
+    rows = np.arange(flat.shape[0])
+    lower = flat[rows, lo]
+    return lower + (pos - lo) * (flat[rows, hi] - lower)
 
 
 def _calibrate_density_batch(

@@ -13,8 +13,31 @@ which gives closed-form forward sampling at any step.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import List, Optional, Union
 
 import numpy as np
+
+
+SamplerSteps = Union[str, int, None]
+
+
+def validate_sampler_steps(value: SamplerSteps) -> SamplerSteps:
+    """Check a ``sampler_steps`` spec: ``"full"`` | ``"bucketed"`` | int.
+
+    The single validation every path funnels through — config, CLI and
+    per-call overrides alike (``reverse_steps`` applies it itself).
+    """
+    if value is None or value in ("full", "bucketed"):
+        return value
+    if isinstance(value, bool):
+        raise ValueError("sampler_steps must be 'full', 'bucketed' or an int")
+    if isinstance(value, (int, np.integer)):
+        if value < 1:
+            raise ValueError(f"sampler_steps must be >= 1, got {value}")
+        return int(value)
+    raise ValueError(
+        f"sampler_steps must be 'full', 'bucketed' or an int, got {value!r}"
+    )
 
 
 def linear_beta_schedule(steps: int, beta_1: float = 0.01, beta_k: float = 0.5) -> np.ndarray:
@@ -77,6 +100,51 @@ class DiffusionSchedule:
     def steps(self) -> int:
         """K, the diffusion length."""
         return int(self.betas.shape[0])
+
+    def reverse_steps(
+        self,
+        sampler_steps: Union[str, int, None] = "full",
+        n_buckets: Optional[int] = None,
+    ) -> List[int]:
+        """The descending step indices a reverse chain visits.
+
+        The step-schedule abstraction behind the fast samplers: the reverse
+        chain walks the returned ``k`` values in order (always ending at 1,
+        the deterministic final step) and re-noises each prediction to the
+        *next visited* step instead of ``k - 1``, a DDIM-style stride.
+
+        Modes:
+
+        - ``"full"`` (or ``None``) — every step ``K .. 1``, the exact
+          original chain.
+        - ``"bucketed"`` — one representative step per *noise bucket* of a
+          bucketed denoiser (``n_buckets`` required): consecutive steps
+          whose ``beta_bar`` falls in the same bucket read identical tables,
+          so only the lowest-noise step of each occupied bucket is kept —
+          cutting denoiser evaluations from ``K`` to at most ``n_buckets``.
+          Falls back to ``"full"`` when ``n_buckets`` is ``None`` (the
+          denoiser is not bucketed, so there is nothing to collapse).
+        - an ``int`` ``n`` — ``n`` steps evenly spaced over the step range
+          (endpoints included); ``n >= K`` clamps to the full chain, so one
+          configured count works across schedules of any length.
+        """
+        sampler_steps = validate_sampler_steps(sampler_steps)
+        if sampler_steps is None or sampler_steps == "full":
+            return list(range(self.steps, 0, -1))
+        if sampler_steps == "bucketed":
+            if n_buckets is None:
+                return list(range(self.steps, 0, -1))
+            # beta_bar is strictly increasing in k, so walking k upward
+            # visits buckets in order; keep the first (lowest-noise) k of
+            # each occupied bucket.  k=1 is always kept: it is the first k
+            # of the lowest occupied bucket.
+            buckets = np.minimum(
+                n_buckets - 1, (self.beta_bars / 0.5 * n_buckets).astype(int)
+            )
+            _, first_of_bucket = np.unique(buckets, return_index=True)
+            return sorted((int(i) + 1 for i in first_of_bucket), reverse=True)
+        ks = np.linspace(self.steps, 1, min(sampler_steps, self.steps))
+        return sorted({int(round(k)) for k in ks}, reverse=True)
 
     def beta(self, k: int) -> float:
         """Flip probability of forward step ``k`` (1-based)."""

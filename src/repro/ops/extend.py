@@ -64,6 +64,7 @@ def out_paint(
     condition: Optional[int],
     rng: np.random.Generator,
     stride: Optional[int] = None,
+    sampler_steps=None,
 ) -> ExtensionResult:
     """Extend ``seed_topology`` to ``target_shape`` by Out-Painting.
 
@@ -92,7 +93,10 @@ def out_paint(
             if sub_known.min() == 1:
                 continue  # fully known, nothing to generate
             sub_canvas = canvas[r0 : r0 + window, c0 : c0 + window]
-            painted = modify(model, sub_canvas, sub_known, condition, rng)
+            painted = modify(
+                model, sub_canvas, sub_known, condition, rng,
+                sampler_steps=sampler_steps,
+            )
             canvas[r0 : r0 + window, c0 : c0 + window] = painted
             known[r0 : r0 + window, c0 : c0 + window] = 1
             samplings += 1
@@ -109,6 +113,7 @@ def in_paint(
     rng: np.random.Generator,
     seed_topology: Optional[np.ndarray] = None,
     seam_band: Optional[int] = None,
+    sampler_steps=None,
 ) -> ExtensionResult:
     """Synthesise a ``target_shape`` topology by In-Painting.
 
@@ -137,7 +142,9 @@ def in_paint(
                     raise ValueError("seed must match the model window")
                 tile = seed
             else:
-                tile = model.sample(1, condition, rng)[0]
+                tile = model.sample(
+                    1, condition, rng, sampler_steps=sampler_steps
+                )[0]
                 samplings += 1
             canvas[j * window : (j + 1) * window, i * window : (i + 1) * window] = tile
             visited.append((j * window, i * window))
@@ -148,7 +155,7 @@ def in_paint(
         nonlocal samplings
         sub = canvas[r0 : r0 + window, c0 : c0 + window]
         canvas[r0 : r0 + window, c0 : c0 + window] = modify(
-            model, sub, keep, condition, rng
+            model, sub, keep, condition, rng, sampler_steps=sampler_steps
         )
         samplings += 1
         visited.append((r0, c0))
@@ -193,6 +200,7 @@ def extend(
     method: str = "out",
     seed_topology: Optional[np.ndarray] = None,
     stride: Optional[int] = None,
+    sampler_steps=None,
 ) -> ExtensionResult:
     """Dispatch to In-Painting or Out-Painting extension.
 
@@ -203,15 +211,19 @@ def extend(
         raise ValueError(f"unknown extension method {method!r}")
     extra = 0
     if seed_topology is None:
-        seed_topology = model.sample(1, condition, rng)[0]
+        seed_topology = model.sample(
+            1, condition, rng, sampler_steps=sampler_steps
+        )[0]
         extra = 1
     if method == "out":
         result = out_paint(
-            model, seed_topology, target_shape, condition, rng, stride=stride
+            model, seed_topology, target_shape, condition, rng, stride=stride,
+            sampler_steps=sampler_steps,
         )
     else:
         result = in_paint(
-            model, target_shape, condition, rng, seed_topology=seed_topology
+            model, target_shape, condition, rng, seed_topology=seed_topology,
+            sampler_steps=sampler_steps,
         )
     result.samplings += extra
     return result

@@ -17,6 +17,7 @@ the real model, so modification/extension code paths work unchanged.
 
 from __future__ import annotations
 
+import inspect
 import queue
 import threading
 import time
@@ -26,7 +27,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.diffusion.model import ConditionalDiffusionModel
+from repro.diffusion.model import ConditionalDiffusionModel, SamplerSteps
 from repro.serve.stats import BatchRecord, SchedulerStats
 
 _SENTINEL = object()
@@ -40,6 +41,10 @@ class SampleJob:
     condition: Optional[int]
     shape: Tuple[int, int]
     seed: int
+    #: reverse-step schedule override; ``None`` defers to the scheduler's
+    #: configured default (jobs with different specs never share a batch —
+    #: a batch is one trajectory)
+    sampler_steps: SamplerSteps = None
     submitted_at: float = field(default_factory=time.perf_counter)
     future: "Future[np.ndarray]" = field(default_factory=Future)
     queue_wait: float = 0.0
@@ -59,6 +64,9 @@ class MicroBatchScheduler:
             job of a batch arrives.  Larger windows mean bigger batches and
             higher latency; jobs already queued are always drained.
         max_batch: cap on total *samples* per batched trajectory.
+        sampler_steps: default reverse-step schedule for batched
+            trajectories (``"full"`` | ``"bucketed"`` | int; ``None`` keeps
+            the model's own default).  Individual jobs may override it.
 
     Note on reproducibility: a batch's random stream is derived from the
     seeds of the jobs riding it, so results are reproducible for a fixed
@@ -71,6 +79,7 @@ class MicroBatchScheduler:
         model: ConditionalDiffusionModel,
         gather_window: float = 0.02,
         max_batch: int = 64,
+        sampler_steps: SamplerSteps = None,
     ):
         if gather_window < 0:
             raise ValueError("gather_window must be >= 0")
@@ -79,6 +88,18 @@ class MicroBatchScheduler:
         self.model = model
         self.gather_window = float(gather_window)
         self.max_batch = int(max_batch)
+        self.sampler_steps = sampler_steps
+        # Pre-PR model stand-ins expose sample_batch(conditions, rng, shape)
+        # without the step-schedule knob; detect that once so they keep
+        # working as drop-in backends (they then sample their own way).
+        try:
+            parameters = inspect.signature(model.sample_batch).parameters
+            self._model_takes_steps = "sampler_steps" in parameters or any(
+                p.kind is inspect.Parameter.VAR_KEYWORD
+                for p in parameters.values()
+            )
+        except (TypeError, ValueError):
+            self._model_takes_steps = True
         self._queue: "queue.Queue" = queue.Queue()
         self._records: List[BatchRecord] = []
         self._records_lock = threading.Lock()
@@ -145,6 +166,7 @@ class MicroBatchScheduler:
         condition: Optional[int],
         shape: Optional[Tuple[int, int]] = None,
         seed: int = 0,
+        sampler_steps: SamplerSteps = None,
     ) -> SampleJob:
         """Queue a sampling job; returns immediately with its handle.
 
@@ -160,6 +182,7 @@ class MicroBatchScheduler:
             condition=condition,
             shape=tuple(shape) if shape else (self.model.window,) * 2,
             seed=int(seed),
+            sampler_steps=sampler_steps,
         )
         with self._lifecycle_lock:
             if self._stop.is_set() and not self.running:
@@ -222,10 +245,17 @@ class MicroBatchScheduler:
         now = time.perf_counter()
         for job in jobs:
             job.queue_wait = now - job.submitted_at
-        by_shape: dict = {}
+        # A batch is ONE trajectory, so jobs only coalesce when they agree
+        # on both the topology shape and the reverse-step schedule.
+        by_key: dict = {}
         for job in jobs:
-            by_shape.setdefault(job.shape, []).append(job)
-        for shape, group in by_shape.items():
+            steps = (
+                job.sampler_steps
+                if job.sampler_steps is not None
+                else self.sampler_steps
+            )
+            by_key.setdefault((job.shape, steps), []).append(job)
+        for (shape, steps), group in by_key.items():
             conditions: List[Optional[int]] = []
             for job in group:
                 conditions.extend([job.condition] * job.count)
@@ -233,8 +263,15 @@ class MicroBatchScheduler:
                 np.random.SeedSequence([job.seed % (2**32) for job in group])
             )
             started = time.perf_counter()
+            kwargs = (
+                {"sampler_steps": steps}
+                if steps is not None and self._model_takes_steps
+                else {}
+            )
             try:
-                samples = self.model.sample_batch(conditions, rng, shape=shape)
+                samples = self.model.sample_batch(
+                    conditions, rng, shape=shape, **kwargs
+                )
             except Exception as exc:  # propagate to every waiting caller
                 for job in group:
                     job.future.set_exception(exc)
@@ -296,6 +333,7 @@ class BatchedSamplingModel:
         condition: Optional[int],
         rng: np.random.Generator,
         shape: Optional[Tuple[int, int]] = None,
+        sampler_steps: SamplerSteps = None,
     ) -> np.ndarray:
         """Batched stand-in for ``ConditionalDiffusionModel.sample``."""
         job = self._scheduler.submit(
@@ -305,6 +343,7 @@ class BatchedSamplingModel:
             # The job seed is drawn from the caller's stream, so a request
             # with a fixed base seed submits a reproducible seed sequence.
             seed=int(rng.integers(0, 2**31 - 1)),
+            sampler_steps=sampler_steps,
         )
         result = job.result()
         self.queue_wait_seconds += job.queue_wait

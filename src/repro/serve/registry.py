@@ -161,9 +161,28 @@ class ModelRegistry:
             if on_fit_start is not None:
                 on_fit_start(key)
             model = self._builder(key)
+            self._ensure_compiled(model)
             self.put(key, model, _count_miss=True)
             self._save_to_disk(key, model)
             return model, "fit"
+
+    @staticmethod
+    def _ensure_compiled(model) -> bool:
+        """Rehydrate the denoiser's compiled sampling tables, if it has any.
+
+        ``fit`` compiles them itself, but models built by custom builders or
+        unpickled from an older cache format may arrive without the compiled
+        form — a registry-served model must always be sampling-ready.
+        """
+        hook = getattr(getattr(model, "denoiser", None), "compile_tables", None)
+        if callable(hook):
+            return bool(hook())
+        return False
+
+    @staticmethod
+    def _compiled_provenance(model) -> bool:
+        """Whether the model carries compiled tables (recorded on save)."""
+        return bool(getattr(getattr(model, "denoiser", None), "_compiled", False))
 
     # -- disk tier -----------------------------------------------------
 
@@ -185,6 +204,10 @@ class ModelRegistry:
             return None
         if not getattr(model, "fitted", False):
             return None
+        # Pre-compiled-table payloads (or denoisers whose __setstate__ does
+        # not self-heal) are compiled here, so a disk hit always serves the
+        # fast sampling path.
+        self._ensure_compiled(model)
         return model
 
     def _save_to_disk(self, key: ModelKey, model) -> Optional[Path]:
@@ -198,6 +221,10 @@ class ModelRegistry:
         payload = {
             "format": _CACHE_FORMAT,
             "recipe": key.as_dict(),
+            # Provenance of the sampling-time representation: True when the
+            # pickled denoiser carries its compiled logit tables, so readers
+            # know whether a load rehydrates or recompiles.
+            "compiled_tables": self._compiled_provenance(model),
             "model": model,
         }
         try:

@@ -239,6 +239,9 @@ class PatternService:
             self._model,
             gather_window=self._gather_window,
             max_batch=self._max_batch,
+            # The serving default rides the config's step schedule; per-job
+            # overrides still win inside the scheduler.
+            sampler_steps=self.config.sample.sampler_steps,
         ).start()
         return self
 

@@ -24,7 +24,8 @@ def _variants():
         TrainConfig(styles=("Layer-10003",), window=64, train_count=8,
                     seed=7, tile_nm=1024, map_scale=4),
         SampleConfig(style="Layer-10003", count=3, size=32, seed=11,
-                     extend_size=128, extend_method="in"),
+                     extend_size=128, extend_method="in",
+                     sampler_steps="bucketed"),
         LegalizeConfig(physical_size=(1024, 1024), max_workers=2,
                        engine="reference", keep_failures=True,
                        fault_isolation=False),
@@ -154,3 +155,25 @@ class TestRecipeHash:
         hashes = {cfg.recipe_hash() for cfg in changed}
         assert len(hashes) == len(changed)
         assert base.recipe_hash() not in hashes
+
+
+class TestSamplerSteps:
+    def test_default_is_full(self):
+        assert SampleConfig().sampler_steps == "full"
+
+    def test_int_survives_json(self, tmp_path):
+        cfg = PipelineConfig(sample=SampleConfig(sampler_steps=12))
+        loaded = PipelineConfig.load(cfg.save(tmp_path / "p.json"))
+        assert loaded.sample.sampler_steps == 12
+        assert loaded == cfg
+
+    def test_bucketed_survives_json(self, tmp_path):
+        cfg = PipelineConfig(sample=SampleConfig(sampler_steps="bucketed"))
+        loaded = PipelineConfig.load(cfg.save(tmp_path / "p.json"))
+        assert loaded.sample.sampler_steps == "bucketed"
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ConfigError):
+            SampleConfig(sampler_steps="warp")
+        with pytest.raises(ConfigError):
+            SampleConfig(sampler_steps=0)

@@ -241,3 +241,46 @@ class TestRealFit:
         assert model.n_classes == 2
         samples = model.sample_batch([0, 1], np.random.default_rng(0))
         assert samples.shape == (2, 64, 64)
+
+
+class TestCompiledRehydration:
+    """The disk tier must always serve the compiled sampling representation."""
+
+    KEY = dict(window=64, train_count=4, tile_nm=1024, seed=7)
+
+    def test_fit_and_disk_hit_are_compiled(self, tmp_path):
+        registry = ModelRegistry(save_dir=tmp_path)
+        model = registry.get_or_fit(ModelKey(**self.KEY))
+        assert model.denoiser.compiled
+        fresh = ModelRegistry(save_dir=tmp_path)
+        loaded, source = fresh.resolve(ModelKey(**self.KEY))
+        assert source == "disk"
+        assert loaded.denoiser.compiled
+
+    def test_payload_records_compiled_provenance(self, tmp_path):
+        import pickle
+
+        registry = ModelRegistry(save_dir=tmp_path)
+        key = ModelKey(**self.KEY)
+        registry.get_or_fit(key)
+        with open(registry.cache_path(key), "rb") as handle:
+            payload = pickle.load(handle)
+        assert payload["compiled_tables"] is True
+
+    def test_legacy_payload_recompiled_on_load(self, tmp_path):
+        registry = ModelRegistry(save_dir=tmp_path)
+        key = ModelKey(**self.KEY)
+        model = registry.get_or_fit(key)
+        # Emulate a cache entry written before compiled tables existed.
+        for attr in ("_compiled", "_logit_tables", "_weight_total",
+                     "_pads", "use_compiled"):
+            model.denoiser.__dict__.pop(attr, None)
+        registry._save_to_disk(key, model)
+        fresh = ModelRegistry(save_dir=tmp_path)
+        loaded, source = fresh.resolve(key)
+        assert source == "disk"
+        assert loaded.denoiser.compiled
+        import numpy as np
+
+        samples = loaded.sample_batch([0, 1], np.random.default_rng(0))
+        assert samples.shape == (2, 64, 64)
