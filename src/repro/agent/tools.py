@@ -109,6 +109,11 @@ class AgentTools:
             if pipeline is not None
             else PatternPipeline(model=model)
         )
+        if store is not None:
+            # Save_Library persists through the pipeline's store primitive,
+            # so the tools' store and the pipeline's must be one object
+            # (with_store is a no-op when they already are).
+            self.pipeline = self.pipeline.with_store(store)
         self.call_log: List[Tuple[str, Dict]] = []
         self._registry: Dict[str, Callable[..., ToolResult]] = {
             "Topology_Generation": self.topology_generation,
@@ -374,7 +379,8 @@ class AgentTools:
             return ToolResult(
                 ok=False, message="output library is empty; nothing to save"
             )
-        report = self.store.add_library(self.workspace.library, legal=True)
+        # The same persist primitive the CLI and the serving path use.
+        report = self.pipeline.persist_library(self.workspace.library)
         return ToolResult(
             ok=True,
             message=(

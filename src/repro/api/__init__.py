@@ -8,6 +8,7 @@
 """
 
 from repro.api.config import (
+    SERVE_POLICIES,
     ConfigError,
     LegalizeConfig,
     PipelineConfig,
@@ -24,6 +25,7 @@ from repro.api.pipeline import (
 )
 
 __all__ = [
+    "SERVE_POLICIES",
     "ConfigError",
     "LegalizeConfig",
     "PatternPipeline",

@@ -158,9 +158,25 @@ class StoreConfig(StageConfig):
     output_path: Optional[str] = None
 
 
+#: Registered batching policies of the serving engine.  The canonical
+#: implementations live in :mod:`repro.serve.engine`; the names are
+#: declared here so config validation never has to import the engine.
+SERVE_POLICIES = ("greedy", "shape_bucketed", "fair_share")
+
+
 @dataclass(frozen=True)
 class ServeConfig(StageConfig):
-    """Multi-request service knobs (see :class:`PatternService`)."""
+    """Multi-request service/engine knobs (see :class:`PatternService` and
+    :class:`~repro.serve.engine.ServeEngine`).
+
+    ``policy`` picks the batching policy (``greedy`` = classic
+    gather-window FIFO, ``shape_bucketed`` = coalesce compatible jobs
+    across the whole queue, ``fair_share`` = round-robin across request
+    sources).  ``engine_workers`` sizes the executor pool draining batches
+    in parallel; ``queue_limit`` bounds the admission queue (jobs beyond
+    it fast-fail with backpressure instead of queueing unboundedly);
+    ``deadline`` expires jobs still queued after that many seconds.
+    """
 
     objective: str = "legality"
     gather_window: float = 0.02
@@ -168,6 +184,23 @@ class ServeConfig(StageConfig):
     max_workers: int = 8
     max_retries: int = 2
     base_seed: int = 0
+    policy: str = "greedy"
+    engine_workers: int = 1
+    queue_limit: Optional[int] = None
+    deadline: Optional[float] = None
+
+    def __post_init__(self):
+        if self.policy not in SERVE_POLICIES:
+            raise ConfigError(
+                f"unknown serve policy {self.policy!r}; known: "
+                f"{sorted(SERVE_POLICIES)}"
+            )
+        if self.engine_workers < 1:
+            raise ConfigError("engine_workers must be >= 1")
+        if self.queue_limit is not None and self.queue_limit < 1:
+            raise ConfigError("queue_limit must be >= 1 (or null)")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ConfigError("deadline must be > 0 seconds (or null)")
 
 
 @dataclass(frozen=True)

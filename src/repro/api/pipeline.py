@@ -286,6 +286,19 @@ class PatternPipeline:
             verbose=False,
         )
 
+    def with_store(self, store) -> "PatternPipeline":
+        """A pipeline with the same config/model/registry but a different
+        attached store (``None`` disables persistence)."""
+        if self._store_resolved and store is self._store:
+            return self
+        return PatternPipeline(
+            self.config,
+            model=self._model,
+            registry=self._registry,
+            store=store,
+            verbose=False,
+        )
+
     def with_library(self, library: PatternLibrary) -> PipelineResult:
         """Start a result from an existing library (evaluate/export flows)."""
         result = self._result()
@@ -576,8 +589,13 @@ class PatternPipeline:
             text, objective=objective or self.config.serve.objective
         )
 
-    def service(self, registry=None):
-        """Build a :class:`PatternService` from this pipeline's config."""
+    def service(self, registry=None, engine=None):
+        """Build a :class:`PatternService` from this pipeline's config.
+
+        ``engine`` attaches the service to an existing (possibly shared)
+        :class:`~repro.serve.engine.ServeEngine` instead of letting it
+        build a private one — the multi-tenant wiring.
+        """
         from repro.serve.service import PatternService
 
         return PatternService.from_config(
@@ -585,4 +603,5 @@ class PatternPipeline:
             model=self._model,
             registry=registry or self.registry,
             store=self.store,
+            engine=engine,
         )

@@ -25,7 +25,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.api.config import PipelineConfig
+from repro.api.config import SERVE_POLICIES, PipelineConfig
 from repro.api.pipeline import PatternPipeline
 from repro.data import STYLES
 from repro.diffusion.schedule import validate_sampler_steps
@@ -131,6 +131,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="concurrent request workers",
     )
     srv.add_argument(
+        "--policy", choices=SERVE_POLICIES, default=None,
+        help="engine batching policy: greedy (gather-window FIFO), "
+             "shape_bucketed (coalesce compatible jobs across the whole "
+             "queue) or fair_share (round-robin across request sources)",
+    )
+    srv.add_argument(
+        "--engine-workers", type=int, default=None,
+        help="executor threads draining batches in parallel",
+    )
+    srv.add_argument(
+        "--queue-limit", type=int, default=None,
+        help="bound on queued sampling jobs; beyond it submissions "
+             "fast-fail with backpressure instead of queueing unboundedly",
+    )
+    srv.add_argument(
+        "--deadline", type=float, default=None,
+        help="seconds a sampling job may sit queued before failing with "
+             "a deadline error",
+    )
+    srv.add_argument(
         "--store", help="directory of the indexed pattern store (dedup)"
     )
     srv.add_argument("-o", "--output", help="save the merged library (.npz)")
@@ -232,6 +252,14 @@ def _cmd_serve(args) -> int:
         serve_cfg = serve_cfg.replace(max_batch=args.max_batch)
     if args.workers is not None:
         serve_cfg = serve_cfg.replace(max_workers=args.workers)
+    if args.policy is not None:
+        serve_cfg = serve_cfg.replace(policy=args.policy)
+    if args.engine_workers is not None:
+        serve_cfg = serve_cfg.replace(engine_workers=args.engine_workers)
+    if args.queue_limit is not None:
+        serve_cfg = serve_cfg.replace(queue_limit=args.queue_limit)
+    if args.deadline is not None:
+        serve_cfg = serve_cfg.replace(deadline=args.deadline)
     cfg = cfg.replace(serve=serve_cfg)
     if args.store:
         cfg = cfg.replace(store=cfg.store.replace(store_dir=args.store))

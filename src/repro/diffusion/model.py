@@ -37,6 +37,13 @@ class ConditionalDiffusionModel:
         window: the model's native output size (the paper's 128).
     """
 
+    #: Backend-protocol declaration: ``sample_batch`` accepts the
+    #: ``sampler_steps`` kwarg.  The serving engine checks this attribute
+    #: (not the call signature) before forwarding step schedules, so
+    #: legacy stand-in back-ends that lack it are simply never passed the
+    #: kwarg.  Keep it in sync with the ``sample_batch`` signature.
+    supports_sampler_steps = True
+
     def __init__(
         self,
         denoiser: Optional[Denoiser] = None,
@@ -485,6 +492,13 @@ def _calibrate_density_batch(
     — empirically ~1e-5, inside the exact solver's 1e-4 fast-path tolerance
     — which is what makes the batched serving trajectory cheaper per sample
     than the sequential path it replaces.
+
+    Every stage is vectorized across the stack (the per-row histograms are
+    two ``bincount`` calls over row-offset bin indices, the bisection runs
+    on ``(B, bins)`` arrays): a serving batch costs a handful of large
+    array operations instead of thousands of tiny per-row ones, which both
+    speeds the step up and keeps the engine's executor pool out of the
+    interpreter lock for most of it.
     """
     clipped = np.clip(p, 1e-9, 1.0 - 1e-9)
     means = clipped.mean(axis=(1, 2))
@@ -492,23 +506,40 @@ def _calibrate_density_batch(
     if not needs.any():
         return clipped
     out = clipped.copy()
-    for i in np.flatnonzero(needs):
-        logits = np.log(clipped[i] / (1.0 - clipped[i]))
-        flat = logits.ravel()
-        counts, edges = np.histogram(flat, bins=bins)
-        occupied = counts > 0
-        sums, _ = np.histogram(flat, bins=edges, weights=flat)
-        reps = sums[occupied] / counts[occupied]
-        weights = counts[occupied] / flat.size
-        lo, hi = -30.0, 30.0
-        for _ in range(40):
-            mid = 0.5 * (lo + hi)
-            mean = float((weights / (1.0 + np.exp(-(reps + mid)))).sum())
-            if mean < targets[i]:
-                lo = mid
-            else:
-                hi = mid
-        out[i] = 1.0 / (1.0 + np.exp(-(logits + 0.5 * (lo + hi))))
+    rows = np.flatnonzero(needs)
+    logits = np.log(clipped[rows] / (1.0 - clipped[rows]))
+    flat = logits.reshape(len(rows), -1)
+    size = flat.shape[1]
+    lo_edge = flat.min(axis=1, keepdims=True)
+    span = flat.max(axis=1, keepdims=True) - lo_edge
+    # Degenerate rows (constant logits) all land in bin 0, whose
+    # representative is then the exact value — same result as the scalar
+    # solver's single-bin histogram.
+    bin_idx = np.floor(
+        (flat - lo_edge) / np.where(span > 0, span, 1.0) * bins
+    ).astype(np.intp)
+    np.clip(bin_idx, 0, bins - 1, out=bin_idx)
+    bin_idx += np.arange(len(rows), dtype=np.intp)[:, None] * bins
+    counts = np.bincount(
+        bin_idx.ravel(), minlength=len(rows) * bins
+    ).reshape(len(rows), bins)
+    sums = np.bincount(
+        bin_idx.ravel(), weights=flat.ravel(), minlength=len(rows) * bins
+    ).reshape(len(rows), bins)
+    # Empty bins get zero weight, so their representative value is moot.
+    reps = sums / np.maximum(counts, 1)
+    weights = counts / size
+    lo = np.full(len(rows), -30.0)
+    hi = np.full(len(rows), 30.0)
+    wanted = np.asarray(targets, dtype=np.float64)[rows]
+    for _ in range(40):
+        mid = 0.5 * (lo + hi)
+        mean = (weights / (1.0 + np.exp(-(reps + mid[:, None])))).sum(axis=1)
+        below = mean < wanted
+        lo = np.where(below, mid, lo)
+        hi = np.where(below, hi, mid)
+    offset = (0.5 * (lo + hi)).reshape(-1, 1, 1)
+    out[rows] = 1.0 / (1.0 + np.exp(-(logits + offset)))
     return out
 
 

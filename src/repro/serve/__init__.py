@@ -5,10 +5,15 @@ Layers (front to back):
 - :class:`PatternService` — the service front-end: many concurrent
   natural-language requests, each running the full agent pipeline, with
   per-request stats (queue wait, batch sizes, samples/sec).
-- :class:`MicroBatchScheduler` / :class:`BatchedSamplingModel` — request
-  queue and micro-batching: compatible sampling work from different
-  requests coalesces into single batched denoise trajectories
-  (``ConditionalDiffusionModel.sample_batch``).
+- :class:`ServeEngine` — the execution engine: a bounded admission queue
+  (``queue_limit`` backpressure, per-job deadlines), pluggable
+  :class:`BatchPolicy` batching (``greedy`` | ``shape_bucketed`` |
+  ``fair_share``), an ``engine_workers``-sized executor pool draining
+  batches in parallel, and multi-model routing via :meth:`ServeEngine.bind`.
+- :class:`MicroBatchScheduler` / :class:`BatchedSamplingModel` — the
+  classic single-model facade over a private engine: compatible sampling
+  work from different requests coalesces into single batched denoise
+  trajectories (``ConditionalDiffusionModel.sample_batch``).
 - :class:`ModelRegistry` / :class:`ModelKey` — fitted models cached by
   training recipe (``ModelKey`` derives from
   :class:`repro.api.config.TrainConfig`) so repeated requests never
@@ -21,6 +26,20 @@ from repro.serve.batching import (
     BatchedSamplingModel,
     MicroBatchScheduler,
     SampleJob,
+    model_supports_sampler_steps,
+)
+from repro.serve.engine import (
+    BatchPolicy,
+    DeadlineExpiredError,
+    EngineClient,
+    EngineError,
+    EngineJob,
+    FairSharePolicy,
+    GreedyPolicy,
+    QueueFullError,
+    ServeEngine,
+    ShapeBucketedPolicy,
+    resolve_batch_policy,
 )
 from repro.serve.registry import ModelKey, ModelRegistry, fit_model
 from repro.serve.service import (
@@ -31,6 +50,7 @@ from repro.serve.service import (
 )
 from repro.serve.stats import (
     BatchRecord,
+    EngineStats,
     LegalizeStageRecord,
     RequestStats,
     SchedulerStats,
@@ -43,22 +63,35 @@ from repro.serve.store import (
 )
 
 __all__ = [
+    "BatchPolicy",
     "BatchRecord",
     "BatchedSamplingModel",
+    "DeadlineExpiredError",
+    "EngineClient",
+    "EngineError",
+    "EngineJob",
+    "EngineStats",
+    "FairSharePolicy",
+    "GreedyPolicy",
     "LegalizeStageRecord",
     "LibraryStore",
     "MicroBatchScheduler",
     "ModelKey",
     "ModelRegistry",
     "PatternService",
+    "QueueFullError",
     "RequestStats",
     "SampleJob",
     "SchedulerStats",
+    "ServeEngine",
     "ServeRequest",
     "ServeResponse",
     "ServiceStats",
+    "ShapeBucketedPolicy",
     "StoreRecord",
     "StoreReport",
     "fit_model",
+    "model_supports_sampler_steps",
     "pattern_content_hash",
+    "resolve_batch_policy",
 ]

@@ -1,13 +1,21 @@
-"""Request queue and micro-batching scheduler for diffusion sampling.
+"""Single-model micro-batching facade over the serving engine.
 
 The throughput lever of the serving subsystem: many concurrent requests
 each ask for a handful of samples, and sampling cost is dominated by the
 per-step walk of the reverse chain — which is almost as cheap for a
-``(N, H, W)`` stack as for a single topology.  The scheduler therefore
-coalesces compatible sampling jobs (same topology shape; style conditions
-may differ freely, they chunk inside the batched step) into single calls of
-:meth:`~repro.diffusion.model.ConditionalDiffusionModel.sample_batch`, so N
-requests cost ~1 batched denoise trajectory instead of N.
+``(N, H, W)`` stack as for a single topology.  Compatible sampling jobs
+(same topology shape; style conditions may differ freely, they chunk
+inside the batched step) therefore coalesce into single calls of
+:meth:`~repro.diffusion.model.ConditionalDiffusionModel.sample_batch`, so
+N requests cost ~1 batched denoise trajectory instead of N.
+
+Since the engine refactor the heavy lifting — admission, batching policy,
+the executor pool — lives in :class:`~repro.serve.engine.ServeEngine`;
+``MicroBatchScheduler`` is the classic one-model front door over a private
+engine, with every engine knob (``policy``, ``engine_workers``,
+``queue_limit``, ``deadline``) exposed as an optional argument.  Existing
+callers keep the exact pre-engine behavior (one worker, greedy policy,
+unbounded queue).
 
 ``BatchedSamplingModel`` is the client half: a drop-in stand-in for the
 fitted model whose ``sample`` rides the shared scheduler while every other
@@ -17,46 +25,30 @@ the real model, so modification/extension code paths work unchanged.
 
 from __future__ import annotations
 
-import inspect
-import queue
-import threading
-import time
-from concurrent.futures import Future
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.diffusion.model import ConditionalDiffusionModel, SamplerSteps
-from repro.serve.stats import BatchRecord, SchedulerStats
+from repro.serve.engine import (
+    BatchPolicy,
+    EngineJob,
+    ServeEngine,
+    model_supports_sampler_steps,
+)
+from repro.serve.stats import BatchRecord, EngineStats, SchedulerStats
 
-_SENTINEL = object()
-
-
-@dataclass
-class SampleJob:
-    """One request's sampling need, queued for batching."""
-
-    count: int
-    condition: Optional[int]
-    shape: Tuple[int, int]
-    seed: int
-    #: reverse-step schedule override; ``None`` defers to the scheduler's
-    #: configured default (jobs with different specs never share a batch —
-    #: a batch is one trajectory)
-    sampler_steps: SamplerSteps = None
-    submitted_at: float = field(default_factory=time.perf_counter)
-    future: "Future[np.ndarray]" = field(default_factory=Future)
-    queue_wait: float = 0.0
-    batch_samples: int = 0  # total samples of the batch this job rode in
-
-    def result(self, timeout: Optional[float] = None) -> np.ndarray:
-        """Block until the scheduler delivers this job's samples."""
-        return self.future.result(timeout=timeout)
+#: The scheduler's job type IS the engine's — one queue vocabulary.
+SampleJob = EngineJob
 
 
 class MicroBatchScheduler:
     """Gathers sampling jobs into batched denoise trajectories.
+
+    A single-model facade over a private :class:`ServeEngine`: the classic
+    constructor keeps its exact pre-engine semantics (one worker thread,
+    greedy gather-window batching, unbounded queue), while the engine
+    layers are a keyword away.
 
     Args:
         model: fitted diffusion back-end (must expose ``sample_batch``).
@@ -67,6 +59,14 @@ class MicroBatchScheduler:
         sampler_steps: default reverse-step schedule for batched
             trajectories (``"full"`` | ``"bucketed"`` | int; ``None`` keeps
             the model's own default).  Individual jobs may override it.
+        policy: batching policy name or :class:`BatchPolicy` instance
+            (``"greedy"`` | ``"shape_bucketed"`` | ``"fair_share"``).
+        engine_workers: executor threads draining batches in parallel.
+        queue_limit: bound on queued jobs; beyond it ``submit`` raises
+            :class:`~repro.serve.engine.QueueFullError` (``None`` =
+            unbounded).
+        deadline: default per-job deadline in seconds; expired queued jobs
+            fail with :class:`~repro.serve.engine.DeadlineExpiredError`.
 
     Note on reproducibility: a batch's random stream is derived from the
     seeds of the jobs riding it, so results are reproducible for a fixed
@@ -80,77 +80,57 @@ class MicroBatchScheduler:
         gather_window: float = 0.02,
         max_batch: int = 64,
         sampler_steps: SamplerSteps = None,
+        policy: Union[str, BatchPolicy] = "greedy",
+        engine_workers: int = 1,
+        queue_limit: Optional[int] = None,
+        deadline: Optional[float] = None,
     ):
-        if gather_window < 0:
-            raise ValueError("gather_window must be >= 0")
-        if max_batch < 1:
-            raise ValueError("max_batch must be >= 1")
+        self._engine = ServeEngine(
+            policy=policy,
+            engine_workers=engine_workers,
+            queue_limit=queue_limit,
+            gather_window=gather_window,
+            max_batch=max_batch,
+            deadline=deadline,
+        )
+        self._client = self._engine.bind(
+            model, sampler_steps=sampler_steps, label="scheduler"
+        )
         self.model = model
-        self.gather_window = float(gather_window)
-        self.max_batch = int(max_batch)
-        self.sampler_steps = sampler_steps
-        # Pre-PR model stand-ins expose sample_batch(conditions, rng, shape)
-        # without the step-schedule knob; detect that once so they keep
-        # working as drop-in backends (they then sample their own way).
-        try:
-            parameters = inspect.signature(model.sample_batch).parameters
-            self._model_takes_steps = "sampler_steps" in parameters or any(
-                p.kind is inspect.Parameter.VAR_KEYWORD
-                for p in parameters.values()
-            )
-        except (TypeError, ValueError):
-            self._model_takes_steps = True
-        self._queue: "queue.Queue" = queue.Queue()
-        self._records: List[BatchRecord] = []
-        self._records_lock = threading.Lock()
-        self._stop = threading.Event()
-        self._thread: Optional[threading.Thread] = None
-        # Serializes start/stop/submit so a submit cannot slip a job into
-        # the queue between a stop()'s drain and its stopped-flag flip (the
-        # job would hang forever), and a stop()'s final sweep cannot steal
-        # jobs submitted to a concurrently restarted scheduler.  The worker
-        # thread never takes this lock, so stop()'s join cannot deadlock.
-        self._lifecycle_lock = threading.Lock()
+
+    # -- knobs (mirrored onto the engine) ------------------------------
+
+    @property
+    def gather_window(self) -> float:
+        return self._engine.gather_window
+
+    @property
+    def max_batch(self) -> int:
+        return self._engine.max_batch
+
+    @property
+    def sampler_steps(self) -> SamplerSteps:
+        return self._client.sampler_steps
+
+    @property
+    def engine(self) -> ServeEngine:
+        """The underlying engine (policy, pool and admission layers)."""
+        return self._engine
 
     # -- lifecycle -----------------------------------------------------
 
     @property
     def running(self) -> bool:
-        return self._thread is not None and self._thread.is_alive()
+        return self._engine.running
 
     def start(self) -> "MicroBatchScheduler":
-        with self._lifecycle_lock:
-            if self.running:
-                return self
-            self._stop.clear()
-            self._thread = threading.Thread(
-                target=self._run, name="repro-serve-scheduler", daemon=True
-            )
-            self._thread.start()
-            return self
+        self._engine.start()
+        return self
 
     def stop(self, timeout: float = 10.0) -> None:
-        """Drain queued jobs, then stop the worker thread.
-
-        If the drain exceeds ``timeout`` the worker is hard-stopped (it
-        finishes the in-flight batch and fails the rest).  The thread
-        handle is only released once the worker is actually dead, so
-        ``running`` never lies and a restart cannot race a live worker.
-        """
-        with self._lifecycle_lock:
-            if not self.running:
-                return
-            self._queue.put(_SENTINEL)
-            self._thread.join(timeout=timeout)
-            if self._thread.is_alive():
-                self._stop.set()
-                self._thread.join(timeout=timeout)
-            if self._thread is not None and not self._thread.is_alive():
-                self._stop.set()
-                self._thread = None
-                # Hard-stop case: the worker died mid-queue, so sweep what
-                # it never drained rather than strand those callers.
-                self._fail_pending()
+        """Drain queued jobs, then stop the executor pool (see
+        :meth:`ServeEngine.stop`)."""
+        self._engine.stop(timeout=timeout)
 
     def __enter__(self) -> "MicroBatchScheduler":
         return self.start()
@@ -167,140 +147,38 @@ class MicroBatchScheduler:
         shape: Optional[Tuple[int, int]] = None,
         seed: int = 0,
         sampler_steps: SamplerSteps = None,
+        source: Optional[str] = None,
+        deadline: Optional[float] = None,
     ) -> SampleJob:
         """Queue a sampling job; returns immediately with its handle.
 
         Jobs may be submitted before :meth:`start` — they sit in the queue
-        and form the first batch when the worker comes up.  Submitting to a
+        and form the first batch when the pool comes up.  Submitting to a
         *stopped* scheduler raises instead: no worker will ever drain the
         queue again, so the job's ``result()`` would hang forever.
         """
-        if count < 1:
-            raise ValueError("count must be >= 1")
-        job = SampleJob(
-            count=int(count),
-            condition=condition,
-            shape=tuple(shape) if shape else (self.model.window,) * 2,
-            seed=int(seed),
+        return self._client.submit(
+            count,
+            condition,
+            shape=shape,
+            seed=seed,
             sampler_steps=sampler_steps,
+            source=source,
+            deadline=deadline,
         )
-        with self._lifecycle_lock:
-            if self._stop.is_set() and not self.running:
-                raise RuntimeError(
-                    "scheduler is stopped; call start() before submitting"
-                )
-            self._queue.put(job)
-        return job
-
-    def _fail_pending(self) -> None:
-        """Fail every job still queued so no caller hangs on ``result()``."""
-        while True:
-            try:
-                leftover = self._queue.get_nowait()
-            except queue.Empty:
-                return
-            if leftover is not _SENTINEL and not leftover.future.done():
-                try:
-                    leftover.future.set_exception(
-                        RuntimeError("scheduler stopped before job ran")
-                    )
-                except Exception:  # already resolved by a concurrent sweep
-                    pass
-
-    # -- worker --------------------------------------------------------
-
-    def _run(self) -> None:
-        while not self._stop.is_set():
-            try:
-                first = self._queue.get(timeout=0.05)
-            except queue.Empty:
-                continue
-            if first is _SENTINEL:
-                break
-            jobs = [first]
-            total = first.count
-            deadline = time.perf_counter() + self.gather_window
-            stopping = False
-            while total < self.max_batch:
-                remaining = deadline - time.perf_counter()
-                try:
-                    if remaining > 0:
-                        nxt = self._queue.get(timeout=remaining)
-                    else:
-                        nxt = self._queue.get_nowait()
-                except queue.Empty:
-                    break
-                if nxt is _SENTINEL:
-                    stopping = True
-                    break
-                jobs.append(nxt)
-                total += nxt.count
-            self._execute(jobs)
-            if stopping:
-                break
-        # Fail any jobs still queued after shutdown rather than hang callers.
-        self._fail_pending()
-
-    def _execute(self, jobs: Sequence[SampleJob]) -> None:
-        now = time.perf_counter()
-        for job in jobs:
-            job.queue_wait = now - job.submitted_at
-        # A batch is ONE trajectory, so jobs only coalesce when they agree
-        # on both the topology shape and the reverse-step schedule.
-        by_key: dict = {}
-        for job in jobs:
-            steps = (
-                job.sampler_steps
-                if job.sampler_steps is not None
-                else self.sampler_steps
-            )
-            by_key.setdefault((job.shape, steps), []).append(job)
-        for (shape, steps), group in by_key.items():
-            conditions: List[Optional[int]] = []
-            for job in group:
-                conditions.extend([job.condition] * job.count)
-            rng = np.random.default_rng(
-                np.random.SeedSequence([job.seed % (2**32) for job in group])
-            )
-            started = time.perf_counter()
-            kwargs = (
-                {"sampler_steps": steps}
-                if steps is not None and self._model_takes_steps
-                else {}
-            )
-            try:
-                samples = self.model.sample_batch(
-                    conditions, rng, shape=shape, **kwargs
-                )
-            except Exception as exc:  # propagate to every waiting caller
-                for job in group:
-                    job.future.set_exception(exc)
-                continue
-            wall = time.perf_counter() - started
-            with self._records_lock:
-                self._records.append(
-                    BatchRecord(
-                        jobs=len(group),
-                        samples=len(conditions),
-                        shape=shape,
-                        wall_seconds=wall,
-                    )
-                )
-            offset = 0
-            for job in group:
-                job.batch_samples = len(conditions)
-                job.future.set_result(samples[offset : offset + job.count])
-                offset += job.count
 
     # -- observability -------------------------------------------------
 
     @property
     def batch_records(self) -> List[BatchRecord]:
-        with self._records_lock:
-            return list(self._records)
+        return self._engine.batch_records
 
     def stats(self) -> SchedulerStats:
         return SchedulerStats.from_records(self.batch_records)
+
+    def engine_stats(self) -> EngineStats:
+        """The full engine view: scheduling plus admission counters."""
+        return self._engine.stats()
 
 
 class BatchedSamplingModel:
@@ -313,12 +191,21 @@ class BatchedSamplingModel:
     full-trajectory sampling — is intercepted and coalesced across requests.
 
     One client is created per request so its counters double as the
-    request's sampling statistics.
+    request's sampling statistics.  ``source`` tags this client's jobs for
+    the fair-share policy (e.g. one tag per tenant), and ``deadline``
+    bounds how long its jobs may sit queued.
     """
 
-    def __init__(self, scheduler: MicroBatchScheduler):
+    def __init__(
+        self,
+        scheduler,
+        source: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ):
         self._scheduler = scheduler
         self._model = scheduler.model
+        self._source = source
+        self._deadline = deadline
         self.queue_wait_seconds = 0.0
         self.sample_jobs = 0
         self.samples = 0
@@ -344,6 +231,8 @@ class BatchedSamplingModel:
             # with a fixed base seed submits a reproducible seed sequence.
             seed=int(rng.integers(0, 2**31 - 1)),
             sampler_steps=sampler_steps,
+            source=self._source,
+            deadline=self._deadline,
         )
         result = job.result()
         self.queue_wait_seconds += job.queue_wait
@@ -351,3 +240,11 @@ class BatchedSamplingModel:
         self.samples += int(count)
         self.batch_sizes.append(job.batch_samples)
         return result
+
+
+__all__ = [
+    "BatchedSamplingModel",
+    "MicroBatchScheduler",
+    "SampleJob",
+    "model_supports_sampler_steps",
+]

@@ -1,0 +1,812 @@
+"""The layered serving engine: admission -> policy -> executors -> routing.
+
+``ServeEngine`` decomposes what used to be one scheduler thread into four
+explicit layers, each independently configurable:
+
+1. **Admission** — a bounded request queue.  ``queue_limit`` caps the
+   number of queued jobs; when full, :meth:`ServeEngine.submit` fast-fails
+   with :class:`QueueFullError` instead of growing without bound.  Jobs may
+   carry a deadline; a job still queued past its deadline fails with
+   :class:`DeadlineExpiredError` rather than occupying a trajectory a
+   caller has already given up on.
+2. **Batching policy** — a pluggable :class:`BatchPolicy` decides which
+   queued jobs form the next batch: ``greedy`` reproduces the classic
+   gather-window FIFO behavior, ``shape_bucketed`` groups compatible jobs
+   across the whole queue so one trajectory carries as many samples as
+   possible, ``fair_share`` round-robins across request *sources* so a
+   bulk client cannot starve interactive ones.
+3. **Executor pool** — ``engine_workers`` worker threads each drain
+   batches in parallel; incompatible batches (different shapes, step
+   schedules or models) no longer serialize behind each other.  ``stop``
+   drains gracefully, preserving the scheduler lifecycle guarantees
+   (submit-after-stop raises, restart works, nothing ever hangs).
+4. **Routing** — the engine serves many models at once: :meth:`bind`
+   resolves a :class:`~repro.serve.registry.ModelKey` through a
+   :class:`~repro.serve.registry.ModelRegistry` (or accepts a pre-fitted
+   model) and returns an :class:`EngineClient` whose jobs are tagged with
+   their back-end.  A batch is always one trajectory of one model, but
+   different models' batches execute concurrently on the pool.
+
+:class:`~repro.serve.batching.MicroBatchScheduler` is now a thin
+single-model facade over a private engine, so every existing caller gets
+the new layers without an API change.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import weakref
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.api.config import SERVE_POLICIES
+from repro.diffusion.model import SamplerSteps
+from repro.serve.stats import BatchRecord, EngineStats, SchedulerStats
+
+
+class EngineError(RuntimeError):
+    """Base class of the engine's typed failure modes."""
+
+
+class QueueFullError(EngineError):
+    """Admission rejected a job: the bounded queue is at ``queue_limit``.
+
+    The backpressure signal of the serving engine — callers should shed
+    load or retry later instead of queueing unboundedly.
+    """
+
+
+class DeadlineExpiredError(EngineError):
+    """A job's deadline passed while it was still queued."""
+
+
+def model_supports_sampler_steps(model) -> bool:
+    """Explicit backend-protocol check for the step-schedule capability.
+
+    A sampling back-end that understands the ``sampler_steps`` kwarg of
+    ``sample_batch`` declares it with a truthy ``supports_sampler_steps``
+    attribute (:class:`~repro.diffusion.model.ConditionalDiffusionModel`
+    sets it as a class attribute).  Legacy stand-ins that lack the
+    attribute are never passed the kwarg — they sample their own way.
+    """
+    return bool(getattr(model, "supports_sampler_steps", False))
+
+
+# ---------------------------------------------------------------------------
+# Jobs
+
+
+class EngineJob:
+    """One sampling job inside the engine (the unit the policies see).
+
+    ``repro.serve.batching.SampleJob`` aliases this class, so the public
+    scheduler surface is unchanged; the engine adds the routing/admission
+    fields (``model``, ``source``, ``deadline``).
+    """
+
+    __slots__ = (
+        "count",
+        "condition",
+        "shape",
+        "seed",
+        "sampler_steps",
+        "source",
+        "deadline",
+        "model",
+        "model_label",
+        "submitted_at",
+        "future",
+        "queue_wait",
+        "batch_samples",
+    )
+
+    def __init__(
+        self,
+        count: int,
+        condition: Optional[int],
+        shape: Tuple[int, int],
+        seed: int = 0,
+        sampler_steps: SamplerSteps = None,
+        source: str = "default",
+        deadline: Optional[float] = None,
+        model=None,
+        model_label: str = "model",
+    ):
+        self.count = int(count)
+        self.condition = condition
+        self.shape = tuple(shape)
+        self.seed = int(seed)
+        self.sampler_steps = sampler_steps
+        self.source = source
+        #: absolute ``time.perf_counter`` instant after which the job is
+        #: dead on arrival at a worker (``None`` = no deadline)
+        self.deadline = deadline
+        self.model = model
+        self.model_label = model_label
+        self.submitted_at = time.perf_counter()
+        self.future: "Future[np.ndarray]" = Future()
+        self.queue_wait = 0.0
+        self.batch_samples = 0  # total samples of the batch this job rode in
+
+    @property
+    def batch_key(self) -> Tuple:
+        """Trajectory compatibility: jobs coalesce only within one key."""
+        return (id(self.model), self.shape, self.sampler_steps)
+
+    def result(self, timeout: Optional[float] = None) -> np.ndarray:
+        """Block until a worker delivers this job's samples."""
+        return self.future.result(timeout=timeout)
+
+
+# ---------------------------------------------------------------------------
+# Batching policies
+
+
+class BatchPolicy:
+    """Strategy deciding which queued jobs form the next batch.
+
+    ``select`` is called under the admission queue's lock with the queued
+    jobs in arrival order; it must return a non-empty subset (when given a
+    non-empty queue), which the engine removes and executes.  A selection
+    may mix trajectory keys — the executor splits it into one trajectory
+    per key and re-sorts each trajectory's jobs into arrival order, so a
+    request's samples are reproducible for a fixed batch composition
+    regardless of the order a policy picked the jobs in.
+
+    Policies may keep state (e.g. fair-share rotation); the engine only
+    calls ``select`` under the queue lock, so no extra locking is needed.
+    Selection should stay O(jobs): it runs with admission blocked.
+    """
+
+    name = "base"
+
+    def select(
+        self, jobs: Sequence[EngineJob], max_batch: int
+    ) -> List[EngineJob]:
+        raise NotImplementedError
+
+
+class GreedyPolicy(BatchPolicy):
+    """Classic gather-window behavior: FIFO prefix up to ``max_batch``.
+
+    Exactly the pre-engine scheduler: take jobs in arrival order until the
+    sample budget is reached (the last job may overshoot it, as before).
+    """
+
+    name = "greedy"
+
+    def select(self, jobs, max_batch):
+        picked: List[EngineJob] = []
+        total = 0
+        for job in jobs:
+            picked.append(job)
+            total += job.count
+            if total >= max_batch:
+                break
+        return picked
+
+
+class ShapeBucketedPolicy(BatchPolicy):
+    """Group compatible jobs across the *whole* queue, not a FIFO window.
+
+    All queued jobs are bucketed by trajectory key (model, shape, step
+    schedule) and the bucket with the most samples wins (ties: the bucket
+    whose first job arrived earliest).  Interleaved mixed-shape traffic
+    that greedy would fragment into tiny per-shape trajectories coalesces
+    into full batches — and with multiple workers, the next-biggest bucket
+    executes concurrently instead of waiting its turn.
+
+    Anti-starvation aging: a minority-shape job on a busy queue would
+    otherwise never belong to the biggest bucket.  Once the oldest queued
+    job has waited longer than ``max_wait`` seconds, its bucket is
+    selected regardless of size, so every bucket makes progress even on a
+    single-worker engine under sustained majority-shape load.
+    """
+
+    name = "shape_bucketed"
+
+    def __init__(self, max_wait: float = 0.25) -> None:
+        self.max_wait = float(max_wait)
+
+    def select(self, jobs, max_batch):
+        buckets: "OrderedDict[Tuple, List[EngineJob]]" = OrderedDict()
+        for job in jobs:
+            buckets.setdefault(job.batch_key, []).append(job)
+        oldest = min(jobs, key=lambda job: job.submitted_at)
+        if time.perf_counter() - oldest.submitted_at > self.max_wait:
+            best = buckets[oldest.batch_key]
+        else:
+            # Insertion order IS first-arrival order, so the enumeration
+            # position breaks ties without rescanning the queue.
+            best = min(
+                buckets.values(),
+                key=lambda group: -sum(job.count for job in group),
+            )
+        picked: List[EngineJob] = []
+        total = 0
+        for job in best:
+            picked.append(job)
+            total += job.count
+            if total >= max_batch:
+                break
+        return picked
+
+
+class FairSharePolicy(BatchPolicy):
+    """Round-robin across request sources so no client starves another.
+
+    Jobs are grouped by their ``source`` tag; sources are visited in
+    least-served-first order (by cumulative samples served) and the batch
+    is filled one job per source per round.  A bulk client with a hundred
+    queued jobs therefore shares every batch with the interactive client
+    that submitted one — instead of monopolizing the pool until its
+    backlog drains.
+    """
+
+    name = "fair_share"
+
+    def __init__(self) -> None:
+        self._served: Dict[str, int] = {}
+
+    def select(self, jobs, max_batch):
+        by_source: "OrderedDict[str, deque]" = OrderedDict()
+        for job in jobs:
+            by_source.setdefault(job.source, deque()).append(job)
+        # Least-served sources pick first; insertion (arrival) order breaks
+        # ties so the rotation is deterministic.
+        arrival = {source: i for i, source in enumerate(by_source)}
+        ordered = sorted(
+            by_source,
+            key=lambda source: (self._served.get(source, 0), arrival[source]),
+        )
+        picked: List[EngineJob] = []
+        total = 0
+        while total < max_batch:
+            progressed = False
+            for source in ordered:
+                queue = by_source[source]
+                if not queue:
+                    continue
+                job = queue.popleft()
+                picked.append(job)
+                total += job.count
+                progressed = True
+                if total >= max_batch:
+                    break
+            if not progressed:
+                break
+        for job in picked:
+            self._served[job.source] = (
+                self._served.get(job.source, 0) + job.count
+            )
+        return picked
+
+
+_POLICY_CLASSES: Dict[str, Callable[[], BatchPolicy]] = {
+    GreedyPolicy.name: GreedyPolicy,
+    ShapeBucketedPolicy.name: ShapeBucketedPolicy,
+    FairSharePolicy.name: FairSharePolicy,
+}
+assert set(_POLICY_CLASSES) == set(SERVE_POLICIES)
+
+
+def resolve_batch_policy(policy: Union[str, BatchPolicy]) -> BatchPolicy:
+    """Accept a policy instance or one of the registered policy names."""
+    if isinstance(policy, BatchPolicy):
+        return policy
+    try:
+        return _POLICY_CLASSES[policy]()
+    except KeyError:
+        raise ValueError(
+            f"unknown batch policy {policy!r}; known: {sorted(_POLICY_CLASSES)}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# The engine
+
+
+class ServeEngine:
+    """Multi-worker, policy-driven, multi-model sampling engine.
+
+    Args:
+        registry: :class:`~repro.serve.registry.ModelRegistry` used by
+            :meth:`bind` to resolve :class:`ModelKey` recipes.  Optional —
+            an engine fed only pre-fitted models never needs one.
+        policy: batching policy name (``"greedy"`` | ``"shape_bucketed"``
+            | ``"fair_share"``) or a :class:`BatchPolicy` instance.
+        engine_workers: executor threads draining batches in parallel.
+        queue_limit: max queued jobs before :meth:`submit` fast-fails with
+            :class:`QueueFullError` (``None`` = unbounded, the legacy
+            behavior).
+        gather_window: seconds a worker keeps collecting after it sees the
+            first queued job, giving concurrent submitters a chance to
+            coalesce.  Skipped while draining or once a full batch is
+            queued.
+        max_batch: sample budget per selected batch.
+        deadline: default per-job deadline in seconds from submission
+            (``None`` = jobs never expire).  Per-job deadlines override it.
+    """
+
+    def __init__(
+        self,
+        registry=None,
+        policy: Union[str, BatchPolicy] = "greedy",
+        engine_workers: int = 1,
+        queue_limit: Optional[int] = None,
+        gather_window: float = 0.02,
+        max_batch: int = 64,
+        deadline: Optional[float] = None,
+    ):
+        if gather_window < 0:
+            raise ValueError("gather_window must be >= 0")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if engine_workers < 1:
+            raise ValueError("engine_workers must be >= 1")
+        if queue_limit is not None and queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1 (or None)")
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be > 0 seconds (or None)")
+        self.registry = registry
+        self.policy = resolve_batch_policy(policy)
+        self.engine_workers = int(engine_workers)
+        self.queue_limit = queue_limit
+        self.gather_window = float(gather_window)
+        self.max_batch = int(max_batch)
+        self.deadline = deadline
+
+        # -- admission queue (layer 1) --------------------------------
+        self._jobs: List[EngineJob] = []
+        self._lock = threading.Lock()
+        self._has_work = threading.Condition(self._lock)
+
+        # -- executor pool (layer 3) ----------------------------------
+        self._threads: List[threading.Thread] = []
+        self._draining = threading.Event()  # graceful: finish the queue
+        self._halt = threading.Event()  # hard: finish in-flight, fail rest
+        self._stopped = False  # a stopped engine refuses new jobs
+        # Serializes start/stop/submit: a submit cannot slip a job between
+        # a stop()'s drain and its stopped-flag flip, and a stop()'s sweep
+        # cannot steal jobs from a concurrently restarted engine.  Workers
+        # never take this lock, so joins cannot deadlock.
+        self._lifecycle_lock = threading.Lock()
+
+        # -- routing (layer 4) ----------------------------------------
+        # Weak values: a binding must not pin its model in memory for the
+        # engine's lifetime — long-lived multi-tenant engines rely on the
+        # registry's LRU to bound resident fitted models, and dropping the
+        # last client reference releases the model as before the engine.
+        self._bindings: "weakref.WeakValueDictionary[int, EngineClient]" = (
+            weakref.WeakValueDictionary()
+        )
+        self._bind_count = 0
+        self._bind_lock = threading.Lock()
+
+        # -- observability --------------------------------------------
+        self._records: List[BatchRecord] = []
+        self._records_lock = threading.Lock()
+        self._submitted = 0
+        self._rejected = 0
+        self._expired = 0
+
+    # -- routing -------------------------------------------------------
+
+    def bind(
+        self,
+        model_or_key,
+        sampler_steps: SamplerSteps = None,
+        source: str = "default",
+        label: Optional[str] = None,
+    ) -> "EngineClient":
+        """Resolve a back-end and return its submission handle.
+
+        ``model_or_key`` is either a pre-fitted model object or a
+        :class:`~repro.serve.registry.ModelKey` /
+        :class:`~repro.api.config.TrainConfig` recipe resolved through the
+        engine's registry (fitting on first use).  Binding the same model
+        object twice shares one routing token, so jobs from different
+        clients of one model still coalesce.
+        """
+        from repro.api.config import TrainConfig
+
+        if isinstance(model_or_key, TrainConfig):
+            if self.registry is None:
+                raise ValueError(
+                    "binding a ModelKey requires an engine registry"
+                )
+            from repro.serve.registry import ModelKey
+
+            key = ModelKey.from_config(model_or_key)
+            model = self.registry.get_or_fit(key)
+            label = label or f"model-{key.recipe_hash()[:8]}"
+        else:
+            model = model_or_key
+        token = id(model)
+        with self._bind_lock:
+            existing = self._bindings.get(token)
+            if label is None:
+                label = (
+                    existing.label
+                    if existing is not None
+                    else f"model-{self._bind_count}"
+                )
+            self._bind_count += 1
+            client = EngineClient(
+                self, model, label, sampler_steps=sampler_steps, source=source
+            )
+            self._bindings[token] = client
+        return client
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return any(thread.is_alive() for thread in self._threads)
+
+    def start(self) -> "ServeEngine":
+        with self._lifecycle_lock:
+            if self.running:
+                return self
+            self._draining.clear()
+            self._halt.clear()
+            self._stopped = False
+            self._threads = [
+                threading.Thread(
+                    target=self._worker_loop,
+                    args=(index,),
+                    name=f"repro-serve-engine-{index}",
+                    daemon=True,
+                )
+                for index in range(self.engine_workers)
+            ]
+            for thread in self._threads:
+                thread.start()
+            return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Drain queued jobs, then stop the worker pool.
+
+        Graceful first: workers keep executing until the queue is empty
+        (skipping gather windows), then exit.  If the drain exceeds
+        ``timeout`` the pool is halted — workers finish their in-flight
+        batch and every job still queued fails rather than hang its
+        caller.  ``running`` only flips once every worker is actually
+        dead, so a restart can never race a live pool.
+        """
+        with self._lifecycle_lock:
+            if not self.running:
+                return
+            self._draining.set()
+            with self._has_work:
+                self._has_work.notify_all()
+            deadline = time.perf_counter() + timeout
+            for thread in self._threads:
+                thread.join(timeout=max(0.0, deadline - time.perf_counter()))
+            if any(thread.is_alive() for thread in self._threads):
+                self._halt.set()
+                with self._has_work:
+                    self._has_work.notify_all()
+                for thread in self._threads:
+                    thread.join(timeout=timeout)
+            if not any(thread.is_alive() for thread in self._threads):
+                self._threads = []
+                self._stopped = True
+                # Hard-halt case: sweep whatever the pool never drained.
+                self._fail_pending("engine stopped before job ran")
+
+    def __enter__(self) -> "ServeEngine":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- admission (layer 1) -------------------------------------------
+
+    def submit_job(self, job: EngineJob) -> EngineJob:
+        """Admit a fully-formed job into the queue (or fast-fail)."""
+        if job.count < 1:
+            raise ValueError("count must be >= 1")
+        if job.model is None:
+            raise ValueError("job must carry a model (use EngineClient)")
+        if job.deadline is None and self.deadline is not None:
+            job.deadline = job.submitted_at + self.deadline
+        with self._lifecycle_lock:
+            if self._stopped and not self.running:
+                raise RuntimeError(
+                    "engine is stopped; call start() before submitting"
+                )
+            with self._has_work:
+                if (
+                    self.queue_limit is not None
+                    and len(self._jobs) >= self.queue_limit
+                ):
+                    self._rejected += 1
+                    raise QueueFullError(
+                        f"admission queue is full ({len(self._jobs)} queued, "
+                        f"queue_limit={self.queue_limit}); retry later"
+                    )
+                self._jobs.append(job)
+                self._submitted += 1
+                self._has_work.notify()
+        return job
+
+    def _fail_pending(self, message: str) -> None:
+        """Fail every queued job so no caller hangs on ``result()``."""
+        with self._has_work:
+            leftovers, self._jobs = self._jobs, []
+        for job in leftovers:
+            if not job.future.done():
+                try:
+                    job.future.set_exception(RuntimeError(message))
+                except Exception:  # already resolved by a concurrent sweep
+                    pass
+
+    def _expire_locked(self, now: float) -> List[EngineJob]:
+        """Partition out deadline-expired jobs (queue lock held)."""
+        if not any(job.deadline is not None for job in self._jobs):
+            return []
+        expired = [
+            job
+            for job in self._jobs
+            if job.deadline is not None and now > job.deadline
+        ]
+        if expired:
+            self._jobs = [job for job in self._jobs if job not in expired]
+            self._expired += len(expired)
+        return expired
+
+    @staticmethod
+    def _fail_expired(expired: Sequence[EngineJob]) -> None:
+        for job in expired:
+            if not job.future.done():
+                try:
+                    job.future.set_exception(
+                        DeadlineExpiredError(
+                            f"job deadline expired after "
+                            f"{time.perf_counter() - job.submitted_at:.3f}s "
+                            "in queue"
+                        )
+                    )
+                except Exception:
+                    pass
+
+    # -- executor pool (layer 3) ---------------------------------------
+
+    def _worker_loop(self, index: int) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                break
+            self._execute(batch, worker=index)
+        if self._halt.is_set():
+            self._fail_pending("engine stopped before job ran")
+
+    def _queued_samples_locked(self) -> int:
+        return sum(job.count for job in self._jobs)
+
+    def _next_batch(self) -> Optional[List[EngineJob]]:
+        """Block for work, honor the gather window, apply the policy.
+
+        Returns ``None`` when the worker should exit: the pool is halting,
+        or it is draining and the queue is empty.  Multiple workers may
+        gather concurrently — selection runs under the queue lock, so each
+        job lands in exactly one batch.
+        """
+        while True:
+            expired: List[EngineJob] = []
+            selected: Optional[List[EngineJob]] = None
+            with self._has_work:
+                while not self._jobs:
+                    if self._halt.is_set() or self._draining.is_set():
+                        return None
+                    self._has_work.wait(timeout=0.05)
+                expired.extend(self._expire_locked(time.perf_counter()))
+                if self._jobs:
+                    if (
+                        self.gather_window > 0
+                        and not self._draining.is_set()
+                        and not self._halt.is_set()
+                        and self._queued_samples_locked() < self.max_batch
+                    ):
+                        gather_until = time.perf_counter() + self.gather_window
+                        while (
+                            self._queued_samples_locked() < self.max_batch
+                            and not self._draining.is_set()
+                            and not self._halt.is_set()
+                        ):
+                            remaining = gather_until - time.perf_counter()
+                            if remaining <= 0:
+                                break
+                            self._has_work.wait(timeout=remaining)
+                        expired.extend(
+                            self._expire_locked(time.perf_counter())
+                        )
+                    if self._jobs:
+                        selected = self.policy.select(
+                            list(self._jobs), self.max_batch
+                        )
+                        if selected:
+                            chosen = set(id(job) for job in selected)
+                            self._jobs = [
+                                job
+                                for job in self._jobs
+                                if id(job) not in chosen
+                            ]
+            # Futures resolve outside the queue lock: a caller woken by
+            # set_exception must never contend with admission.
+            self._fail_expired(expired)
+            if selected:
+                return selected
+            # Everything expired or another worker selected first — loop.
+
+    # -- execution (one trajectory per compatible group) ----------------
+
+    def _execute(self, jobs: Sequence[EngineJob], worker: int = 0) -> None:
+        now = time.perf_counter()
+        for job in jobs:
+            job.queue_wait = now - job.submitted_at
+        groups: "OrderedDict[Tuple, List[EngineJob]]" = OrderedDict()
+        for job in jobs:
+            groups.setdefault(job.batch_key, []).append(job)
+        for (_, shape, steps), group in groups.items():
+            # A trajectory's riders always line up in arrival order, so the
+            # stacked conditions and the derived seed sequence — and hence
+            # each job's samples — do not depend on the order the policy
+            # happened to pick the jobs in (fair-share interleaves sources).
+            group.sort(key=lambda job: job.submitted_at)
+            model = group[0].model
+            conditions: List[Optional[int]] = []
+            for job in group:
+                conditions.extend([job.condition] * job.count)
+            rng = np.random.default_rng(
+                np.random.SeedSequence([job.seed % (2**32) for job in group])
+            )
+            kwargs = (
+                {"sampler_steps": steps}
+                if steps is not None and model_supports_sampler_steps(model)
+                else {}
+            )
+            started = time.perf_counter()
+            try:
+                samples = model.sample_batch(
+                    conditions, rng, shape=shape, **kwargs
+                )
+            except Exception as exc:  # propagate to every waiting caller
+                for job in group:
+                    if not job.future.done():
+                        job.future.set_exception(exc)
+                continue
+            wall = time.perf_counter() - started
+            with self._records_lock:
+                self._records.append(
+                    BatchRecord(
+                        jobs=len(group),
+                        samples=len(conditions),
+                        shape=shape,
+                        wall_seconds=wall,
+                        model=group[0].model_label,
+                        worker=worker,
+                        policy=self.policy.name,
+                    )
+                )
+            offset = 0
+            for job in group:
+                job.batch_samples = len(conditions)
+                job.future.set_result(samples[offset : offset + job.count])
+                offset += job.count
+
+    # -- observability -------------------------------------------------
+
+    @property
+    def batch_records(self) -> List[BatchRecord]:
+        with self._records_lock:
+            return list(self._records)
+
+    def records_for(self, label: str) -> List[BatchRecord]:
+        """Batch records of one bound model (routing-aware stats)."""
+        return [r for r in self.batch_records if r.model == label]
+
+    def stats(self) -> EngineStats:
+        with self._has_work:
+            queued = len(self._jobs)
+            submitted = self._submitted
+            rejected = self._rejected
+            expired = self._expired
+        return EngineStats(
+            scheduler=SchedulerStats.from_records(self.batch_records),
+            policy=self.policy.name,
+            engine_workers=self.engine_workers,
+            queue_limit=self.queue_limit,
+            queued=queued,
+            submitted=submitted,
+            rejected=rejected,
+            expired=expired,
+            models=len(self._bindings),
+        )
+
+
+class EngineClient:
+    """A model-bound submission handle: the routing layer's front door.
+
+    Owns no threads — it tags jobs with its resolved back-end (and default
+    step schedule / source) and forwards them to the shared engine.  Its
+    surface mirrors the classic ``MicroBatchScheduler`` (``submit`` /
+    ``stats`` / ``running`` / ``model``), so
+    :class:`~repro.serve.batching.BatchedSamplingModel` and
+    :class:`~repro.serve.service.PatternService` ride either transparently.
+    """
+
+    def __init__(
+        self,
+        engine: ServeEngine,
+        model,
+        label: str,
+        sampler_steps: SamplerSteps = None,
+        source: str = "default",
+    ):
+        self.engine = engine
+        self.model = model
+        self.label = label
+        self.sampler_steps = sampler_steps
+        self.source = source
+
+    @property
+    def running(self) -> bool:
+        return self.engine.running
+
+    def start(self) -> "EngineClient":
+        self.engine.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self.engine.stop(timeout=timeout)
+
+    def submit(
+        self,
+        count: int,
+        condition: Optional[int],
+        shape: Optional[Tuple[int, int]] = None,
+        seed: int = 0,
+        sampler_steps: SamplerSteps = None,
+        source: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> EngineJob:
+        """Queue a sampling job for this client's model; returns its handle.
+
+        ``deadline`` is relative seconds from now; jobs still queued past
+        it fail with :class:`DeadlineExpiredError`.  A full admission
+        queue raises :class:`QueueFullError` immediately.
+        """
+        job = EngineJob(
+            count=count,
+            condition=condition,
+            shape=tuple(shape) if shape else (self.model.window,) * 2,
+            seed=seed,
+            sampler_steps=(
+                sampler_steps
+                if sampler_steps is not None
+                else self.sampler_steps
+            ),
+            source=source if source is not None else self.source,
+            model=self.model,
+            model_label=self.label,
+        )
+        if deadline is not None:
+            if deadline <= 0:
+                raise ValueError("deadline must be > 0 seconds")
+            job.deadline = job.submitted_at + deadline
+        return self.engine.submit_job(job)
+
+    # -- observability (scoped to this model) --------------------------
+
+    @property
+    def batch_records(self) -> List[BatchRecord]:
+        return self.engine.records_for(self.label)
+
+    def stats(self) -> SchedulerStats:
+        return SchedulerStats.from_records(self.batch_records)

@@ -4,10 +4,19 @@
 into a batched service: requests are handled concurrently on a worker pool,
 each one running the ordinary agent pipeline (auto-format, plan, execute)
 against a :class:`~repro.serve.batching.BatchedSamplingModel` client whose
-sampling rides the shared micro-batching scheduler.  The fitted back-end
-comes from a :class:`~repro.serve.registry.ModelRegistry`, so repeated
-services (or repeated keys) skip retraining, and produced patterns can be
-persisted into an indexed :class:`~repro.serve.store.LibraryStore`.
+sampling rides the shared :class:`~repro.serve.engine.ServeEngine` — the
+layered execution engine providing admission control (``queue_limit``
+backpressure, per-job deadlines), pluggable batching policies and a
+multi-worker executor pool.  The fitted back-end comes from a
+:class:`~repro.serve.registry.ModelRegistry`, so repeated services (or
+repeated keys) skip retraining, and produced patterns are persisted through
+the shared :class:`~repro.api.pipeline.PatternPipeline` primitives into an
+indexed :class:`~repro.serve.store.LibraryStore`.
+
+Several services may share one engine (pass ``engine=``): each routes its
+own :class:`ModelKey` through it, so a single executor pool serves many
+models/tenants, with the fair-share policy keeping any one of them from
+starving the rest.
 """
 
 from __future__ import annotations
@@ -31,7 +40,8 @@ from repro.legalize.legalizer import (
     reset_legalize_timing,
 )
 from repro.metrics.legality import LegalityResult, default_legalize_workers
-from repro.serve.batching import BatchedSamplingModel, MicroBatchScheduler
+from repro.serve.batching import BatchedSamplingModel
+from repro.serve.engine import EngineClient, ServeEngine
 from repro.serve.registry import ModelKey, ModelRegistry
 from repro.serve.stats import LegalizeStageRecord, RequestStats, SchedulerStats
 from repro.serve.store import LibraryStore
@@ -39,11 +49,19 @@ from repro.serve.store import LibraryStore
 
 @dataclass
 class ServeRequest:
-    """One natural-language generation request entering the service."""
+    """One natural-language generation request entering the service.
+
+    ``source`` tags the request's sampling jobs for the engine's
+    fair-share policy (e.g. ``"bulk"`` vs ``"interactive"``); ``deadline``
+    bounds, in seconds, how long its jobs may sit queued before failing
+    with a typed error (``None`` defers to the engine default).
+    """
 
     text: str
     objective: str = "legality"
     request_id: int = 0
+    source: str = "default"
+    deadline: Optional[float] = None
 
 
 @dataclass
@@ -91,6 +109,7 @@ class ServiceStats:
     legalize_calls: int = 0
     legalize_seconds: float = 0.0
     legalize_stages: List[LegalizeStageRecord] = field(default_factory=list)
+    engine: Optional[Dict] = None
 
     def as_dict(self) -> Dict:
         payload = {
@@ -105,11 +124,13 @@ class ServiceStats:
         }
         if self.store is not None:
             payload["store"] = self.store
+        if self.engine is not None:
+            payload["engine"] = dict(self.engine)
         return payload
 
 
 class PatternService:
-    """Batched, registry-backed, store-integrated ChatPattern service.
+    """Batched, engine-backed, registry- and store-integrated service.
 
     Args:
         model: a pre-fitted back-end; bypasses the registry when given
@@ -123,9 +144,10 @@ class PatternService:
             ``Save_Library`` tool targets it.
         backend_factory: per-request LLM backend factory; each request gets
             its own instance so transcripts never interleave across threads.
-        gather_window / max_batch: scheduler knobs (see
-            :class:`MicroBatchScheduler`).
-        max_workers: concurrent request executors.
+        gather_window / max_batch: engine batching knobs (see
+            :class:`ServeEngine`).
+        max_workers: concurrent request executors (the agent-side pool;
+            the sampling-side pool is ``engine_workers``).
         base_seed: per-request seeds derive from this, so a served workload
             is reproducible for a fixed batch composition.
         max_retries: per-pattern legalization recovery budget.
@@ -134,6 +156,12 @@ class PatternService:
             arguments above still win, keeping the old constructor a thin
             facade.  Use :meth:`from_config` to derive everything from one
             config object.
+        policy / engine_workers / queue_limit / deadline: engine layers
+            (batching policy, executor pool size, admission bound, default
+            job deadline); ``None`` defers to ``config.serve``.
+        engine: a pre-built (possibly shared) :class:`ServeEngine`.  The
+            service then only *binds* its model to it — ``stop`` leaves a
+            shared engine running for its other tenants.
     """
 
     def __init__(
@@ -149,10 +177,16 @@ class PatternService:
         base_seed: int = 0,
         max_retries: int = 2,
         config: Optional[PipelineConfig] = None,
+        policy: Optional[str] = None,
+        engine_workers: Optional[int] = None,
+        queue_limit: Optional[int] = None,
+        deadline: Optional[float] = None,
+        engine: Optional[ServeEngine] = None,
     ):
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.config = config or PipelineConfig()
+        serve_cfg = self.config.serve
         self._model = model
         self.model_key = model_key or ModelKey.from_config(self.config.train)
         self.registry = registry or ModelRegistry(
@@ -165,9 +199,27 @@ class PatternService:
         self.max_workers = int(max_workers)
         self.base_seed = int(base_seed)
         self.max_retries = int(max_retries)
-        self._scheduler: Optional[MicroBatchScheduler] = None
+        self.policy = policy if policy is not None else serve_cfg.policy
+        self.engine_workers = int(
+            engine_workers
+            if engine_workers is not None
+            else serve_cfg.engine_workers
+        )
+        self.queue_limit = (
+            queue_limit if queue_limit is not None else serve_cfg.queue_limit
+        )
+        self.deadline = deadline if deadline is not None else serve_cfg.deadline
+        self._engine = engine
+        self._owns_engine = engine is None
+        self._client: Optional[EngineClient] = None
         self._responses: List[ServeResponse] = []
         self._legalize_stages: List[LegalizeStageRecord] = []
+        # Aggregation must stay consistent while many request threads (and
+        # overlapping serve() calls) finish concurrently.
+        self._stats_lock = threading.Lock()
+        # Overlapping serve() calls may both find the service cold; the
+        # lock makes engine construction + model binding happen once.
+        self._start_lock = threading.Lock()
         # Request ids must be unique across overlapping serve() calls: they
         # seed per-request RNG streams, so a collision would make two live
         # requests sample identically.
@@ -182,26 +234,33 @@ class PatternService:
         registry: Optional[ModelRegistry] = None,
         store: Optional[LibraryStore] = None,
         backend_factory: Optional[Callable[[], LLMBackend]] = None,
+        engine: Optional[ServeEngine] = None,
     ) -> "PatternService":
         """Build a service entirely from one :class:`PipelineConfig`.
 
         The model recipe comes from ``config.train`` (resolved through the
-        registry, including the ``config.model_cache`` disk tier), the
-        scheduler/worker knobs from ``config.serve`` and the store from
-        ``config.store.store_dir``.
+        registry, including the ``config.model_cache`` disk tier), every
+        engine/scheduler/worker knob from ``config.serve`` and the store
+        from ``config.store.store_dir``.
         """
         if store is None and config.store.store_dir:
             store = LibraryStore(config.store.store_dir)
+        serve = config.serve
         return cls(
             model=model,
             registry=registry,
             store=store,
             backend_factory=backend_factory,
-            gather_window=config.serve.gather_window,
-            max_batch=config.serve.max_batch,
-            max_workers=config.serve.max_workers,
-            base_seed=config.serve.base_seed,
-            max_retries=config.serve.max_retries,
+            gather_window=serve.gather_window,
+            max_batch=serve.max_batch,
+            max_workers=serve.max_workers,
+            base_seed=serve.base_seed,
+            max_retries=serve.max_retries,
+            policy=serve.policy,
+            engine_workers=serve.engine_workers,
+            queue_limit=serve.queue_limit,
+            deadline=serve.deadline,
+            engine=engine,
             config=config,
         )
 
@@ -219,35 +278,58 @@ class PatternService:
 
     @property
     def running(self) -> bool:
-        return self._scheduler is not None and self._scheduler.running
+        return self._engine is not None and self._engine.running
 
     @property
     def model(self) -> Optional[ConditionalDiffusionModel]:
         return self._model
 
     @property
-    def scheduler(self) -> Optional[MicroBatchScheduler]:
-        return self._scheduler
+    def engine(self) -> Optional[ServeEngine]:
+        return self._engine
+
+    @property
+    def scheduler(self) -> Optional[EngineClient]:
+        """This service's model-bound submission handle on the engine."""
+        return self._client
 
     def start(self) -> "PatternService":
-        """Resolve the model (registry hit or fit) and start the scheduler."""
-        if self.running:
+        """Resolve the model (registry hit or fit), bind it to the engine
+        and bring the executor pool up."""
+        with self._start_lock:
+            if self.running and self._client is not None:
+                return self
+            if self._engine is None:
+                self._engine = ServeEngine(
+                    registry=self.registry,
+                    policy=self.policy,
+                    engine_workers=self.engine_workers,
+                    queue_limit=self.queue_limit,
+                    gather_window=self._gather_window,
+                    max_batch=self._max_batch,
+                    deadline=self.deadline,
+                )
+            if self._model is None:
+                self._model = self.registry.get_or_fit(self.model_key)
+            if self._client is None or self._client.model is not self._model:
+                self._client = self._engine.bind(
+                    self._model,
+                    # The serving default rides the config's step schedule;
+                    # per-job overrides still win inside the engine.
+                    sampler_steps=self.config.sample.sampler_steps,
+                    label=f"model-{self.model_key.recipe_hash()[:8]}",
+                )
+            self._engine.start()
             return self
-        if self._model is None:
-            self._model = self.registry.get_or_fit(self.model_key)
-        self._scheduler = MicroBatchScheduler(
-            self._model,
-            gather_window=self._gather_window,
-            max_batch=self._max_batch,
-            # The serving default rides the config's step schedule; per-job
-            # overrides still win inside the scheduler.
-            sampler_steps=self.config.sample.sampler_steps,
-        ).start()
-        return self
 
     def stop(self) -> None:
-        if self._scheduler is not None:
-            self._scheduler.stop()
+        """Stop an owned engine (drain, then shut the pool down).
+
+        A *shared* engine (passed in via ``engine=``) keeps running — its
+        other tenants still depend on it; only the owner stops it.
+        """
+        if self._engine is not None and self._owns_engine:
+            self._engine.stop()
 
     def __enter__(self) -> "PatternService":
         return self.start()
@@ -265,7 +347,7 @@ class PatternService:
         This is the batched counterpart of calling
         ``ChatPattern.handle_request`` in a loop: all requests run at once
         (up to ``max_workers``) and their sampling work coalesces in the
-        scheduler.
+        engine.
         """
         if not requests:
             return []
@@ -288,20 +370,27 @@ class PatternService:
         ) as pool:
             futures = [pool.submit(self._handle_one, r) for r in resolved]
             responses = [future.result() for future in futures]
-        self._responses.extend(responses)
+        with self._stats_lock:
+            self._responses.extend(responses)
         return responses
 
     def handle(
         self, text: str, objective: str = "legality"
     ) -> ServeResponse:
-        """Serve a single request (still through the scheduler)."""
+        """Serve a single request (still through the engine)."""
         return self.serve([ServeRequest(text=text, objective=objective)])[0]
 
     def _handle_one(self, request: ServeRequest) -> ServeResponse:
         started = time.perf_counter()
-        client = BatchedSamplingModel(self._scheduler)
+        client = BatchedSamplingModel(
+            self._client, source=request.source, deadline=request.deadline
+        )
         result: Optional[ChatResult] = None
         error: Optional[str] = None
+        # One pipeline per request, bound to the batched client: the agent
+        # tools, the persistence below and the CLI all share these stage
+        # primitives.
+        pipeline = PatternPipeline(self.config, model=client, store=self.store)
         # The whole agent pipeline for this request runs on this thread, so
         # the thread-local legalization counters isolate its legalize cost.
         reset_legalize_timing()
@@ -313,9 +402,7 @@ class PatternService:
                 max_retries=self.max_retries,
                 base_seed=self.base_seed + 7919 * request.request_id,
                 store=self.store,
-                pipeline=PatternPipeline(
-                    self.config, model=client, store=self.store
-                ),
+                pipeline=pipeline,
             )
             result = chat.handle_request(
                 request.text, objective=request.objective
@@ -335,17 +422,15 @@ class PatternService:
             legalize_calls=legalize_calls,
             legalize_seconds=legalize_seconds,
         )
-        if (
-            self.store is not None
-            and result is not None
-            and len(result.library)
-        ):
-            # Unconditional persistence: the add is idempotent (content-hash
-            # dedup), so patterns the agent already saved via Save_Library
-            # simply show up in `store_deduplicated` here.
-            report = self.store.add_library(result.library, legal=True)
-            stats.store_added = report.added
-            stats.store_deduplicated = report.deduplicated
+        if result is not None and len(result.library):
+            # Unconditional persistence through the pipeline primitive: the
+            # add is idempotent (content-hash dedup), so patterns the agent
+            # already saved via Save_Library simply show up in
+            # `store_deduplicated` here.  No-op without a store.
+            report = pipeline.persist_library(result.library)
+            if report is not None:
+                stats.store_added = report.added
+                stats.store_deduplicated = report.deduplicated
         return ServeResponse(
             request=request, result=result, stats=stats, error=error
         )
@@ -363,7 +448,7 @@ class PatternService:
         """Post-sampling pipeline stage: batch-legalize, persist the legal.
 
         Raw topologies (e.g. a batched sampling trajectory the caller pulled
-        straight off the scheduler) run through the shared
+        straight off the engine) run through the shared
         :class:`PatternPipeline` legalize/persist primitives: they fan out
         over :func:`legalize_many`'s worker pool and DRC-clean results are
         persisted into the attached store (content-hash deduplicated).  Each
@@ -399,33 +484,41 @@ class PatternService:
         if report is not None:
             record.store_added = report.added
             record.store_deduplicated = report.deduplicated
-        self._legalize_stages.append(record)
+        with self._stats_lock:
+            self._legalize_stages.append(record)
         return result
 
     # -- observability -------------------------------------------------
 
     @property
     def responses(self) -> List[ServeResponse]:
-        return list(self._responses)
+        with self._stats_lock:
+            return list(self._responses)
 
     def stats(self) -> ServiceStats:
         scheduler_stats = (
-            self._scheduler.stats()
-            if self._scheduler is not None
+            self._client.stats()
+            if self._client is not None
             else SchedulerStats.from_records([])
         )
+        with self._stats_lock:
+            responses = list(self._responses)
+            legalize_stages = list(self._legalize_stages)
         return ServiceStats(
-            requests=len(self._responses),
-            produced=sum(r.produced for r in self._responses),
-            dropped=sum(r.dropped for r in self._responses),
+            requests=len(responses),
+            produced=sum(r.produced for r in responses),
+            dropped=sum(r.dropped for r in responses),
             scheduler=scheduler_stats,
             registry=self.registry.stats(),
             store=self.store.stats() if self.store is not None else None,
-            legalize_calls=sum(
-                r.stats.legalize_calls for r in self._responses
-            ),
+            legalize_calls=sum(r.stats.legalize_calls for r in responses),
             legalize_seconds=sum(
-                r.stats.legalize_seconds for r in self._responses
+                r.stats.legalize_seconds for r in responses
             ),
-            legalize_stages=list(self._legalize_stages),
+            legalize_stages=legalize_stages,
+            engine=(
+                self._engine.stats().as_dict()
+                if self._engine is not None
+                else None
+            ),
         )

@@ -9,17 +9,27 @@ denoise trajectory, each served request gets a :class:`RequestStats`, and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 @dataclass
 class BatchRecord:
-    """One batched sampling trajectory executed by the scheduler."""
+    """One batched sampling trajectory executed by the engine.
+
+    ``model``/``worker``/``policy`` carry the engine's routing provenance:
+    which bound back-end the trajectory served, which executor ran it and
+    under which batching policy it was selected.  They default to neutral
+    values so records from the single-model scheduler facade stay
+    identical to the pre-engine ones.
+    """
 
     jobs: int
     samples: int
     shape: Tuple[int, int]
     wall_seconds: float
+    model: Optional[str] = None
+    worker: int = 0
+    policy: str = ""
 
     @property
     def samples_per_sec(self) -> float:
@@ -64,6 +74,42 @@ class SchedulerStats:
             "mean_batch_size": round(self.mean_batch_size, 2),
             "wall_seconds": round(self.wall_seconds, 4),
             "samples_per_sec": round(self.samples_per_sec, 2),
+        }
+
+
+@dataclass
+class EngineStats:
+    """One serving engine's aggregate: scheduling plus admission counters.
+
+    ``submitted``/``rejected``/``expired`` are the admission layer's
+    ledger (accepted jobs, backpressure fast-fails, deadline expiries);
+    ``queued`` is the instantaneous queue depth at snapshot time.  The
+    snapshot is taken under the engine's queue lock and the batch records
+    under the records lock, so the numbers are consistent even while
+    multiple executor workers are running.
+    """
+
+    scheduler: SchedulerStats
+    policy: str
+    engine_workers: int
+    queue_limit: Optional[int]
+    queued: int
+    submitted: int
+    rejected: int
+    expired: int
+    models: int
+
+    def as_dict(self) -> Dict:
+        return {
+            "scheduler": self.scheduler.as_dict(),
+            "policy": self.policy,
+            "engine_workers": self.engine_workers,
+            "queue_limit": self.queue_limit,
+            "queued": self.queued,
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "expired": self.expired,
+            "models": self.models,
         }
 
 

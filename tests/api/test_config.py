@@ -31,7 +31,9 @@ def _variants():
                        fault_isolation=False),
         StoreConfig(store_dir="store", output_path="out.npz"),
         ServeConfig(objective="diversity", gather_window=0.5, max_batch=16,
-                    max_workers=2, max_retries=0, base_seed=3),
+                    max_workers=2, max_retries=0, base_seed=3,
+                    policy="fair_share", engine_workers=2, queue_limit=128,
+                    deadline=30.0),
     ]
 
 
@@ -72,6 +74,25 @@ class TestSectionRoundTrip:
     def test_sample_config_validates_method(self):
         with pytest.raises(ConfigError):
             SampleConfig(extend_method="sideways")
+
+    def test_serve_config_validates_engine_knobs(self):
+        with pytest.raises(ConfigError, match="unknown serve policy"):
+            ServeConfig(policy="fifo")
+        with pytest.raises(ConfigError, match="engine_workers"):
+            ServeConfig(engine_workers=0)
+        with pytest.raises(ConfigError, match="queue_limit"):
+            ServeConfig(queue_limit=0)
+        with pytest.raises(ConfigError, match="deadline"):
+            ServeConfig(deadline=0.0)
+
+    def test_serve_config_defaults_preserve_legacy_engine(self):
+        """The default engine shape is the pre-engine scheduler: one
+        worker, greedy batching, unbounded queue, no deadlines."""
+        cfg = ServeConfig()
+        assert cfg.policy == "greedy"
+        assert cfg.engine_workers == 1
+        assert cfg.queue_limit is None
+        assert cfg.deadline is None
 
 
 class TestPipelineConfig:

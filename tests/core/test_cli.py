@@ -211,3 +211,37 @@ class TestCommands:
         assert cli.main(["export", str(lib_path), str(gds_path)]) == 0
         assert gds_path.exists()
         assert "wrote" in capsys.readouterr().out
+
+
+class TestServeEngineFlags:
+    def test_serve_engine_flags_reach_the_service(self, capsys, fast_pipeline):
+        request = (
+            "Generate 2 layout patterns, 64*64 topology, physical size "
+            "1024nm * 1024nm, style {style}."
+        )
+        code = cli.main(
+            ["serve",
+             request.format(style="Layer-10001"),
+             request.format(style="Layer-10003"),
+             "--policy", "fair_share",
+             "--engine-workers", "2",
+             "--queue-limit", "64",
+             "--deadline", "30",
+             "--gather-window", "0.05"]
+        )
+        captured = capsys.readouterr().out
+        # Responses print in request order and the engine section of the
+        # service stats reflects the flags.
+        assert captured.index("request 1:") < captured.index("request 2:")
+        assert "'policy': 'fair_share'" in captured
+        assert "'engine_workers': 2" in captured
+        assert "'queue_limit': 64" in captured
+        built_cfg = fast_pipeline[-1].config.serve
+        assert built_cfg.policy == "fair_share"
+        assert built_cfg.engine_workers == 2
+        assert built_cfg.queue_limit == 64
+        assert built_cfg.deadline == 30.0
+
+    def test_parser_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["serve", "x", "--policy", "fifo"])

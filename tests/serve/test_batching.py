@@ -6,7 +6,11 @@ from types import SimpleNamespace
 import numpy as np
 import pytest
 
-from repro.serve import BatchedSamplingModel, MicroBatchScheduler
+from repro.serve import (
+    BatchedSamplingModel,
+    MicroBatchScheduler,
+    model_supports_sampler_steps,
+)
 
 
 class TestSchedulerBatching:
@@ -157,3 +161,99 @@ class TestBatchedSamplingModel:
         assert all(out.shape == (1, 64, 64) for out in outputs)
         # All four single-sample jobs rode batched trajectories.
         assert scheduler.stats().max_batch_size > 1
+
+
+class TestSamplerStepsProtocol:
+    """The explicit backend-protocol check replacing signature sniffing."""
+
+    def test_real_model_declares_the_capability(self, small_model):
+        assert model_supports_sampler_steps(small_model) is True
+
+    def test_batched_client_inherits_the_declaration(self, small_model):
+        scheduler = MicroBatchScheduler(small_model)
+        assert model_supports_sampler_steps(
+            BatchedSamplingModel(scheduler)
+        ) is True
+
+    def test_legacy_backend_without_kwarg_still_serves(self):
+        """A pre-protocol stand-in whose ``sample_batch`` would TypeError
+        on the kwarg: the scheduler must never forward it."""
+        calls = []
+
+        def sample_batch(conditions, rng, shape=None):  # no sampler_steps
+            calls.append({"conditions": list(conditions), "shape": shape})
+            return np.zeros((len(conditions), *shape), dtype=np.uint8)
+
+        legacy = SimpleNamespace(
+            window=16, fitted=True, sample_batch=sample_batch
+        )
+        assert model_supports_sampler_steps(legacy) is False
+        scheduler = MicroBatchScheduler(
+            legacy, gather_window=0.01, sampler_steps="bucketed"
+        )
+        with scheduler:
+            result = scheduler.submit(
+                2, 0, seed=1, sampler_steps="bucketed"
+            ).result(timeout=30)
+        assert result.shape == (2, 16, 16)
+        assert calls and "sampler_steps" not in calls[0]
+
+    def test_declaring_backend_receives_the_schedule(self):
+        calls = []
+
+        def sample_batch(conditions, rng, shape=None, sampler_steps=None):
+            calls.append({"sampler_steps": sampler_steps})
+            return np.zeros((len(conditions), *shape), dtype=np.uint8)
+
+        modern = SimpleNamespace(
+            window=16,
+            fitted=True,
+            sample_batch=sample_batch,
+            supports_sampler_steps=True,
+        )
+        scheduler = MicroBatchScheduler(
+            modern, gather_window=0.01, sampler_steps="bucketed"
+        )
+        with scheduler:
+            scheduler.submit(1, 0, seed=1).result(timeout=30)
+        assert calls == [{"sampler_steps": "bucketed"}]
+
+
+class TestSchedulerEngineKnobs:
+    """The engine layers surfaced through the classic scheduler facade."""
+
+    def test_scheduler_exposes_queue_limit_backpressure(self):
+        from repro.serve import QueueFullError
+
+        model = SimpleNamespace(
+            window=16,
+            fitted=True,
+            sample_batch=lambda conditions, rng, shape=None: np.zeros(
+                (len(conditions), *shape), dtype=np.uint8
+            ),
+        )
+        scheduler = MicroBatchScheduler(model, queue_limit=1)
+        scheduler.submit(1, 0, seed=1)
+        with pytest.raises(QueueFullError):
+            scheduler.submit(1, 0, seed=2)
+
+    def test_multi_worker_scheduler_serves_mixed_shapes(self, small_model):
+        scheduler = MicroBatchScheduler(
+            small_model,
+            gather_window=0.05,
+            policy="shape_bucketed",
+            engine_workers=2,
+        )
+        jobs = [
+            scheduler.submit(
+                1, i % 2, shape=(64, 64) if i % 2 == 0 else (32, 32), seed=i
+            )
+            for i in range(4)
+        ]
+        with scheduler:
+            shapes = [job.result(timeout=60).shape for job in jobs]
+        assert shapes == [(1, 64, 64), (1, 32, 32)] * 2
+        engine_stats = scheduler.engine_stats()
+        assert engine_stats.engine_workers == 2
+        assert engine_stats.policy == "shape_bucketed"
+        assert engine_stats.submitted == 4

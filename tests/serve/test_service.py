@@ -244,3 +244,104 @@ class TestLegalizeAndStore:
         assert result.legality == 1.0
         stage = service.stats().legalize_stages[0]
         assert stage.store_added == 0 and stage.store_deduplicated == 0
+
+
+class TestEngineBackedService:
+    def test_multi_worker_fair_share_service_keeps_request_order(
+        self, registry
+    ):
+        service = PatternService(
+            model_key=ModelKey(window=64),
+            registry=registry,
+            gather_window=0.05,
+            max_workers=8,
+            max_retries=0,
+            policy="fair_share",
+            engine_workers=2,
+        )
+        with service:
+            responses = service.serve(
+                [
+                    ServeRequest(text=text, source=f"client-{i % 2}")
+                    for i, text in enumerate(_requests(8))
+                ]
+            )
+        # Responses come back in submission order regardless of how the
+        # pool interleaved their batches.
+        assert [r.request.request_id for r in responses] == list(range(1, 9))
+        payload = service.stats().as_dict()
+        assert payload["engine"]["policy"] == "fair_share"
+        assert payload["engine"]["engine_workers"] == 2
+        assert payload["engine"]["submitted"] >= 8
+
+    def test_from_config_threads_engine_knobs(self, registry):
+        from repro.api import PipelineConfig, ServeConfig, TrainConfig
+
+        config = PipelineConfig(
+            train=TrainConfig(window=64),
+            serve=ServeConfig(
+                policy="shape_bucketed",
+                engine_workers=2,
+                queue_limit=256,
+                deadline=60.0,
+                max_retries=0,
+            ),
+        )
+        service = PatternService.from_config(config, registry=registry)
+        assert service.policy == "shape_bucketed"
+        assert service.engine_workers == 2
+        assert service.queue_limit == 256
+        assert service.deadline == 60.0
+        with service:
+            service.serve(_requests(1))
+        stats = service.stats()
+        assert stats.engine["policy"] == "shape_bucketed"
+        assert stats.engine["queue_limit"] == 256
+
+    def test_two_services_share_one_engine(self, registry, small_model):
+        from repro.serve import ServeEngine
+
+        # Two tenants with distinct recipes resolving through one engine;
+        # the registry maps both keys to the same fitted back-end here, so
+        # their sampling even coalesces into shared trajectories.
+        registry.put(ModelKey(window=64, seed=1), small_model)
+        engine = ServeEngine(
+            registry=registry, policy="fair_share", engine_workers=2,
+            gather_window=0.05,
+        )
+        first = PatternService(
+            model_key=ModelKey(window=64), registry=registry,
+            max_retries=0, engine=engine,
+        )
+        second = PatternService(
+            model_key=ModelKey(window=64, seed=1), registry=registry,
+            max_retries=0, engine=engine,
+        )
+        with engine:
+            responses_first = first.serve(_requests(2))
+            # A tenant's stop() must NOT kill the shared engine.
+            first.stop()
+            assert engine.running
+            responses_second = second.serve(_requests(2))
+        assert all(r.ok for r in responses_first + responses_second)
+        assert first.engine is second.engine
+
+    def test_request_deadline_failure_is_typed_and_isolated(self, registry):
+        service = PatternService(
+            model_key=ModelKey(window=64),
+            registry=registry,
+            gather_window=0.3,  # jobs expire while the batch gathers
+            max_retries=0,
+        )
+        with service:
+            responses = service.serve(
+                [
+                    ServeRequest(text=_requests(1)[0], deadline=1e-4),
+                    ServeRequest(text=_requests(1)[0]),
+                ]
+            )
+        assert not responses[0].ok
+        # The engine's typed DeadlineExpiredError surfaces through the
+        # agent tool layer as the request's failure reason.
+        assert "deadline expired" in responses[0].error
+        assert responses[1].ok
