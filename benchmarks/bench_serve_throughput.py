@@ -11,7 +11,10 @@ Three measurements on one pre-fitted back-end:
   come from ``REPRO_SERVE_POLICY`` / ``REPRO_ENGINE_WORKERS`` (defaults:
   greedy, 1 — the classic scheduler shape), which is how the CI smoke job
   exercises a non-default policy with two workers.  Responses must come
-  back in request order regardless of how batches interleave.
+  back in request order regardless of how batches interleave.  Runs twice
+  — once with the default (enabled) observability stack and once with it
+  disabled — to gate the instrumentation tax under 5%, and records
+  p50/p95 per-request latency plus busy-time/parallelism in the payload.
 - **mixed-shape engine**: a staggered-arrival stream of interleaved-shape
   jobs straight into a ``ServeEngine`` under the ``shape_bucketed``
   policy, run with 1 and with 2 executor workers.  On a multi-core host
@@ -33,7 +36,7 @@ from datetime import datetime, timezone
 import numpy as np
 
 from benchmarks.conftest import print_table, scale
-from repro.api import PipelineConfig, ServeConfig, TrainConfig
+from repro.api import ObsConfig, PipelineConfig, ServeConfig, TrainConfig
 from repro.core import ChatPattern
 from repro.data import DatasetConfig, STYLES, build_training_set
 from repro.diffusion import ConditionalDiffusionModel, DiffusionSchedule
@@ -121,7 +124,7 @@ def _run_sequential(model, texts):
     }
 
 
-def _run_batched(model, texts):
+def _run_batched(model, texts, obs_enabled=True):
     registry = ModelRegistry()
     key = ModelKey(window=model.window)
     registry.put(key, model)
@@ -134,6 +137,7 @@ def _run_batched(model, texts):
             policy=SERVICE_POLICY,
             engine_workers=SERVICE_ENGINE_WORKERS,
         ),
+        obs=ObsConfig(enabled=obs_enabled),
     )
     service = PatternService.from_config(config, registry=registry)
     started = time.perf_counter()
@@ -149,17 +153,23 @@ def _run_batched(model, texts):
     # how the policy/pool interleaved their sampling.
     response_ids = [r.request.request_id for r in responses]
     stats = service.stats()
+    walls = [r.stats.wall_seconds for r in responses]
     return {
         "wall_seconds": round(wall, 3),
         "produced": stats.produced,
         "requests_per_sec": round(len(texts) / wall, 3),
+        "request_latency_p50": round(float(np.percentile(walls, 50)), 3),
+        "request_latency_p95": round(float(np.percentile(walls, 95)), 3),
         "max_batch_size": stats.scheduler.max_batch_size,
         "mean_batch_size": round(stats.scheduler.mean_batch_size, 2),
         "batches": stats.scheduler.batches,
         "samples_per_sec": round(stats.scheduler.samples_per_sec, 2),
+        "busy_seconds": round(stats.scheduler.busy_seconds, 3),
+        "parallelism": round(stats.scheduler.parallelism, 2),
         "registry_hits": stats.registry["hits"],
         "policy": SERVICE_POLICY,
         "engine_workers": SERVICE_ENGINE_WORKERS,
+        "obs_enabled": obs_enabled,
         "in_order": response_ids == sorted(response_ids),
         "per_request": [r.stats.as_dict() for r in responses],
     }
@@ -259,6 +269,7 @@ def _run(output_dir):
     texts = _workload(model.window)
     sequential = _run_sequential(model, texts)
     batched = _run_batched(model, texts)
+    batched_noobs = _run_batched(model, texts, obs_enabled=False)
     engine_single = _run_engine_stream(model, 1)
     engine_multi = _run_engine_stream(model, 2)
 
@@ -278,10 +289,20 @@ def _run(output_dir):
         },
         "sequential": sequential,
         "batched": batched,
+        "batched_noobs": batched_noobs,
         "engine_single": engine_single,
         "engine_multi": engine_multi,
         "speedup_batched": _speedup(sequential, batched),
         "speedup_workers": _speedup(engine_single, engine_multi),
+        # Observability tax: the instrumented service vs the identical
+        # workload with obs disabled (null metrics/tracer).  May come out
+        # negative — the runs differ only by scheduler noise plus a few
+        # counter increments per job.
+        "obs_overhead_pct": round(
+            (batched["wall_seconds"] - batched_noobs["wall_seconds"])
+            / max(batched_noobs["wall_seconds"], 1e-9) * 100.0,
+            1,
+        ),
     }
 
     history = _load_history()
@@ -304,7 +325,17 @@ def _run(output_dir):
             ["batched PatternService", batched["wall_seconds"],
              batched["requests_per_sec"], batched["produced"],
              batched["max_batch_size"]],
+            ["batched (obs disabled)", batched_noobs["wall_seconds"],
+             batched_noobs["requests_per_sec"], batched_noobs["produced"],
+             batched_noobs["max_batch_size"]],
         ],
+    )
+    print(
+        f"request latency p50/p95: {batched['request_latency_p50']}s / "
+        f"{batched['request_latency_p95']}s, busy {batched['busy_seconds']}s "
+        f"over {batched['wall_seconds']}s wall "
+        f"(parallelism {batched['parallelism']}x), "
+        f"obs overhead: {payload['obs_overhead_pct']}%"
     )
     print_table(
         f"Mixed-shape engine stream ({ENGINE_JOBS} jobs, shape_bucketed, "
@@ -338,6 +369,14 @@ def test_serve_throughput(benchmark, output_dir):
     # Micro-batching must actually coalesce work across requests ...
     assert batched["max_batch_size"] > 1
     assert batched["registry_hits"] == 1
+    # Per-request latency percentiles land in the committed history file.
+    assert 0 < batched["request_latency_p50"] <= batched["request_latency_p95"]
+    # Observability must be near-free: under a 5% wall tax against the
+    # identical obs-disabled workload, with a small absolute allowance for
+    # scheduler noise on short smoke runs.
+    assert batched["wall_seconds"] <= (
+        payload["batched_noobs"]["wall_seconds"] * 1.05 + 0.3
+    ), f"obs overhead {payload['obs_overhead_pct']}%"
     # ... and beat the sequential architecture on wall-clock.
     assert payload["speedup_batched"] > 1.0
     assert payload["sequential"]["produced"] > 0

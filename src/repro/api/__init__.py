@@ -11,6 +11,7 @@ from repro.api.config import (
     SERVE_POLICIES,
     ConfigError,
     LegalizeConfig,
+    ObsConfig,
     PipelineConfig,
     SampleConfig,
     ServeConfig,
@@ -28,6 +29,7 @@ __all__ = [
     "SERVE_POLICIES",
     "ConfigError",
     "LegalizeConfig",
+    "ObsConfig",
     "PatternPipeline",
     "PipelineConfig",
     "PipelineResult",

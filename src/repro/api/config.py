@@ -27,6 +27,7 @@ from typing import Dict, Optional, Tuple, Union
 from repro.data.dataset import DatasetConfig
 from repro.data.styles import STYLES, TILE_NM
 from repro.diffusion.schedule import validate_sampler_steps
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricError, validate_buckets
 
 
 class ConfigError(ValueError):
@@ -204,6 +205,40 @@ class ServeConfig(StageConfig):
 
 
 @dataclass(frozen=True)
+class ObsConfig(StageConfig):
+    """Observability knobs (see :mod:`repro.obs`).
+
+    ``enabled`` turns the whole telemetry layer on/off — off hands every
+    instrumented component a shared no-op registry/tracer, so the cost of
+    instrumentation is one attribute call.  ``snapshot_path`` (with
+    ``snapshot_interval`` seconds) activates the background
+    :class:`~repro.obs.export.SnapshotWriter` dumping the JSON snapshot
+    there and the Prometheus text exposition next to it (``+ ".prom"``);
+    ``trace_path`` writes the request span trees as JSON lines on service
+    shutdown.  ``latency_buckets`` is the histogram bucket ladder
+    (seconds, strictly increasing) every latency histogram uses;
+    ``max_spans`` bounds the tracer's span buffer.
+    """
+
+    enabled: bool = True
+    snapshot_path: Optional[str] = None
+    snapshot_interval: float = 5.0
+    trace_path: Optional[str] = None
+    latency_buckets: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS
+    max_spans: int = 10000
+
+    def __post_init__(self):
+        if self.snapshot_interval <= 0:
+            raise ConfigError("snapshot_interval must be > 0 seconds")
+        if self.max_spans < 1:
+            raise ConfigError("max_spans must be >= 1")
+        try:
+            validate_buckets(self.latency_buckets)
+        except MetricError as exc:
+            raise ConfigError(str(exc)) from exc
+
+
+@dataclass(frozen=True)
 class PipelineConfig(StageConfig):
     """The composed pipeline description behind every entrypoint.
 
@@ -217,6 +252,7 @@ class PipelineConfig(StageConfig):
     legalize: LegalizeConfig = field(default_factory=LegalizeConfig)
     store: StoreConfig = field(default_factory=StoreConfig)
     serve: ServeConfig = field(default_factory=ServeConfig)
+    obs: ObsConfig = field(default_factory=ObsConfig)
     model_cache: Optional[str] = None
 
     _SECTIONS = {
@@ -225,6 +261,7 @@ class PipelineConfig(StageConfig):
         "legalize": LegalizeConfig,
         "store": StoreConfig,
         "serve": ServeConfig,
+        "obs": ObsConfig,
     }
 
     def as_dict(self) -> Dict:

@@ -45,6 +45,8 @@ from repro.metrics.legality import (
     physical_size_for,
 )
 from repro.metrics.stats import library_stats
+from repro.obs.metrics import NULL_METRICS, default_metrics
+from repro.obs.trace import NULL_TRACER, default_tracer
 from repro.ops.extend import ExtensionResult, extend
 from repro.squish.pattern import PatternLibrary
 
@@ -132,6 +134,8 @@ class PipelineResult:
 
     def _record(self, stage: str, seconds: float, **detail) -> None:
         self.timings.append(StageTiming(stage, seconds, dict(detail)))
+        if self._pipeline is not None:
+            self._pipeline._observe_stage(stage, seconds)
 
     def stage_seconds(self, stage: str) -> float:
         return sum(t.seconds for t in self.timings if t.stage == stage)
@@ -173,6 +177,10 @@ class PatternPipeline:
             ``config.store.store_dir``.
         verbose: print model-resolution markers to stderr (the CLI's
             training/cache-hit lines).
+        metrics / tracer: explicit observability sinks.  When omitted,
+            ``config.obs.enabled`` picks between the process-wide defaults
+            and the shared no-op instances, so a disabled config costs one
+            attribute call per stage.
     """
 
     def __init__(
@@ -183,6 +191,8 @@ class PatternPipeline:
         registry=None,
         store=_UNSET,
         verbose: bool = False,
+        metrics=None,
+        tracer=None,
     ):
         self.config = config or PipelineConfig()
         self._model = model
@@ -191,6 +201,29 @@ class PatternPipeline:
         self._store_resolved = store is not _UNSET
         self.verbose = verbose
         self.model_source: Optional[str] = None
+        obs = self.config.obs
+        if metrics is None:
+            metrics = default_metrics() if obs.enabled else NULL_METRICS
+        if tracer is None:
+            tracer = default_tracer() if obs.enabled else NULL_TRACER
+        self.metrics = metrics
+        self.tracer = tracer
+        self._m_stage_latency = metrics.histogram(
+            "repro_stage_latency_seconds",
+            "Pipeline stage wall time",
+            labels=("stage",),
+        )
+
+    def _observe_stage(self, stage: str, seconds: float) -> None:
+        """Feed one executed stage into metrics and the active trace.
+
+        Rides the same ``PipelineResult._record`` call that produces
+        :class:`StageTiming`, so the three views (timings, histogram,
+        span) always agree on the measured window.
+        """
+        self._m_stage_latency.observe(seconds, stage=stage)
+        now = time.perf_counter()
+        self.tracer.record(stage, now - seconds, now)
 
     # -- resolution ----------------------------------------------------
 
@@ -254,7 +287,9 @@ class PatternPipeline:
             if self.config.store.store_dir:
                 from repro.serve.store import LibraryStore
 
-                self._store = LibraryStore(self.config.store.store_dir)
+                self._store = LibraryStore(
+                    self.config.store.store_dir, metrics=self.metrics
+                )
             self._store_resolved = True
         return self._store
 
@@ -284,6 +319,8 @@ class PatternPipeline:
             registry=self._registry,
             store=self._store if self._store_resolved else _UNSET,
             verbose=False,
+            metrics=self.metrics,
+            tracer=self.tracer,
         )
 
     def with_store(self, store) -> "PatternPipeline":
@@ -297,6 +334,8 @@ class PatternPipeline:
             registry=self._registry,
             store=store,
             verbose=False,
+            metrics=self.metrics,
+            tracer=self.tracer,
         )
 
     def with_library(self, library: PatternLibrary) -> PipelineResult:
@@ -594,7 +633,9 @@ class PatternPipeline:
 
         ``engine`` attaches the service to an existing (possibly shared)
         :class:`~repro.serve.engine.ServeEngine` instead of letting it
-        build a private one — the multi-tenant wiring.
+        build a private one — the multi-tenant wiring.  The service shares
+        this pipeline's metrics registry and tracer, so one snapshot
+        covers the pipeline stages, the engine and the store.
         """
         from repro.serve.service import PatternService
 
@@ -604,4 +645,6 @@ class PatternPipeline:
             registry=registry or self.registry,
             store=self.store,
             engine=engine,
+            metrics=self.metrics,
+            tracer=self.tracer,
         )

@@ -8,6 +8,8 @@ Subcommands:
 - ``extend``   — free-size synthesis via in/out-painting.
 - ``evaluate`` — legality/diversity report for a saved library.
 - ``export``   — convert a saved library to GDSII.
+- ``stats``    — summarize a metrics snapshot written by ``serve
+  --metrics-snapshot`` (JSON or Prometheus text exposition).
 
 Every subcommand is a thin shell over the typed pipeline API
 (:class:`repro.api.PipelineConfig` -> :class:`repro.api.PatternPipeline`):
@@ -154,6 +156,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--store", help="directory of the indexed pattern store (dedup)"
     )
     srv.add_argument("-o", "--output", help="save the merged library (.npz)")
+    srv.add_argument(
+        "--metrics-snapshot", metavar="PATH", default=None,
+        help="periodically write a JSON metrics snapshot to PATH (and the "
+             "Prometheus text exposition to PATH + '.prom'), plus a final "
+             "dump on shutdown; inspect with 'repro stats PATH'",
+    )
+    srv.add_argument(
+        "--snapshot-interval", type=float, default=None,
+        help="seconds between metrics snapshots (default 5)",
+    )
+    srv.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write per-request trace spans as JSON lines on shutdown",
+    )
+    srv.add_argument(
+        "--no-obs", action="store_true",
+        help="disable the observability layer (no metrics, no traces)",
+    )
 
     gen = sub.add_parser("generate", help="sample fixed-size patterns")
     gen.add_argument("--style", choices=STYLES, default=None)
@@ -175,7 +195,16 @@ def build_parser() -> argparse.ArgumentParser:
     ex.add_argument("library", help="path to a .npz library")
     ex.add_argument("output", help="path of the .gds file to write")
 
-    for command_parser in (chat, srv, gen, ext, ev, ex):
+    st = sub.add_parser(
+        "stats", help="summarize a metrics snapshot (JSON or .prom)"
+    )
+    st.add_argument(
+        "snapshot",
+        help="snapshot file written by 'serve --metrics-snapshot' "
+             "(JSON, or the '.prom' text-exposition sibling)",
+    )
+
+    for command_parser in (chat, srv, gen, ext, ev, ex, st):
         _add_global_options(command_parser, root=False)
     return parser
 
@@ -263,6 +292,16 @@ def _cmd_serve(args) -> int:
     cfg = cfg.replace(serve=serve_cfg)
     if args.store:
         cfg = cfg.replace(store=cfg.store.replace(store_dir=args.store))
+    obs_cfg = cfg.obs
+    if args.metrics_snapshot:
+        obs_cfg = obs_cfg.replace(snapshot_path=args.metrics_snapshot)
+    if args.snapshot_interval is not None:
+        obs_cfg = obs_cfg.replace(snapshot_interval=args.snapshot_interval)
+    if args.trace_out:
+        obs_cfg = obs_cfg.replace(trace_path=args.trace_out)
+    if args.no_obs:
+        obs_cfg = obs_cfg.replace(enabled=False)
+    cfg = cfg.replace(obs=obs_cfg)
 
     pipeline = _build_pipeline(args, cfg)
     pipeline.model  # resolve through the registry (and the disk cache) now
@@ -280,8 +319,27 @@ def _cmd_serve(args) -> int:
         print(response.summary())
         if response.result is not None:
             merged.extend(list(response.result.library))
+    # Graceful-shutdown summary: the engine's aggregate (span-union wall,
+    # summed busy time, admission ledger) plus the metric-derived request
+    # latency percentiles.
     stats = service.stats()
     print(f"service: {stats.as_dict()}")
+    latency = service.metrics.get("repro_request_latency_seconds")
+    if latency is not None and latency.count() > 0:
+        pct = latency.percentiles()
+        print(
+            f"request latency: p50 {pct['p50'] * 1000:.0f} ms, "
+            f"p95 {pct['p95'] * 1000:.0f} ms, "
+            f"p99 {pct['p99'] * 1000:.0f} ms "
+            f"over {latency.count()} request(s)"
+        )
+    if args.metrics_snapshot:
+        print(
+            f"metrics snapshot written to {args.metrics_snapshot} "
+            f"(+ {args.metrics_snapshot}.prom)"
+        )
+    if args.trace_out:
+        print(f"trace spans written to {args.trace_out}")
     if args.output and len(merged):
         saved = pipeline.with_library(merged).persist(output=args.output)
         print(f"library saved to {saved.output_path}")
@@ -354,6 +412,71 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _format_labels(labels) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in labels.items()) + "}"
+
+
+def _cmd_stats(args) -> int:
+    """Summarize a metrics snapshot file (JSON or Prometheus text)."""
+    import json
+    from pathlib import Path
+
+    from repro.obs.export import ExpositionError, parse_exposition
+
+    path = Path(args.snapshot)
+    if not path.exists():
+        print(f"no such snapshot: {path}", file=sys.stderr)
+        return 2
+    text = path.read_text()
+    if path.suffix == ".prom" or text.lstrip().startswith("#"):
+        try:
+            families = parse_exposition(text)
+        except ExpositionError as exc:
+            print(f"malformed exposition: {exc}", file=sys.stderr)
+            return 1
+        print(f"{path}: {len(families)} metric(s) [prometheus text]")
+        for name, family in families.items():
+            kind = family["type"]
+            if kind == "histogram":
+                observed = sum(
+                    int(value)
+                    for sample, _, value in family["samples"]
+                    if sample.endswith("_count")
+                )
+                print(f"  {name} ({kind}): {observed} observation(s)")
+            else:
+                for sample, labels, value in family["samples"]:
+                    print(
+                        f"  {sample}{_format_labels(labels)} = {value:g}"
+                    )
+        return 0
+    try:
+        snapshot = json.loads(text)
+    except json.JSONDecodeError as exc:
+        print(f"malformed snapshot JSON: {exc}", file=sys.stderr)
+        return 1
+    metrics = snapshot.get("metrics", [])
+    print(f"{path}: {len(metrics)} metric(s) [json snapshot]")
+    for metric in metrics:
+        name, kind = metric["name"], metric["type"]
+        for series in metric.get("series", []):
+            tag = f"  {name}{_format_labels(series.get('labels'))}"
+            if kind == "histogram":
+                parts = [
+                    f"count={series['count']}",
+                    f"sum={series['sum']:.4g}",
+                ]
+                for p in ("p50", "p95", "p99"):
+                    if p in series:
+                        parts.append(f"{p}={series[p]:.4g}")
+                print(f"{tag}: " + " ".join(parts))
+            else:
+                print(f"{tag} = {series['value']:g}")
+    return 0
+
+
 def _cmd_export(args) -> int:
     cfg = _pipeline_config(args)
     pipeline = _build_pipeline(args, cfg)
@@ -370,6 +493,7 @@ _COMMANDS = {
     "extend": _cmd_extend,
     "evaluate": _cmd_evaluate,
     "export": _cmd_export,
+    "stats": _cmd_stats,
 }
 
 

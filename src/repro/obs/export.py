@@ -1,0 +1,336 @@
+"""Scrapeable exporters for the metrics registry.
+
+Two wire formats over one :meth:`MetricsRegistry.snapshot` payload:
+
+- **JSON snapshot** — :func:`write_snapshot` / :func:`load_snapshot`; the
+  registry's full state (histogram series carry derived p50/p95/p99), as
+  an atomic file write a dashboard or the ``repro stats`` subcommand can
+  poll.
+- **Prometheus text exposition** — :func:`render_exposition` renders the
+  classic ``# TYPE`` / ``name{label="v"} value`` format (cumulative
+  ``_bucket`` series with ``le`` labels, ``_sum``/``_count``);
+  :func:`parse_exposition` is the matching minimal parser used by the CI
+  smoke job and tests to validate what a scraper would ingest.
+
+:class:`SnapshotWriter` is the background half: a daemon thread that
+periodically dumps both formats (``path`` and ``path + ".prom"``) so an
+external scraper only ever reads complete, atomically-replaced files.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import re
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.obs.metrics import MetricsRegistry
+
+_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$'
+)
+
+
+class ExpositionError(ValueError):
+    """A text-exposition payload is malformed."""
+
+
+def _escape_label(value: str) -> str:
+    return "".join(_ESCAPES.get(ch, ch) for ch in str(value))
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(labels: Dict[str, str], extra: Tuple = ()) -> str:
+    pairs = [(k, v) for k, v in labels.items()] + list(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def render_exposition(snapshot: Dict) -> str:
+    """Render a registry snapshot in the Prometheus text format."""
+    lines: List[str] = []
+    for metric in snapshot.get("metrics", ()):
+        name, kind = metric["name"], metric["type"]
+        if metric.get("help"):
+            help_text = metric["help"].replace("\\", "\\\\").replace("\n", "\\n")
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for series in metric.get("series", ()):
+            labels = series.get("labels", {})
+            if kind in ("counter", "gauge"):
+                lines.append(
+                    f"{name}{_render_labels(labels)} "
+                    f"{_format_value(series['value'])}"
+                )
+            elif kind == "histogram":
+                for bound, cumulative in series["buckets"]:
+                    le = "+Inf" if bound == "+Inf" else _format_value(bound)
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_render_labels(labels, (('le', le),))} "
+                        f"{cumulative}"
+                    )
+                lines.append(
+                    f"{name}_sum{_render_labels(labels)} "
+                    f"{_format_value(series['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_render_labels(labels)} {series['count']}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _parse_labels(text: Optional[str]) -> Dict[str, str]:
+    if not text:
+        return {}
+    labels: Dict[str, str] = {}
+    # Split on commas outside quotes — label values may contain commas.
+    parts, depth, current = [], False, []
+    for ch in text:
+        if ch == '"' and (not current or current[-1] != "\\"):
+            depth = not depth
+        if ch == "," and not depth:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current))
+    for part in parts:
+        match = _LABEL_PAIR_RE.match(part.strip())
+        if not match:
+            raise ExpositionError(f"malformed label pair {part.strip()!r}")
+        value = match.group("value")
+        value = (
+            value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+        )
+        labels[match.group("name")] = value
+    return labels
+
+
+def parse_exposition(text: str) -> Dict[str, Dict]:
+    """Parse Prometheus text exposition into ``{metric: family}`` dicts.
+
+    Each family is ``{"type", "help", "samples"}`` where samples are
+    ``(sample_name, labels_dict, value)`` tuples — ``sample_name`` keeps
+    the ``_bucket``/``_sum``/``_count`` suffixes of histogram series.
+    Raises :class:`ExpositionError` on any malformed line, and checks
+    histogram bucket series are cumulative (non-decreasing by ``le``).
+    """
+    families: Dict[str, Dict] = {}
+    current: Optional[str] = None
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            try:
+                _, _, name, help_text = line.split(" ", 3)
+            except ValueError:
+                _, _, name = line.split(" ", 2)
+                help_text = ""
+            families.setdefault(
+                name, {"type": "untyped", "help": "", "samples": []}
+            )["help"] = help_text
+            current = name
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                raise ExpositionError(f"line {number}: malformed TYPE: {raw!r}")
+            _, _, name, kind = parts
+            if kind not in ("counter", "gauge", "histogram", "summary",
+                            "untyped"):
+                raise ExpositionError(
+                    f"line {number}: unknown metric type {kind!r}"
+                )
+            families.setdefault(
+                name, {"type": kind, "help": "", "samples": []}
+            )["type"] = kind
+            current = name
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal and ignored
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ExpositionError(f"line {number}: malformed sample: {raw!r}")
+        sample_name = match.group("name")
+        labels = _parse_labels(match.group("labels"))
+        raw_value = match.group("value")
+        try:
+            value = (
+                math.inf if raw_value == "+Inf" else float(raw_value)
+            )
+        except ValueError:
+            raise ExpositionError(
+                f"line {number}: non-numeric value {raw_value!r}"
+            ) from None
+        family = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+            if base and base in families and families[base]["type"] == "histogram":
+                family = base
+                break
+        if family not in families:
+            # A bare sample without TYPE metadata is legal ("untyped").
+            families[family] = {"type": "untyped", "help": "", "samples": []}
+        families[family]["samples"].append((sample_name, labels, value))
+        current = family
+    _check_histograms(families)
+    return families
+
+
+def _check_histograms(families: Dict[str, Dict]) -> None:
+    for name, family in families.items():
+        if family["type"] != "histogram":
+            continue
+        series: Dict[Tuple, List[Tuple[float, float]]] = {}
+        for sample_name, labels, value in family["samples"]:
+            if not sample_name.endswith("_bucket"):
+                continue
+            if "le" not in labels:
+                raise ExpositionError(
+                    f"{name}: histogram bucket sample without le label"
+                )
+            le = labels["le"]
+            bound = math.inf if le == "+Inf" else float(le)
+            key = tuple(
+                sorted((k, v) for k, v in labels.items() if k != "le")
+            )
+            series.setdefault(key, []).append((bound, value))
+        for key, buckets in series.items():
+            buckets.sort(key=lambda item: item[0])
+            counts = [count for _, count in buckets]
+            if any(b > a for b, a in zip(counts, counts[1:])):
+                raise ExpositionError(
+                    f"{name}: bucket counts are not cumulative for "
+                    f"series {dict(key)}"
+                )
+            if not buckets or buckets[-1][0] != math.inf:
+                raise ExpositionError(f"{name}: missing +Inf bucket")
+
+
+# ---------------------------------------------------------------------------
+# Snapshot files
+
+
+def _atomic_write(path: Path, text: str) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+    return path
+
+
+def write_snapshot(snapshot: Dict, path: Union[str, Path]) -> Path:
+    """Atomically write a JSON snapshot so scrapers never read a torn file."""
+    return _atomic_write(
+        Path(path), json.dumps(snapshot, indent=1, sort_keys=True) + "\n"
+    )
+
+
+def load_snapshot(path: Union[str, Path]) -> Dict:
+    return json.loads(Path(path).read_text())
+
+
+def exposition_path(path: Union[str, Path]) -> Path:
+    """The text-exposition sibling of a JSON snapshot path."""
+    path = Path(path)
+    return path.with_name(path.name + ".prom")
+
+
+class SnapshotWriter:
+    """Background thread periodically dumping a registry to disk.
+
+    Writes the JSON snapshot to ``path`` and the Prometheus text format to
+    ``path + ".prom"`` every ``interval`` seconds, plus a final dump on
+    :meth:`stop` — so a run that ends between ticks still leaves its last
+    state behind.  Both writes are atomic replaces.
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        path: Union[str, Path],
+        interval: float = 5.0,
+        write_exposition: bool = True,
+    ):
+        if interval <= 0:
+            raise ValueError("snapshot interval must be > 0 seconds")
+        self.metrics = metrics
+        self.path = Path(path)
+        self.interval = float(interval)
+        self.write_exposition = write_exposition
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._writes = 0
+        self._lock = threading.Lock()
+
+    @property
+    def writes(self) -> int:
+        with self._lock:
+            return self._writes
+
+    def write_once(self) -> Path:
+        """One synchronous dump of both formats."""
+        snapshot = self.metrics.snapshot()
+        written = write_snapshot(snapshot, self.path)
+        if self.write_exposition:
+            _atomic_write(
+                exposition_path(self.path), render_exposition(snapshot)
+            )
+        with self._lock:
+            self._writes += 1
+        return written
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.write_once()
+            except Exception:
+                # A transient filesystem error must not kill the writer —
+                # the next tick retries.
+                pass
+
+    def start(self) -> "SnapshotWriter":
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-obs-snapshot", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, write_final: bool = True) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if write_final:
+            self.write_once()
+
+    def __enter__(self) -> "SnapshotWriter":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -25,11 +25,13 @@ the real model, so modification/extension code paths work unchanged.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.diffusion.model import ConditionalDiffusionModel, SamplerSteps
+from repro.obs.trace import NULL_TRACER
 from repro.serve.engine import (
     BatchPolicy,
     EngineJob,
@@ -193,7 +195,12 @@ class BatchedSamplingModel:
     One client is created per request so its counters double as the
     request's sampling statistics.  ``source`` tags this client's jobs for
     the fair-share policy (e.g. one tag per tenant), and ``deadline``
-    bounds how long its jobs may sit queued.
+    bounds how long its jobs may sit queued.  ``tracer`` attaches each
+    sampling call's lifecycle (admission → queue wait → batch gather →
+    execute) as spans under the caller's current trace, using the
+    timestamps the engine stamped on the job — so the trace follows the
+    work across the executor threads without the engine knowing about
+    tracing at all.  Default: no tracing.
     """
 
     def __init__(
@@ -201,11 +208,13 @@ class BatchedSamplingModel:
         scheduler,
         source: Optional[str] = None,
         deadline: Optional[float] = None,
+        tracer=None,
     ):
         self._scheduler = scheduler
         self._model = scheduler.model
         self._source = source
         self._deadline = deadline
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self.queue_wait_seconds = 0.0
         self.sample_jobs = 0
         self.samples = 0
@@ -223,18 +232,38 @@ class BatchedSamplingModel:
         sampler_steps: SamplerSteps = None,
     ) -> np.ndarray:
         """Batched stand-in for ``ConditionalDiffusionModel.sample``."""
-        job = self._scheduler.submit(
-            count,
-            condition,
-            shape=shape,
-            # The job seed is drawn from the caller's stream, so a request
-            # with a fixed base seed submits a reproducible seed sequence.
-            seed=int(rng.integers(0, 2**31 - 1)),
-            sampler_steps=sampler_steps,
-            source=self._source,
-            deadline=self._deadline,
-        )
-        result = job.result()
+        with self._tracer.span("sample", count=int(count)):
+            submit_started = time.perf_counter()
+            job = self._scheduler.submit(
+                count,
+                condition,
+                shape=shape,
+                # The job seed is drawn from the caller's stream, so a
+                # request with a fixed base seed submits a reproducible
+                # seed sequence.
+                seed=int(rng.integers(0, 2**31 - 1)),
+                sampler_steps=sampler_steps,
+                source=self._source,
+                deadline=self._deadline,
+            )
+            self._tracer.record(
+                "admission", submit_started, time.perf_counter()
+            )
+            result = job.result()
+            # Attach the engine-side hops from the timestamps the workers
+            # stamped on the job (they ran on other threads).
+            if job.selected_at > 0:
+                self._tracer.record(
+                    "queue_wait", job.submitted_at, job.selected_at
+                )
+            if job.exec_started_at > 0:
+                self._tracer.record(
+                    "batch_gather", job.selected_at, job.exec_started_at,
+                    batch_samples=job.batch_samples,
+                )
+                self._tracer.record(
+                    "execute", job.exec_started_at, job.exec_ended_at,
+                )
         self.queue_wait_seconds += job.queue_wait
         self.sample_jobs += 1
         self.samples += int(count)

@@ -45,6 +45,7 @@ import numpy as np
 
 from repro.api.config import SERVE_POLICIES
 from repro.diffusion.model import SamplerSteps
+from repro.obs.metrics import DEFAULT_SIZE_BUCKETS, default_metrics
 from repro.serve.stats import BatchRecord, EngineStats, SchedulerStats
 
 
@@ -102,6 +103,9 @@ class EngineJob:
         "future",
         "queue_wait",
         "batch_samples",
+        "selected_at",
+        "exec_started_at",
+        "exec_ended_at",
     )
 
     def __init__(
@@ -131,6 +135,12 @@ class EngineJob:
         self.future: "Future[np.ndarray]" = Future()
         self.queue_wait = 0.0
         self.batch_samples = 0  # total samples of the batch this job rode in
+        # Lifecycle timestamps (perf_counter) stamped by the engine, the
+        # substrate per-request traces are built from: when the policy
+        # selected this job, and when its trajectory started/finished.
+        self.selected_at = 0.0
+        self.exec_started_at = 0.0
+        self.exec_ended_at = 0.0
 
     @property
     def batch_key(self) -> Tuple:
@@ -330,6 +340,9 @@ class ServeEngine:
         max_batch: sample budget per selected batch.
         deadline: default per-job deadline in seconds from submission
             (``None`` = jobs never expire).  Per-job deadlines override it.
+        metrics: :class:`~repro.obs.metrics.MetricsRegistry` the engine
+            reports into (``None`` = the process-wide default registry;
+            pass :data:`~repro.obs.metrics.NULL_METRICS` to disable).
     """
 
     def __init__(
@@ -341,6 +354,7 @@ class ServeEngine:
         gather_window: float = 0.02,
         max_batch: int = 64,
         deadline: Optional[float] = None,
+        metrics=None,
     ):
         if gather_window < 0:
             raise ValueError("gather_window must be >= 0")
@@ -393,6 +407,47 @@ class ServeEngine:
         self._submitted = 0
         self._rejected = 0
         self._expired = 0
+        self.metrics = metrics if metrics is not None else default_metrics()
+        m = self.metrics
+        self._m_queue_depth = m.gauge(
+            "repro_queue_depth", "Jobs currently queued for batching"
+        )
+        self._m_submitted = m.counter(
+            "repro_jobs_submitted_total", "Jobs admitted into the engine"
+        )
+        self._m_rejected = m.counter(
+            "repro_jobs_rejected_total",
+            "Jobs fast-failed by admission backpressure",
+        )
+        self._m_expired = m.counter(
+            "repro_jobs_expired_total",
+            "Jobs whose deadline passed while still queued",
+        )
+        self._m_batch_size = m.histogram(
+            "repro_batch_size_samples",
+            "Samples per executed batch",
+            buckets=DEFAULT_SIZE_BUCKETS,
+            labels=("policy",),
+        )
+        self._m_gather_latency = m.histogram(
+            "repro_gather_latency_seconds",
+            "Worker wait from entering the gather loop to batch selection",
+            labels=("policy",),
+        )
+        self._m_batch_latency = m.histogram(
+            "repro_batch_latency_seconds",
+            "Batched trajectory execution wall time",
+            labels=("policy",),
+        )
+        self._m_queue_wait = m.histogram(
+            "repro_queue_wait_seconds",
+            "Per-job time from submission to batch selection",
+        )
+        self._m_worker_busy = m.counter(
+            "repro_worker_busy_seconds_total",
+            "Summed trajectory execution time per executor worker",
+            labels=("worker",),
+        )
 
     # -- routing -------------------------------------------------------
 
@@ -526,12 +581,15 @@ class ServeEngine:
                     and len(self._jobs) >= self.queue_limit
                 ):
                     self._rejected += 1
+                    self._m_rejected.inc()
                     raise QueueFullError(
                         f"admission queue is full ({len(self._jobs)} queued, "
                         f"queue_limit={self.queue_limit}); retry later"
                     )
                 self._jobs.append(job)
                 self._submitted += 1
+                self._m_submitted.inc()
+                self._m_queue_depth.set(len(self._jobs))
                 self._has_work.notify()
         return job
 
@@ -539,6 +597,7 @@ class ServeEngine:
         """Fail every queued job so no caller hangs on ``result()``."""
         with self._has_work:
             leftovers, self._jobs = self._jobs, []
+            self._m_queue_depth.set(0)
         for job in leftovers:
             if not job.future.done():
                 try:
@@ -558,6 +617,8 @@ class ServeEngine:
         if expired:
             self._jobs = [job for job in self._jobs if job not in expired]
             self._expired += len(expired)
+            self._m_expired.inc(len(expired))
+            self._m_queue_depth.set(len(self._jobs))
         return expired
 
     @staticmethod
@@ -605,6 +666,9 @@ class ServeEngine:
                     if self._halt.is_set() or self._draining.is_set():
                         return None
                     self._has_work.wait(timeout=0.05)
+                # Gather latency starts the instant this worker first sees
+                # queued work, so idle blocking above never counts.
+                saw_work = time.perf_counter()
                 expired.extend(self._expire_locked(time.perf_counter()))
                 if self._jobs:
                     if (
@@ -637,10 +701,14 @@ class ServeEngine:
                                 for job in self._jobs
                                 if id(job) not in chosen
                             ]
+                            self._m_queue_depth.set(len(self._jobs))
             # Futures resolve outside the queue lock: a caller woken by
             # set_exception must never contend with admission.
             self._fail_expired(expired)
             if selected:
+                self._m_gather_latency.observe(
+                    time.perf_counter() - saw_work, policy=self.policy.name
+                )
                 return selected
             # Everything expired or another worker selected first — loop.
 
@@ -650,6 +718,8 @@ class ServeEngine:
         now = time.perf_counter()
         for job in jobs:
             job.queue_wait = now - job.submitted_at
+            job.selected_at = now
+            self._m_queue_wait.observe(job.queue_wait)
         groups: "OrderedDict[Tuple, List[EngineJob]]" = OrderedDict()
         for job in jobs:
             groups.setdefault(job.batch_key, []).append(job)
@@ -692,11 +762,19 @@ class ServeEngine:
                         model=group[0].model_label,
                         worker=worker,
                         policy=self.policy.name,
+                        started_at=started,
                     )
                 )
+            self._m_batch_size.observe(
+                len(conditions), policy=self.policy.name
+            )
+            self._m_batch_latency.observe(wall, policy=self.policy.name)
+            self._m_worker_busy.inc(wall, worker=str(worker))
             offset = 0
             for job in group:
                 job.batch_samples = len(conditions)
+                job.exec_started_at = started
+                job.exec_ended_at = started + wall
                 job.future.set_result(samples[offset : offset + job.count])
                 offset += job.count
 

@@ -34,6 +34,7 @@ import numpy as np
 from repro.api.config import TrainConfig
 from repro.data.dataset import build_training_set
 from repro.diffusion.model import ConditionalDiffusionModel
+from repro.obs.metrics import default_metrics
 
 _CACHE_FORMAT = 1  # bump when the pickled model layout changes
 
@@ -93,6 +94,7 @@ class ModelRegistry:
         builder: Optional[Callable[[ModelKey], ConditionalDiffusionModel]] = None,
         max_models: int = 8,
         save_dir: Optional[Union[str, Path]] = None,
+        metrics=None,
     ):
         if max_models < 1:
             raise ValueError("max_models must be >= 1")
@@ -109,6 +111,19 @@ class ModelRegistry:
         self._hits = 0
         self._misses = 0
         self._disk_hits = 0
+        self.metrics = metrics if metrics is not None else default_metrics()
+        self._m_hits = self.metrics.counter(
+            "repro_model_cache_hits_total",
+            "Model resolutions served from a cache tier",
+            labels=("tier",),
+        )
+        self._m_misses = self.metrics.counter(
+            "repro_model_cache_misses_total",
+            "Model resolutions that fitted from scratch",
+        )
+        self._m_resident = self.metrics.gauge(
+            "repro_model_cache_resident", "Fitted models resident in memory"
+        )
 
     @property
     def save_dir(self) -> Optional[Path]:
@@ -141,6 +156,7 @@ class ModelRegistry:
             if model is not None:
                 self._hits += 1
                 self._models.move_to_end(key)
+                self._m_hits.inc(tier="memory")
                 return model, "memory"
             key_lock = self._key_locks.setdefault(key, threading.Lock())
         with key_lock:
@@ -151,11 +167,13 @@ class ModelRegistry:
                 if model is not None:
                     self._hits += 1
                     self._models.move_to_end(key)
+                    self._m_hits.inc(tier="memory")
                     return model, "memory"
             model = self._load_from_disk(key)
             if model is not None:
                 with self._lock:
                     self._disk_hits += 1
+                self._m_hits.inc(tier="disk")
                 self.put(key, model)
                 return model, "disk"
             if on_fit_start is not None:
@@ -251,6 +269,7 @@ class ModelRegistry:
         with self._lock:
             if _count_miss:
                 self._misses += 1
+                self._m_misses.inc()
             self._models[key] = model
             self._models.move_to_end(key)
             while len(self._models) > self._max_models:
@@ -259,6 +278,7 @@ class ModelRegistry:
                 # threads re-fit an evicted key concurrently (wasted work,
                 # not corruption), and the lock table stays bounded.
                 self._key_locks.pop(evicted_key, None)
+            self._m_resident.set(len(self._models))
 
     def __contains__(self, key: Union[ModelKey, TrainConfig]) -> bool:
         key = ModelKey.from_config(key)
@@ -273,6 +293,7 @@ class ModelRegistry:
         with self._lock:
             self._models.clear()
             self._key_locks.clear()
+            self._m_resident.set(0)
 
     def stats(self) -> Dict:
         with self._lock:

@@ -40,6 +40,9 @@ from repro.legalize.legalizer import (
     reset_legalize_timing,
 )
 from repro.metrics.legality import LegalityResult, default_legalize_workers
+from repro.obs.export import SnapshotWriter
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.serve.batching import BatchedSamplingModel
 from repro.serve.engine import EngineClient, ServeEngine
 from repro.serve.registry import ModelKey, ModelRegistry
@@ -162,6 +165,13 @@ class PatternService:
         engine: a pre-built (possibly shared) :class:`ServeEngine`.  The
             service then only *binds* its model to it — ``stop`` leaves a
             shared engine running for its other tenants.
+        metrics / tracer: explicit observability sinks.  When omitted and
+            ``config.obs.enabled``, the service builds a *private*
+            :class:`~repro.obs.metrics.MetricsRegistry` (with the
+            configured latency buckets) and
+            :class:`~repro.obs.trace.Tracer` and threads them through
+            every component it constructs; disabled configs get the
+            shared no-op instances.
     """
 
     def __init__(
@@ -182,16 +192,50 @@ class PatternService:
         queue_limit: Optional[int] = None,
         deadline: Optional[float] = None,
         engine: Optional[ServeEngine] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.config = config or PipelineConfig()
         serve_cfg = self.config.serve
+        obs_cfg = self.config.obs
+        # A private registry/tracer per service (unless injected): its
+        # snapshots then describe exactly this service's traffic, and two
+        # services in one process never mix series.
+        if metrics is not None:
+            self.metrics = metrics
+        elif obs_cfg.enabled:
+            self.metrics = MetricsRegistry(
+                latency_buckets=obs_cfg.latency_buckets
+            )
+        else:
+            self.metrics = NULL_METRICS
+        if tracer is not None:
+            self.tracer = tracer
+        elif obs_cfg.enabled:
+            self.tracer = Tracer(max_spans=obs_cfg.max_spans)
+        else:
+            self.tracer = NULL_TRACER
+        self._m_requests = self.metrics.counter(
+            "repro_requests_total",
+            "Requests served, by outcome",
+            labels=("status",),
+        )
+        self._m_request_latency = self.metrics.histogram(
+            "repro_request_latency_seconds",
+            "End-to-end request wall time",
+        )
+        self._snapshot_writer: Optional[SnapshotWriter] = None
         self._model = model
         self.model_key = model_key or ModelKey.from_config(self.config.train)
         self.registry = registry or ModelRegistry(
-            save_dir=self.config.model_cache
+            save_dir=self.config.model_cache, metrics=self.metrics
         )
+        if store is None and self.config.store.store_dir:
+            store = LibraryStore(
+                self.config.store.store_dir, metrics=self.metrics
+            )
         self.store = store
         self._backend_factory = backend_factory or SimulatedLLM
         self._gather_window = gather_window
@@ -235,16 +279,18 @@ class PatternService:
         store: Optional[LibraryStore] = None,
         backend_factory: Optional[Callable[[], LLMBackend]] = None,
         engine: Optional[ServeEngine] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> "PatternService":
         """Build a service entirely from one :class:`PipelineConfig`.
 
         The model recipe comes from ``config.train`` (resolved through the
         registry, including the ``config.model_cache`` disk tier), every
-        engine/scheduler/worker knob from ``config.serve`` and the store
-        from ``config.store.store_dir``.
+        engine/scheduler/worker knob from ``config.serve``, the store
+        from ``config.store.store_dir`` and the observability layer from
+        ``config.obs`` (the store itself is opened by the constructor, so
+        its counters land in the service's registry).
         """
-        if store is None and config.store.store_dir:
-            store = LibraryStore(config.store.store_dir)
         serve = config.serve
         return cls(
             model=model,
@@ -262,6 +308,8 @@ class PatternService:
             deadline=serve.deadline,
             engine=engine,
             config=config,
+            metrics=metrics,
+            tracer=tracer,
         )
 
     def _next_request_id(self) -> int:
@@ -308,7 +356,19 @@ class PatternService:
                     gather_window=self._gather_window,
                     max_batch=self._max_batch,
                     deadline=self.deadline,
+                    metrics=self.metrics,
                 )
+            obs_cfg = self.config.obs
+            if (
+                obs_cfg.enabled
+                and obs_cfg.snapshot_path
+                and self._snapshot_writer is None
+            ):
+                self._snapshot_writer = SnapshotWriter(
+                    self.metrics,
+                    obs_cfg.snapshot_path,
+                    interval=obs_cfg.snapshot_interval,
+                ).start()
             if self._model is None:
                 self._model = self.registry.get_or_fit(self.model_key)
             if self._client is None or self._client.model is not self._model:
@@ -326,10 +386,19 @@ class PatternService:
         """Stop an owned engine (drain, then shut the pool down).
 
         A *shared* engine (passed in via ``engine=``) keeps running — its
-        other tenants still depend on it; only the owner stops it.
+        other tenants still depend on it; only the owner stops it.  The
+        service's own telemetry outputs always close: the snapshot writer
+        performs a final dump and the configured ``trace_path`` receives
+        the collected spans as JSON lines.
         """
         if self._engine is not None and self._owns_engine:
             self._engine.stop()
+        if self._snapshot_writer is not None:
+            self._snapshot_writer.stop(write_final=True)
+            self._snapshot_writer = None
+        trace_path = self.config.obs.trace_path
+        if trace_path and self.tracer.enabled:
+            self.tracer.export_jsonl(trace_path)
 
     def __enter__(self) -> "PatternService":
         return self.start()
@@ -383,54 +452,76 @@ class PatternService:
     def _handle_one(self, request: ServeRequest) -> ServeResponse:
         started = time.perf_counter()
         client = BatchedSamplingModel(
-            self._client, source=request.source, deadline=request.deadline
+            self._client,
+            source=request.source,
+            deadline=request.deadline,
+            tracer=self.tracer,
         )
         result: Optional[ChatResult] = None
         error: Optional[str] = None
         # One pipeline per request, bound to the batched client: the agent
         # tools, the persistence below and the CLI all share these stage
         # primitives.
-        pipeline = PatternPipeline(self.config, model=client, store=self.store)
-        # The whole agent pipeline for this request runs on this thread, so
-        # the thread-local legalization counters isolate its legalize cost.
-        reset_legalize_timing()
-        try:  # fault isolation: one bad request must not sink the batch,
-            # and that covers per-request setup (backend construction) too
-            chat = ChatPattern(
-                model=client,
-                backend=self._backend_factory(),
-                max_retries=self.max_retries,
-                base_seed=self.base_seed + 7919 * request.request_id,
-                store=self.store,
-                pipeline=pipeline,
-            )
-            result = chat.handle_request(
-                request.text, objective=request.objective
-            )
-        except Exception as exc:
-            error = f"{type(exc).__name__}: {exc}"
-        legalize_calls, legalize_seconds = collect_legalize_timing()
-        stats = RequestStats(
-            request_id=request.request_id,
-            wall_seconds=time.perf_counter() - started,
-            queue_wait_seconds=client.queue_wait_seconds,
-            sample_jobs=client.sample_jobs,
-            samples=client.samples,
-            batch_sizes=list(client.batch_sizes),
-            produced=result.produced if result is not None else 0,
-            dropped=result.dropped if result is not None else 0,
-            legalize_calls=legalize_calls,
-            legalize_seconds=legalize_seconds,
+        pipeline = PatternPipeline(
+            self.config,
+            model=client,
+            store=self.store,
+            metrics=self.metrics,
+            tracer=self.tracer,
         )
-        if result is not None and len(result.library):
-            # Unconditional persistence through the pipeline primitive: the
-            # add is idempotent (content-hash dedup), so patterns the agent
-            # already saved via Save_Library simply show up in
-            # `store_deduplicated` here.  No-op without a store.
-            report = pipeline.persist_library(result.library)
-            if report is not None:
-                stats.store_added = report.added
-                stats.store_deduplicated = report.deduplicated
+        # The whole agent pipeline for this request runs on this thread, so
+        # the thread-local legalization counters isolate its legalize cost
+        # — and the root span opened here parents every stage span and
+        # every engine-side hop the batched client records.
+        reset_legalize_timing()
+        with self.tracer.trace(
+            "request",
+            request_id=request.request_id,
+            source=request.source,
+            objective=request.objective,
+        ):
+            try:  # fault isolation: one bad request must not sink the
+                # batch, and that covers per-request setup too
+                chat = ChatPattern(
+                    model=client,
+                    backend=self._backend_factory(),
+                    max_retries=self.max_retries,
+                    base_seed=self.base_seed + 7919 * request.request_id,
+                    store=self.store,
+                    pipeline=pipeline,
+                )
+                result = chat.handle_request(
+                    request.text, objective=request.objective
+                )
+            except Exception as exc:
+                error = f"{type(exc).__name__}: {exc}"
+            legalize_calls, legalize_seconds = collect_legalize_timing()
+            stats = RequestStats(
+                request_id=request.request_id,
+                wall_seconds=time.perf_counter() - started,
+                queue_wait_seconds=client.queue_wait_seconds,
+                sample_jobs=client.sample_jobs,
+                samples=client.samples,
+                batch_sizes=list(client.batch_sizes),
+                produced=result.produced if result is not None else 0,
+                dropped=result.dropped if result is not None else 0,
+                legalize_calls=legalize_calls,
+                legalize_seconds=legalize_seconds,
+            )
+            if result is not None and len(result.library):
+                # Unconditional persistence through the pipeline primitive:
+                # the add is idempotent (content-hash dedup), so patterns
+                # the agent already saved via Save_Library simply show up
+                # in `store_deduplicated` here.  No-op without a store.
+                with self.tracer.span(
+                    "store_persist", patterns=len(result.library)
+                ):
+                    report = pipeline.persist_library(result.library)
+                if report is not None:
+                    stats.store_added = report.added
+                    stats.store_deduplicated = report.deduplicated
+        self._m_requests.inc(status="error" if error else "ok")
+        self._m_request_latency.observe(time.perf_counter() - started)
         return ServeResponse(
             request=request, result=result, stats=stats, error=error
         )
@@ -465,7 +556,11 @@ class PatternService:
         # used, not the requested ceiling.
         workers = max(1, min(int(workers), len(items) or 1))
         pipeline = PatternPipeline(
-            self.config, model=self._model, store=self.store
+            self.config,
+            model=self._model,
+            store=self.store,
+            metrics=self.metrics,
+            tracer=self.tracer,
         )
         result = pipeline.legalize_topologies(
             items,

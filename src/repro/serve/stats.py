@@ -20,7 +20,10 @@ class BatchRecord:
     which bound back-end the trajectory served, which executor ran it and
     under which batching policy it was selected.  They default to neutral
     values so records from the single-model scheduler facade stay
-    identical to the pre-engine ones.
+    identical to the pre-engine ones.  ``started_at`` is the
+    ``time.perf_counter`` instant execution began (0.0 on legacy or
+    synthetic records) — what lets the aggregate distinguish wall-clock
+    span from summed per-worker busy time when executors overlap.
     """
 
     jobs: int
@@ -30,6 +33,11 @@ class BatchRecord:
     model: Optional[str] = None
     worker: int = 0
     policy: str = ""
+    started_at: float = 0.0
+
+    @property
+    def ended_at(self) -> float:
+        return self.started_at + self.wall_seconds
 
     @property
     def samples_per_sec(self) -> float:
@@ -38,7 +46,17 @@ class BatchRecord:
 
 @dataclass
 class SchedulerStats:
-    """Aggregate view over a scheduler's batch records."""
+    """Aggregate view over a scheduler's batch records.
+
+    ``wall_seconds`` is the *span-union* wall clock — first batch start to
+    last batch end — so ``samples_per_sec`` reports true throughput even
+    when ``engine_workers > 1`` executors overlap.  ``busy_seconds`` is
+    the summed per-batch execution time across all workers (the old
+    ``wall_seconds`` semantics); ``busy_seconds / wall_seconds`` is the
+    pool's effective parallelism.  Records without execution timestamps
+    (legacy or hand-built) fall back to ``wall = busy``, which is exact
+    for a single worker.
+    """
 
     batches: int
     jobs: int
@@ -46,23 +64,41 @@ class SchedulerStats:
     max_batch_size: int
     mean_batch_size: float
     wall_seconds: float
+    busy_seconds: float = 0.0
 
     @property
     def samples_per_sec(self) -> float:
         return self.samples / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
+    @property
+    def parallelism(self) -> float:
+        """Effective executor overlap: summed busy time over span wall."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.busy_seconds / self.wall_seconds
+
     @classmethod
     def from_records(cls, records: Sequence[BatchRecord]) -> "SchedulerStats":
         if not records:
-            return cls(0, 0, 0, 0, 0.0, 0.0)
+            return cls(0, 0, 0, 0, 0.0, 0.0, 0.0)
         sizes = [r.samples for r in records]
+        busy = sum(r.wall_seconds for r in records)
+        if all(r.started_at > 0 for r in records):
+            # Span union (first start -> last end): parallel workers'
+            # overlapping batches no longer double-count wall time.
+            wall = max(r.ended_at for r in records) - min(
+                r.started_at for r in records
+            )
+        else:
+            wall = busy
         return cls(
             batches=len(records),
             jobs=sum(r.jobs for r in records),
             samples=sum(sizes),
             max_batch_size=max(sizes),
             mean_batch_size=sum(sizes) / len(sizes),
-            wall_seconds=sum(r.wall_seconds for r in records),
+            wall_seconds=wall,
+            busy_seconds=busy,
         )
 
     def as_dict(self) -> Dict:
@@ -73,7 +109,9 @@ class SchedulerStats:
             "max_batch_size": self.max_batch_size,
             "mean_batch_size": round(self.mean_batch_size, 2),
             "wall_seconds": round(self.wall_seconds, 4),
+            "busy_seconds": round(self.busy_seconds, 4),
             "samples_per_sec": round(self.samples_per_sec, 2),
+            "parallelism": round(self.parallelism, 2),
         }
 
 

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Union
 import numpy as np
 
 from repro.io.store import load_library, save_library
+from repro.obs.metrics import default_metrics
 from repro.squish.pattern import PatternLibrary, SquishPattern
 
 _INDEX_NAME = "index.json"
@@ -98,12 +99,24 @@ class LibraryStore:
     entries.
     """
 
-    def __init__(self, root: Union[str, Path]):
+    def __init__(self, root: Union[str, Path], metrics=None):
         self.root = Path(root)
         (self.root / "objects").mkdir(parents=True, exist_ok=True)
         self._lock = threading.RLock()
         self._records: Dict[str, StoreRecord] = {}
         self._load_index()
+        self.metrics = metrics if metrics is not None else default_metrics()
+        self._m_added = self.metrics.counter(
+            "repro_store_added_total", "Unique patterns written to the store"
+        )
+        self._m_deduplicated = self.metrics.counter(
+            "repro_store_deduplicated_total",
+            "Patterns deduplicated against an existing topology",
+        )
+        self._m_unique = self.metrics.gauge(
+            "repro_store_unique_patterns", "Unique patterns in the store index"
+        )
+        self._m_unique.set(len(self._records))
 
     # -- persistence ---------------------------------------------------
 
@@ -147,6 +160,7 @@ class LibraryStore:
                 record.duplicates += 1
                 if record.legal is None and legal is not None:
                     record.legal = legal
+                self._m_deduplicated.inc()
                 if flush:
                     self._flush()
                 return content_hash, False
@@ -167,6 +181,8 @@ class LibraryStore:
                 file=str(written.relative_to(self.root)),
             )
             self._records[content_hash] = record
+            self._m_added.inc()
+            self._m_unique.set(len(self._records))
             if flush:
                 self._flush()
             return content_hash, True

@@ -1,0 +1,141 @@
+"""Exporter tests: text exposition rendering + parsing, snapshot files.
+
+``parse_exposition`` is the same parser the CI obs-smoke job runs against
+a real serve snapshot, so its strictness (cumulative buckets, ``+Inf``
+presence, well-formed samples) is itself under test here.
+"""
+
+import json
+import math
+import time
+
+import pytest
+
+from repro.obs import (
+    ExpositionError,
+    MetricsRegistry,
+    SnapshotWriter,
+    exposition_path,
+    load_snapshot,
+    parse_exposition,
+    render_exposition,
+    write_snapshot,
+)
+
+
+def _populated_registry():
+    registry = MetricsRegistry()
+    registry.counter(
+        "repro_jobs_total", "Jobs by policy", labels=("policy",)
+    ).inc(3, policy="greedy")
+    registry.gauge("repro_queue_depth", "Queued jobs").set(2)
+    hist = registry.histogram(
+        "repro_wait_seconds", "Queue wait", buckets=(0.1, 1.0)
+    )
+    for value in (0.05, 0.5, 5.0):
+        hist.observe(value)
+    return registry
+
+
+class TestExposition:
+    def test_render_roundtrips_through_parse(self):
+        text = _populated_registry().to_prometheus()
+        families = parse_exposition(text)
+        assert families["repro_jobs_total"]["type"] == "counter"
+        assert families["repro_jobs_total"]["help"] == "Jobs by policy"
+        assert families["repro_jobs_total"]["samples"] == [
+            ("repro_jobs_total", {"policy": "greedy"}, 3.0)
+        ]
+        assert families["repro_queue_depth"]["samples"][0][2] == 2.0
+        hist = families["repro_wait_seconds"]
+        assert hist["type"] == "histogram"
+        samples = {
+            (name, labels.get("le")): value
+            for name, labels, value in hist["samples"]
+        }
+        assert samples[("repro_wait_seconds_bucket", "0.1")] == 1.0
+        assert samples[("repro_wait_seconds_bucket", "1")] == 2.0
+        assert samples[("repro_wait_seconds_bucket", "+Inf")] == 3.0
+        assert samples[("repro_wait_seconds_count", None)] == 3.0
+        assert samples[("repro_wait_seconds_sum", None)] == pytest.approx(5.55)
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", labels=("tag",)).inc(
+            tag='quo"te\nnewline\\slash'
+        )
+        families = parse_exposition(registry.to_prometheus())
+        _, labels, value = families["repro_x_total"]["samples"][0]
+        assert labels["tag"] == 'quo"te\nnewline\\slash'
+        assert value == 1.0
+
+    def test_parse_rejects_malformed_samples(self):
+        with pytest.raises(ExpositionError, match="malformed sample"):
+            parse_exposition("}{bad line\n")
+        with pytest.raises(ExpositionError, match="non-numeric"):
+            parse_exposition("repro_x_total NaNope\n")
+        with pytest.raises(ExpositionError, match="malformed TYPE"):
+            parse_exposition("# TYPE repro_x\n")
+        with pytest.raises(ExpositionError, match="unknown metric type"):
+            parse_exposition("# TYPE repro_x flavor\n")
+
+    def test_parse_rejects_non_cumulative_buckets(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="0.1"} 5\n'
+            'repro_h_bucket{le="1"} 3\n'
+            'repro_h_bucket{le="+Inf"} 5\n'
+        )
+        with pytest.raises(ExpositionError, match="not cumulative"):
+            parse_exposition(text)
+
+    def test_parse_rejects_missing_inf_bucket(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="0.1"} 1\n'
+        )
+        with pytest.raises(ExpositionError, match=r"missing \+Inf"):
+            parse_exposition(text)
+
+    def test_untyped_and_comment_lines_tolerated(self):
+        families = parse_exposition(
+            "# just a comment\nsome_metric 4\nvalue_inf +Inf\n"
+        )
+        assert families["some_metric"]["type"] == "untyped"
+        assert families["value_inf"]["samples"][0][2] == math.inf
+
+
+class TestSnapshotFiles:
+    def test_write_and_load_roundtrip(self, tmp_path):
+        snapshot = _populated_registry().snapshot()
+        path = write_snapshot(snapshot, tmp_path / "metrics.json")
+        assert load_snapshot(path) == json.loads(json.dumps(snapshot))
+        # No tmp litter left behind by the atomic write.
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_exposition_path_sibling(self, tmp_path):
+        assert exposition_path(tmp_path / "m.json").name == "m.json.prom"
+
+    def test_snapshot_writer_dumps_both_formats(self, tmp_path):
+        registry = _populated_registry()
+        writer = SnapshotWriter(registry, tmp_path / "m.json", interval=60.0)
+        writer.write_once()
+        assert writer.writes == 1
+        assert load_snapshot(tmp_path / "m.json")["version"] == 1
+        families = parse_exposition((tmp_path / "m.json.prom").read_text())
+        assert "repro_queue_depth" in families
+
+    def test_snapshot_writer_background_ticks_and_final_write(self, tmp_path):
+        registry = _populated_registry()
+        writer = SnapshotWriter(registry, tmp_path / "m.json", interval=0.02)
+        with writer:
+            deadline = time.time() + 5.0
+            while writer.writes < 2 and time.time() < deadline:
+                time.sleep(0.01)
+        assert writer.writes >= 3  # >= 2 ticks + the final write on stop
+        assert (tmp_path / "m.json").exists()
+        assert (tmp_path / "m.json.prom").exists()
+
+    def test_snapshot_writer_validates_interval(self, tmp_path):
+        with pytest.raises(ValueError, match="interval"):
+            SnapshotWriter(MetricsRegistry(), tmp_path / "m.json", interval=0)

@@ -1,0 +1,234 @@
+"""Unit tests for the metrics primitives.
+
+The load-bearing piece is the 8-thread hammer: many writers incrementing
+one counter, one gauge and one histogram concurrently while a reader
+takes snapshots mid-flight — the final totals must be exact (no lost
+updates) and successive counter snapshots monotonic.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_METRICS,
+    MetricError,
+    MetricsRegistry,
+    default_metrics,
+    set_default_metrics,
+    validate_buckets,
+)
+
+
+class TestInstruments:
+    def test_counter_counts_and_rejects_negative(self):
+        counter = MetricsRegistry().counter("repro_test_total", "help text")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+        with pytest.raises(MetricError, match="only go up"):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = MetricsRegistry().gauge("repro_test_depth")
+        gauge.set(4)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value() == 3.0
+
+    def test_labels_are_independent_series(self):
+        counter = MetricsRegistry().counter(
+            "repro_jobs_total", labels=("policy",)
+        )
+        counter.inc(policy="greedy")
+        counter.inc(2, policy="fair_share")
+        assert counter.value(policy="greedy") == 1.0
+        assert counter.value(policy="fair_share") == 2.0
+        with pytest.raises(MetricError, match="takes labels"):
+            counter.inc(nope="x")
+        with pytest.raises(MetricError, match="takes labels"):
+            counter.value()
+
+    def test_histogram_counts_sum_and_percentiles(self):
+        hist = MetricsRegistry().histogram(
+            "repro_latency_seconds", buckets=(0.1, 1.0, 10.0)
+        )
+        for value in (0.05, 0.05, 0.5, 0.5, 5.0):
+            hist.observe(value)
+        assert hist.count() == 5
+        assert hist.total() == pytest.approx(6.1)
+        # Ranks 1-2 land in (0, 0.1], 3-4 in (0.1, 1.0], 5 in (1.0, 10.0].
+        assert 0 < hist.percentile(10) <= 0.1
+        assert 0.1 < hist.percentile(50) <= 1.0
+        assert 1.0 < hist.percentile(99) <= 10.0
+        ps = hist.percentiles()
+        assert set(ps) == {"p50", "p95", "p99"}
+
+    def test_histogram_overflow_clamps_to_last_finite_bound(self):
+        hist = MetricsRegistry().histogram("repro_h", buckets=(1.0, 2.0))
+        hist.observe(100.0)
+        assert hist.percentile(99) == 2.0
+        snap = hist.snapshot()["series"][0]
+        assert snap["buckets"][-1] == ["+Inf", 1]
+        assert snap["buckets"][-2] == [2.0, 0]
+
+    def test_empty_histogram_reads_zero(self):
+        hist = MetricsRegistry().histogram("repro_h")
+        assert hist.count() == 0
+        assert hist.percentile(50) == 0.0
+
+    def test_bucket_validation(self):
+        for bad in ((), (0.0, 1.0), (1.0, 1.0), (2.0, 1.0), (float("inf"),)):
+            with pytest.raises(MetricError):
+                validate_buckets(bad)
+        assert validate_buckets((1, 2.5)) == (1.0, 2.5)
+
+
+class TestRegistry:
+    def test_declaration_is_idempotent_but_kind_checked(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_x_total")
+        assert registry.counter("repro_x_total") is counter
+        with pytest.raises(MetricError, match="already declared"):
+            registry.gauge("repro_x_total")
+        with pytest.raises(MetricError, match="labels"):
+            registry.counter("repro_x_total", labels=("policy",))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricError, match="invalid metric name"):
+            registry.counter("0bad")
+        with pytest.raises(MetricError, match="invalid label name"):
+            registry.counter("repro_ok", labels=("le-gal",))
+
+    def test_latency_buckets_seam(self):
+        registry = MetricsRegistry(latency_buckets=(0.5, 5.0))
+        assert registry.histogram("repro_h").bounds == (0.5, 5.0)
+        assert registry.histogram(
+            "repro_h2", buckets=(1.0,)
+        ).bounds == (1.0,)
+        default = MetricsRegistry().histogram("repro_h")
+        assert default.bounds == DEFAULT_LATENCY_BUCKETS
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total", "A total").inc(3)
+        registry.histogram("repro_b_seconds", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["version"] == 1
+        by_name = {m["name"]: m for m in snapshot["metrics"]}
+        assert by_name["repro_a_total"]["type"] == "counter"
+        assert by_name["repro_a_total"]["series"] == [
+            {"labels": {}, "value": 3.0}
+        ]
+        series = by_name["repro_b_seconds"]["series"][0]
+        assert series["count"] == 1
+        assert series["buckets"] == [[1.0, 1], ["+Inf", 1]]
+        assert "p95" in series
+
+    def test_disabled_registry_is_inert(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("repro_x_total")
+        counter.inc(5)
+        assert counter.value() == 0.0
+        assert registry.get("repro_x_total") is None
+        assert registry.snapshot()["metrics"] == []
+        # The shared null registry behaves identically and never records.
+        NULL_METRICS.histogram("repro_y").observe(1.0)
+        assert NULL_METRICS.names() == []
+
+    def test_default_registry_swap(self):
+        replacement = MetricsRegistry()
+        previous = set_default_metrics(replacement)
+        try:
+            assert default_metrics() is replacement
+        finally:
+            set_default_metrics(previous)
+
+
+class TestConcurrency:
+    def test_eight_thread_hammer_exact_totals(self):
+        """8 writers, 2000 increments each: totals exact, snapshots sane."""
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_hits_total", labels=("worker",))
+        gauge = registry.gauge("repro_depth")
+        hist = registry.histogram("repro_wait_seconds", buckets=(0.5, 1.0))
+        n_threads, n_iter = 8, 2000
+        start = threading.Barrier(n_threads)
+
+        def hammer(worker):
+            start.wait()
+            for i in range(n_iter):
+                counter.inc(worker=str(worker))
+                gauge.inc()
+                hist.observe((i % 3) * 0.4)  # 0.0 / 0.4 / 0.8
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,))
+            for w in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        total = n_threads * n_iter
+        for worker in range(n_threads):
+            assert counter.value(worker=str(worker)) == n_iter
+        assert gauge.value() == total
+        assert hist.count() == total
+        expected = n_threads * sum((i % 3) * 0.4 for i in range(n_iter))
+        assert hist.total() == pytest.approx(expected)
+
+    def test_snapshots_under_load_are_monotonic(self):
+        """A reader snapshotting mid-hammer never sees a counter go back."""
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_ops_total")
+        hist = registry.histogram("repro_h", buckets=(1.0,))
+        n_threads, n_iter = 8, 1500
+        done = threading.Event()
+
+        def hammer():
+            for _ in range(n_iter):
+                counter.inc()
+                hist.observe(0.5)
+
+        threads = [
+            threading.Thread(target=hammer) for _ in range(n_threads)
+        ]
+        observed = []
+
+        def reader():
+            while not done.is_set():
+                snapshot = registry.snapshot()
+                by_name = {m["name"]: m for m in snapshot["metrics"]}
+                # Series materialize on first write — an early snapshot may
+                # legitimately predate them.
+                ops = by_name["repro_ops_total"]["series"]
+                h = by_name["repro_h"]["series"]
+                observed.append(
+                    (
+                        ops[0]["value"] if ops else 0.0,
+                        h[0]["count"] if h else 0,
+                    )
+                )
+
+        watcher = threading.Thread(target=reader)
+        watcher.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        done.set()
+        watcher.join()
+        # One deterministic final read after every writer finished.
+        observed.append((counter.value(), hist.count()))
+
+        total = n_threads * n_iter
+        assert counter.value() == total
+        counts = [c for c, _ in observed]
+        hist_counts = [h for _, h in observed]
+        assert counts == sorted(counts)
+        assert hist_counts == sorted(hist_counts)
+        assert observed[-1] == (total, total)

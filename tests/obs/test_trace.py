@@ -1,0 +1,139 @@
+"""Tracer tests: nesting, cross-thread record, trees, JSONL export."""
+
+import json
+import threading
+import time
+
+from repro.obs import NULL_TRACER, Tracer
+
+
+class TestSpans:
+    def test_trace_and_nested_spans(self):
+        tracer = Tracer()
+        with tracer.trace("request", request_id="req-1", source="cli"):
+            with tracer.span("sample", count=4):
+                pass
+            with tracer.span("legalize"):
+                pass
+        spans = {span.name: span for span in tracer.spans("req-1")}
+        assert set(spans) == {"request", "sample", "legalize"}
+        root = spans["request"]
+        assert root.parent_id is None
+        assert root.attrs == {"source": "cli"}
+        assert spans["sample"].parent_id == root.span_id
+        assert spans["sample"].attrs == {"count": 4}
+        assert spans["legalize"].parent_id == root.span_id
+        # The root closes last: it covers its children.
+        assert root.end >= spans["legalize"].end
+        assert root.duration >= 0.0
+
+    def test_span_without_root_starts_fresh_trace(self):
+        tracer = Tracer()
+        with tracer.span("standalone"):
+            pass
+        (span,) = tracer.spans()
+        assert span.parent_id is None
+        assert tracer.trace_ids() == [span.trace_id]
+
+    def test_record_attaches_to_current_context(self):
+        tracer = Tracer()
+        with tracer.trace("request", request_id=9) as root:
+            tracer.record("queue_wait", 1.0, 1.5, batch_samples=3)
+        (recorded,) = [s for s in tracer.spans(9) if s.name == "queue_wait"]
+        assert recorded.parent_id == root.span_id
+        assert recorded.start == 1.0
+        assert recorded.duration == 0.5
+        assert recorded.attrs == {"batch_samples": 3}
+
+    def test_record_cross_thread_with_explicit_ids(self):
+        """A worker thread attaches measured work to the client's trace."""
+        tracer = Tracer()
+        with tracer.trace("request", request_id="r") as root:
+            ids = (root.trace_id, root.span_id)
+
+            def worker():
+                tracer.record(
+                    "execute", 2.0, 3.0, trace_id=ids[0], parent_id=ids[1]
+                )
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        tree = tracer.tree("r")
+        assert [child["name"] for child in tree["children"]] == ["execute"]
+
+    def test_stack_recovers_from_leaked_inner_span(self):
+        tracer = Tracer()
+        with tracer.trace("outer", request_id=1):
+            inner = tracer.span("inner")
+            inner.__enter__()  # never exited — the outer pop must recover
+        assert tracer.current() is None
+        with tracer.span("after"):
+            pass
+        names = [span.name for span in tracer.spans()]
+        assert "after" in names
+
+
+class TestTreeAndExport:
+    def test_tree_nests_and_sorts_children(self):
+        tracer = Tracer()
+        with tracer.trace("request", request_id="t"):
+            with tracer.span("first"):
+                time.sleep(0.001)
+            with tracer.span("second"):
+                pass
+        tree = tracer.tree("t")
+        assert tree["name"] == "request"
+        assert [c["name"] for c in tree["children"]] == ["first", "second"]
+        assert tracer.tree("missing") is None
+
+    def test_tree_synthesizes_root_for_orphan_spans(self):
+        tracer = Tracer()
+        tracer.record("a", 1.0, 2.0, trace_id="x", parent_id=999)
+        tracer.record("b", 2.0, 4.0, trace_id="x", parent_id=999)
+        tree = tracer.tree("x")
+        assert tree["name"] == "trace"
+        assert tree["duration"] == 3.0
+        assert len(tree["children"]) == 2
+
+    def test_bounded_buffer_evicts_oldest(self):
+        tracer = Tracer(max_spans=3)
+        for i in range(5):
+            tracer.record(f"s{i}", 0.0, 1.0, trace_id=i)
+        assert [span.name for span in tracer.spans()] == ["s2", "s3", "s4"]
+
+    def test_export_jsonl(self, tmp_path):
+        tracer = Tracer()
+        with tracer.trace("request", request_id="req-7"):
+            with tracer.span("sample"):
+                pass
+        with tracer.trace("request", request_id="req-8"):
+            pass
+        path = tracer.export_jsonl(tmp_path / "traces.jsonl")
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert len(lines) == 3
+        assert {line["trace_id"] for line in lines} == {"req-7", "req-8"}
+        only = tracer.export_jsonl(tmp_path / "one.jsonl", trace_id="req-7")
+        lines = [json.loads(l) for l in only.read_text().splitlines()]
+        assert {line["trace_id"] for line in lines} == {"req-7"}
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.record("a", 0.0, 1.0)
+        tracer.clear()
+        assert tracer.spans() == []
+
+
+class TestDisabled:
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.trace("request", request_id=1) as span:
+            assert span is None
+            with NULL_TRACER.span("child") as child:
+                assert child is None
+        assert NULL_TRACER.record("x", 0.0, 1.0) is None
+        assert NULL_TRACER.spans() == []
+
+    def test_disabled_tracer_export_writes_empty_file(self, tmp_path):
+        tracer = Tracer(enabled=False)
+        path = tracer.export_jsonl(tmp_path / "traces.jsonl")
+        assert path.read_text() == ""

@@ -1,0 +1,240 @@
+"""Integration tests: the obs instruments wired through the serve stack.
+
+Engine-level tests use a stub back-end (fast, no diffusion); the
+service-level tests ride the session-scoped ``small_model`` like the rest
+of the service suite.  The load-bearing case is the queue-depth gauge vs
+``EngineStats.queued`` under concurrent submit/drain races — the two views
+are maintained independently (gauge in the instrumented hot path, counter
+in the engine's own bookkeeping) and must tell the same story.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import ObsConfig, PipelineConfig, ServeConfig, TrainConfig
+from repro.obs import NULL_METRICS, MetricsRegistry, parse_exposition
+from repro.serve import (
+    DeadlineExpiredError,
+    ModelKey,
+    ModelRegistry,
+    PatternService,
+    QueueFullError,
+    ServeEngine,
+    ServeRequest,
+)
+
+
+class StubModel:
+    """Minimal sampling back-end for engine-level tests."""
+
+    def __init__(self, window=16, delay=0.0):
+        self.window = window
+        self.fitted = True
+        self.delay = delay
+        self.supports_sampler_steps = True
+
+    def sample_batch(self, conditions, rng, shape=None, **kwargs):
+        shape = shape or (self.window, self.window)
+        if self.delay:
+            time.sleep(self.delay)
+        return np.zeros((len(conditions), *shape), dtype=np.uint8)
+
+
+class TestEngineInstrumentation:
+    def test_counters_and_histograms_populate(self):
+        metrics = MetricsRegistry()
+        engine = ServeEngine(gather_window=0.0, metrics=metrics)
+        client = engine.bind(StubModel())
+        with engine:
+            jobs = [client.submit(2, 0, seed=i) for i in range(4)]
+            for job in jobs:
+                job.result(timeout=30)
+        stats = engine.stats()
+
+        assert metrics.get("repro_jobs_submitted_total").value() == 4
+        assert metrics.get("repro_queue_depth").value() == 0
+        batches = metrics.get("repro_batch_size_samples")
+        assert batches.count(policy="greedy") == stats.scheduler.batches
+        # Batch sizes are in samples: 4 jobs x 2 samples = 8 observed total.
+        assert batches.total(policy="greedy") == 8
+        latency = metrics.get("repro_batch_latency_seconds")
+        assert latency.count(policy="greedy") == stats.scheduler.batches
+        gather = metrics.get("repro_gather_latency_seconds")
+        assert gather.count(policy="greedy") == stats.scheduler.batches
+        assert metrics.get("repro_queue_wait_seconds").count() == 4
+        busy = metrics.get("repro_worker_busy_seconds_total")
+        assert busy.value(worker="0") == pytest.approx(
+            stats.scheduler.busy_seconds
+        )
+
+    def test_rejected_and_expired_counters(self):
+        metrics = MetricsRegistry()
+        engine = ServeEngine(
+            queue_limit=1, gather_window=0.0, metrics=metrics
+        )
+        client = engine.bind(StubModel())
+        doomed = client.submit(1, 0, seed=1, deadline=0.01)
+        with pytest.raises(QueueFullError):
+            client.submit(1, 0, seed=2)
+        time.sleep(0.05)  # the queued job expires while the pool is down
+        with engine:
+            with pytest.raises(DeadlineExpiredError):
+                doomed.result(timeout=30)
+        assert metrics.get("repro_jobs_submitted_total").value() == 1
+        assert metrics.get("repro_jobs_rejected_total").value() == 1
+        assert metrics.get("repro_jobs_expired_total").value() == 1
+        assert metrics.get("repro_queue_depth").value() == 0
+
+    def test_queue_depth_gauge_tracks_engine_stats_under_races(self):
+        """Gauge and ``EngineStats.queued`` agree while submit races drain."""
+        metrics = MetricsRegistry()
+        engine = ServeEngine(
+            gather_window=0.0, max_batch=2, metrics=metrics
+        )
+        client = engine.bind(StubModel(delay=0.002))
+        n_threads, per_thread = 4, 10
+        jobs, jobs_lock = [], threading.Lock()
+        start = threading.Barrier(n_threads)
+
+        def submitter(base):
+            start.wait()
+            for i in range(per_thread):
+                job = client.submit(1, 0, seed=base * 100 + i)
+                with jobs_lock:
+                    jobs.append(job)
+
+        threads = [
+            threading.Thread(target=submitter, args=(t,))
+            for t in range(n_threads)
+        ]
+        readings = []
+        with engine:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            # Sample both views while the pool is still draining.
+            gauge = metrics.get("repro_queue_depth")
+            for _ in range(50):
+                readings.append((gauge.value(), engine.stats().queued))
+            for job in jobs:
+                job.result(timeout=30)
+
+        total = n_threads * per_thread
+        stats = engine.stats()
+        assert stats.submitted == total
+        assert metrics.get("repro_jobs_submitted_total").value() == total
+        # Every mid-flight reading is a plausible queue depth ...
+        for gauge_value, queued in readings:
+            assert 0 <= gauge_value <= total
+            assert 0 <= queued <= total
+        # ... and once drained the two views agree exactly.
+        assert stats.queued == 0
+        assert metrics.get("repro_queue_depth").value() == 0
+
+    def test_null_metrics_record_nothing(self):
+        engine = ServeEngine(gather_window=0.0, metrics=NULL_METRICS)
+        client = engine.bind(StubModel())
+        with engine:
+            client.submit(1, 0, seed=1).result(timeout=30)
+        assert NULL_METRICS.names() == []
+        assert NULL_METRICS.get("repro_jobs_submitted_total") is None
+
+
+REQUEST = (
+    "Generate 2 legal patterns, 64*64 topology, physical size "
+    "1024nm * 1024nm, style Layer-10001."
+)
+
+
+@pytest.fixture()
+def registry(small_model):
+    registry = ModelRegistry()
+    registry.put(ModelKey(window=64), small_model)
+    return registry
+
+
+class TestServiceInstrumentation:
+    def test_service_registry_covers_the_whole_request_path(self, small_model):
+        # One explicit metrics registry shared by the model registry and
+        # the service, so cache counters land beside the request counters.
+        metrics = MetricsRegistry()
+        registry = ModelRegistry(metrics=metrics)
+        registry.put(ModelKey(window=64), small_model)
+        service = PatternService(
+            model_key=ModelKey(window=64),
+            registry=registry,
+            gather_window=0.05,
+            max_workers=4,
+            max_retries=1,
+            metrics=metrics,
+        )
+        with service:
+            responses = service.serve(
+                [ServeRequest(text=REQUEST) for _ in range(4)]
+            )
+        assert len(responses) == 4
+
+        metrics = service.metrics
+        assert metrics.get("repro_requests_total").value(status="ok") == 4
+        assert metrics.get("repro_request_latency_seconds").count() == 4
+        assert metrics.get("repro_jobs_submitted_total").value() >= 4
+        assert metrics.get("repro_queue_depth").value() == 0
+        assert metrics.get("repro_batch_latency_seconds").count(
+            policy="greedy"
+        ) >= 1
+        # Model registry counters live in the same registry.
+        assert metrics.get("repro_model_cache_hits_total").value(
+            tier="memory"
+        ) >= 1
+        # The whole thing renders as a parseable exposition payload.
+        families = parse_exposition(metrics.to_prometheus())
+        for name in (
+            "repro_queue_depth",
+            "repro_jobs_submitted_total",
+            "repro_batch_latency_seconds",
+            "repro_requests_total",
+        ):
+            assert name in families, name
+
+        # Each request produced a span tree rooted at its request id.
+        tracer = service.tracer
+        assert tracer.enabled
+        ids = [r.request.request_id for r in responses]
+        for request_id in ids:
+            tree = tracer.tree(request_id)
+            assert tree is not None
+            assert tree["name"] == "request"
+            names = {child["name"] for child in tree["children"]}
+            assert "sample" in names
+
+    def test_obs_disabled_leaves_null_instruments(self, registry):
+        config = PipelineConfig(
+            train=TrainConfig(window=64),
+            serve=ServeConfig(max_retries=1),
+            obs=ObsConfig(enabled=False),
+        )
+        service = PatternService.from_config(config, registry=registry)
+        with service:
+            responses = service.serve([REQUEST])
+        assert len(responses) == 1
+        assert service.metrics.names() == []
+        assert not service.tracer.enabled
+        assert service.tracer.spans() == []
+
+    def test_two_services_have_independent_registries(self, registry):
+        first = PatternService(
+            model_key=ModelKey(window=64), registry=registry, max_retries=1
+        )
+        second = PatternService(
+            model_key=ModelKey(window=64), registry=registry, max_retries=1
+        )
+        assert first.metrics is not second.metrics
+        with first:
+            first.serve([REQUEST])
+        assert first.metrics.get("repro_requests_total").value(status="ok") == 1
+        requests = second.metrics.get("repro_requests_total")
+        assert requests is None or requests.value(status="ok") == 0
