@@ -133,6 +133,12 @@ class AgentTools:
     def call(self, name: str, **kwargs) -> ToolResult:
         """Dispatch a tool call by name (the agent's Action)."""
         self.call_log.append((name, dict(kwargs)))
+        job = getattr(self.pipeline, "job", None)
+        if job is not None:
+            # Cancel checkpoint between tool calls: a DELETEd chat job
+            # stops before its next action rather than running the plan
+            # to completion.
+            job.check_cancelled()
         fn = self._registry.get(name)
         if fn is None:
             return ToolResult(
@@ -142,6 +148,16 @@ class AgentTools:
         try:
             return fn(**kwargs)
         except (KeyError, ValueError, RuntimeError) as exc:
+            # Typed serving control-flow must propagate with its class
+            # intact: engine backpressure/deadline errors carry the stable
+            # machine-readable ``code`` the service's terminal job state is
+            # keyed on, and a cancel must abort the whole request — neither
+            # is a tool failure the agent should retry around.
+            from repro.serve.engine import EngineError
+            from repro.serve.jobs import JobCancelled
+
+            if isinstance(exc, (EngineError, JobCancelled)):
+                raise
             return ToolResult(ok=False, message=f"tool error: {exc}")
 
     def documentation(self) -> str:

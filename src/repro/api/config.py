@@ -177,6 +177,9 @@ class ServeConfig(StageConfig):
     in parallel; ``queue_limit`` bounds the admission queue (jobs beyond
     it fast-fail with backpressure instead of queueing unboundedly);
     ``deadline`` expires jobs still queued after that many seconds.
+    ``job_ttl`` bounds, in seconds, how long finished lifecycle jobs stay
+    readable in the service's :class:`~repro.serve.jobs.JobTable` (and
+    thus pollable over HTTP) after reaching a terminal state.
     """
 
     objective: str = "legality"
@@ -189,6 +192,7 @@ class ServeConfig(StageConfig):
     engine_workers: int = 1
     queue_limit: Optional[int] = None
     deadline: Optional[float] = None
+    job_ttl: float = 600.0
 
     def __post_init__(self):
         if self.policy not in SERVE_POLICIES:
@@ -202,6 +206,8 @@ class ServeConfig(StageConfig):
             raise ConfigError("queue_limit must be >= 1 (or null)")
         if self.deadline is not None and self.deadline <= 0:
             raise ConfigError("deadline must be > 0 seconds (or null)")
+        if self.job_ttl <= 0:
+            raise ConfigError("job_ttl must be > 0 seconds")
 
 
 @dataclass(frozen=True)

@@ -135,7 +135,7 @@ class PipelineResult:
     def _record(self, stage: str, seconds: float, **detail) -> None:
         self.timings.append(StageTiming(stage, seconds, dict(detail)))
         if self._pipeline is not None:
-            self._pipeline._observe_stage(stage, seconds)
+            self._pipeline._observe_stage(stage, seconds, detail)
 
     def stage_seconds(self, stage: str) -> float:
         return sum(t.seconds for t in self.timings if t.stage == stage)
@@ -143,6 +143,13 @@ class PipelineResult:
     @property
     def produced(self) -> int:
         return len(self.library)
+
+    @property
+    def dropped(self) -> int:
+        """Topologies that failed legalization (0 before the stage ran)."""
+        if self.legality is None:
+            return 0
+        return self.legality.total - len(self.legality.legal)
 
     def summary(self) -> str:
         parts = [f"{len(self.topologies)} topology(ies)"]
@@ -181,6 +188,14 @@ class PatternPipeline:
             ``config.obs.enabled`` picks between the process-wide defaults
             and the shared no-op instances, so a disabled config costs one
             attribute call per stage.
+        job: optional lifecycle :class:`~repro.serve.jobs.Job` this
+            pipeline reports into.  Each chainable stage then starts with
+            a cancel checkpoint + state transition
+            (``legalize`` -> LEGALIZING, ``persist`` -> PERSISTING, others
+            -> RUNNING(stage)), and the stage record produced by
+            ``PipelineResult._record`` is mirrored into the job's
+            ``stage_events`` — ``PipelineResult.timings`` and the job's
+            progress are two views of one record.
     """
 
     def __init__(
@@ -193,6 +208,7 @@ class PatternPipeline:
         verbose: bool = False,
         metrics=None,
         tracer=None,
+        job=None,
     ):
         self.config = config or PipelineConfig()
         self._model = model
@@ -208,22 +224,38 @@ class PatternPipeline:
             tracer = default_tracer() if obs.enabled else NULL_TRACER
         self.metrics = metrics
         self.tracer = tracer
+        self.job = job
         self._m_stage_latency = metrics.histogram(
             "repro_stage_latency_seconds",
             "Pipeline stage wall time",
             labels=("stage",),
         )
 
-    def _observe_stage(self, stage: str, seconds: float) -> None:
-        """Feed one executed stage into metrics and the active trace.
+    def _observe_stage(
+        self, stage: str, seconds: float, detail: Optional[Dict] = None
+    ) -> None:
+        """Feed one executed stage into metrics, trace and the job.
 
         Rides the same ``PipelineResult._record`` call that produces
-        :class:`StageTiming`, so the three views (timings, histogram,
-        span) always agree on the measured window.
+        :class:`StageTiming`, so all views (timings, histogram, span, job
+        ``stage_events``) always agree on the measured window.
         """
         self._m_stage_latency.observe(seconds, stage=stage)
         now = time.perf_counter()
         self.tracer.record(stage, now - seconds, now)
+        if self.job is not None:
+            self.job.record_stage(stage, seconds, detail)
+
+    def _enter_stage(self, stage: str) -> None:
+        """Stage entry hook: cancel checkpoint + job state transition.
+
+        Runs before the stage's timed window, so ``DELETE`` on a running
+        job takes effect between stages (raising
+        :class:`~repro.serve.jobs.JobCancelled`) and ``GET`` status
+        reports the stage actually executing.  No-op without a job.
+        """
+        if self.job is not None:
+            self.job.enter_stage(stage)
 
     # -- resolution ----------------------------------------------------
 
@@ -321,6 +353,7 @@ class PatternPipeline:
             verbose=False,
             metrics=self.metrics,
             tracer=self.tracer,
+            job=self.job,
         )
 
     def with_store(self, store) -> "PatternPipeline":
@@ -336,6 +369,7 @@ class PatternPipeline:
             verbose=False,
             metrics=self.metrics,
             tracer=self.tracer,
+            job=self.job,
         )
 
     def with_library(self, library: PatternLibrary) -> PipelineResult:
@@ -469,6 +503,7 @@ class PatternPipeline:
         result: Optional[PipelineResult] = None,
     ) -> PipelineResult:
         """Stage: draw fixed-size samples into a fresh (or given) result."""
+        self._enter_stage("sample")
         result = result or self._result()
         style = style or self.config.sample.style
         count = count if count is not None else self.config.sample.count
@@ -499,6 +534,7 @@ class PatternPipeline:
         result: Optional[PipelineResult] = None,
     ) -> PipelineResult:
         """Stage: free-size synthesis via in/out-painting."""
+        self._enter_stage("extend")
         result = result or self._result()
         style = style or self.config.sample.style
         count = count if count is not None else self.config.sample.count
@@ -530,6 +566,7 @@ class PatternPipeline:
         physical_size: Optional[Tuple[int, int]] = None,
     ) -> PipelineResult:
         """Stage: batch-legalize the result's topologies into its library."""
+        self._enter_stage("legalize")
         result = result or self._result()
         items = list(topologies) if topologies is not None else result.topologies
         style = style or result.style or self.config.sample.style
@@ -552,6 +589,7 @@ class PatternPipeline:
         self, result: Optional[PipelineResult] = None
     ) -> PipelineResult:
         """Stage: legality/diversity/library statistics into ``scores``."""
+        self._enter_stage("score")
         result = result or self._result()
         started = time.perf_counter()
         scores: Dict = {"count": len(result.library)}
@@ -571,6 +609,7 @@ class PatternPipeline:
         output: Optional[Union[str, Path]] = None,
     ) -> PipelineResult:
         """Stage: write the legal library (.npz and/or the indexed store)."""
+        self._enter_stage("persist")
         result = result or self._result()
         output = output or self.config.store.output_path
         started = time.perf_counter()
@@ -594,6 +633,7 @@ class PatternPipeline:
         result: Optional[PipelineResult] = None,
     ) -> PipelineResult:
         """Stage: write the result's library to GDSII."""
+        self._enter_stage("export")
         result = result or self._result()
         started = time.perf_counter()
         result.gds_path = Path(write_gds(result.library, path))

@@ -174,6 +174,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-obs", action="store_true",
         help="disable the observability layer (no metrics, no traces)",
     )
+    srv.add_argument(
+        "--http", metavar="HOST:PORT", default=None,
+        help="instead of serving the given requests and exiting, run the "
+             "asyncio HTTP front-end (POST /v1/jobs, GET /v1/jobs/ID, "
+             "DELETE cancel, GET /metrics) until SIGINT, then drain "
+             "gracefully; PORT 0 binds an ephemeral port",
+    )
 
     gen = sub.add_parser("generate", help="sample fixed-size patterns")
     gen.add_argument("--style", choices=STYLES, default=None)
@@ -261,7 +268,7 @@ def _cmd_serve(args) -> int:
                 for line in handle
                 if line.strip() and not line.lstrip().startswith("#")
             )
-    if not texts:
+    if not texts and not args.http:
         print("no requests given", file=sys.stderr)
         return 2
 
@@ -306,6 +313,10 @@ def _cmd_serve(args) -> int:
     pipeline = _build_pipeline(args, cfg)
     pipeline.model  # resolve through the registry (and the disk cache) now
     service = pipeline.service()
+
+    if args.http:
+        return _serve_http(args.http, service)
+
     with service:
         responses = service.serve(
             [
@@ -344,6 +355,39 @@ def _cmd_serve(args) -> int:
         saved = pipeline.with_library(merged).persist(output=args.output)
         print(f"library saved to {saved.output_path}")
     return 0 if all(r.produced for r in responses) else 1
+
+
+def _serve_http(address: str, service) -> int:
+    """Run the HTTP front-end until SIGINT/SIGTERM, then drain."""
+    from repro.serve.http import PatternHttpServer
+
+    host, _, port_text = address.rpartition(":")
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(
+            f"cannot parse --http address {address!r} "
+            "(expected HOST:PORT or PORT)",
+            file=sys.stderr,
+        )
+        return 2
+    server = PatternHttpServer(service, host=host, port=port)
+    try:
+        server.start()
+    except RuntimeError as exc:
+        print(f"HTTP server failed to start: {exc}", file=sys.stderr)
+        return 1
+    print(f"serving HTTP on {server.url} (Ctrl-C drains and exits)")
+    try:
+        # start() already ran; serve_forever re-enters it as a no-op and
+        # blocks until a signal arrives, then drains admitted jobs.
+        server.serve_forever()
+    finally:
+        stats = service.stats()
+        print(f"service: {stats.as_dict()}")
+    print("drained; bye")
+    return 0
 
 
 def _cmd_generate(args) -> int:

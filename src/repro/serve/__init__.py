@@ -20,6 +20,12 @@ Layers (front to back):
   retrain; an optional disk tier extends the cache across processes.
 - :class:`LibraryStore` — content-hash-indexed persistent pattern store
   with dedup and query-by-style/size/legality.
+- :class:`Job` / :class:`JobTable` — the request lifecycle state machine
+  (PENDING -> QUEUED -> RUNNING(stage) -> LEGALIZING -> PERSISTING ->
+  terminal) every served request is tracked as, with cancellation and
+  TTL-bounded retention.
+- :class:`PatternHttpServer` / :class:`ServeClient` — the stdlib asyncio
+  HTTP wire protocol over the job table, and its blocking client SDK.
 """
 
 from repro.serve.batching import (
@@ -41,6 +47,18 @@ from repro.serve.engine import (
     ShapeBucketedPolicy,
     resolve_batch_policy,
 )
+from repro.serve.jobs import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    Job,
+    JobCancelled,
+    JobError,
+    JobStateError,
+    JobTable,
+    error_code_for,
+)
+from repro.serve.client import JobTimeout, ServeClient, ServeClientError
+from repro.serve.http import PatternHttpServer
 from repro.serve.registry import ModelKey, ModelRegistry, fit_model
 from repro.serve.service import (
     PatternService,
@@ -73,16 +91,26 @@ __all__ = [
     "EngineStats",
     "FairSharePolicy",
     "GreedyPolicy",
+    "JOB_STATES",
+    "Job",
+    "JobCancelled",
+    "JobError",
+    "JobStateError",
+    "JobTable",
+    "JobTimeout",
     "LegalizeStageRecord",
     "LibraryStore",
     "MicroBatchScheduler",
     "ModelKey",
     "ModelRegistry",
+    "PatternHttpServer",
     "PatternService",
     "QueueFullError",
     "RequestStats",
     "SampleJob",
     "SchedulerStats",
+    "ServeClient",
+    "ServeClientError",
     "ServeEngine",
     "ServeRequest",
     "ServeResponse",
@@ -90,6 +118,8 @@ __all__ = [
     "ShapeBucketedPolicy",
     "StoreRecord",
     "StoreReport",
+    "TERMINAL_STATES",
+    "error_code_for",
     "fit_model",
     "model_supports_sampler_steps",
     "pattern_content_hash",

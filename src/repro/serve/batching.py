@@ -201,6 +201,12 @@ class BatchedSamplingModel:
     timestamps the engine stamped on the job — so the trace follows the
     work across the executor threads without the engine knowing about
     tracing at all.  Default: no tracing.
+
+    ``job`` optionally attaches a lifecycle :class:`~repro.serve.jobs.Job`:
+    each sampling call then starts with a cancel checkpoint (so a
+    cancelled request stops before queueing more engine work) and the same
+    engine-stamped hops recorded as tracer spans are mirrored into the
+    job's ``engine_events`` — one record, two views.
     """
 
     def __init__(
@@ -209,12 +215,14 @@ class BatchedSamplingModel:
         source: Optional[str] = None,
         deadline: Optional[float] = None,
         tracer=None,
+        job=None,
     ):
         self._scheduler = scheduler
         self._model = scheduler.model
         self._source = source
         self._deadline = deadline
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._job = job
         self.queue_wait_seconds = 0.0
         self.sample_jobs = 0
         self.samples = 0
@@ -232,6 +240,10 @@ class BatchedSamplingModel:
         sampler_steps: SamplerSteps = None,
     ) -> np.ndarray:
         """Batched stand-in for ``ConditionalDiffusionModel.sample``."""
+        if self._job is not None:
+            # Cancel checkpoint: a cancelled request must not queue more
+            # engine work (raises JobCancelled).
+            self._job.check_cancelled()
         with self._tracer.span("sample", count=int(count)):
             submit_started = time.perf_counter()
             job = self._scheduler.submit(
@@ -246,9 +258,13 @@ class BatchedSamplingModel:
                 source=self._source,
                 deadline=self._deadline,
             )
-            self._tracer.record(
-                "admission", submit_started, time.perf_counter()
-            )
+            admitted_at = time.perf_counter()
+            self._tracer.record("admission", submit_started, admitted_at)
+            if self._job is not None:
+                self._job.record_engine(
+                    "admission", submit_started, admitted_at,
+                    count=int(count),
+                )
             result = job.result()
             # Attach the engine-side hops from the timestamps the workers
             # stamped on the job (they ran on other threads).
@@ -256,6 +272,10 @@ class BatchedSamplingModel:
                 self._tracer.record(
                     "queue_wait", job.submitted_at, job.selected_at
                 )
+                if self._job is not None:
+                    self._job.record_engine(
+                        "queue_wait", job.submitted_at, job.selected_at
+                    )
             if job.exec_started_at > 0:
                 self._tracer.record(
                     "batch_gather", job.selected_at, job.exec_started_at,
@@ -264,6 +284,14 @@ class BatchedSamplingModel:
                 self._tracer.record(
                     "execute", job.exec_started_at, job.exec_ended_at,
                 )
+                if self._job is not None:
+                    self._job.record_engine(
+                        "batch_gather", job.selected_at, job.exec_started_at,
+                        batch_samples=job.batch_samples,
+                    )
+                    self._job.record_engine(
+                        "execute", job.exec_started_at, job.exec_ended_at
+                    )
         self.queue_wait_seconds += job.queue_wait
         self.sample_jobs += 1
         self.samples += int(count)

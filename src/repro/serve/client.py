@@ -1,0 +1,207 @@
+"""Blocking client SDK for the :mod:`repro.serve.http` API.
+
+Stdlib-only (``http.client``), one connection per call — the simplest
+correct client for scripts, CI smoke jobs and the load benchmark::
+
+    client = ServeClient("http://127.0.0.1:8763")
+    job_id = client.submit(kind="pipeline", params={"count": 2})
+    final = client.wait(job_id, timeout=120)       # polls GET status
+    assert final["state"] == "SUCCEEDED"
+    result = client.result(job_id)                 # GET .../result
+    print(result["produced"], client.metrics()[:80])
+
+Failures raise :class:`ServeClientError` carrying the HTTP status and the
+server's stable machine-readable ``code`` (``queue_full``,
+``deadline_expired``, ``cancelled``, ...), so callers branch on codes,
+never on message text.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, Optional
+from urllib.parse import urlsplit
+
+from repro.serve.jobs import TERMINAL_STATES
+
+
+class ServeClientError(RuntimeError):
+    """An HTTP request that did not succeed.
+
+    Attributes:
+        status: HTTP status code (0 for transport-level failures).
+        code: the server's stable error code (``queue_full`` | ... |
+            ``unknown`` when the response carried none).
+        payload: the decoded response body, when there was one.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int = 0,
+        code: str = "unknown",
+        payload: Optional[Dict] = None,
+    ):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.payload = payload or {}
+
+
+class JobTimeout(ServeClientError):
+    """``wait`` ran out of client-side patience (the job keeps running)."""
+
+
+class ServeClient:
+    """Blocking HTTP client for a :class:`PatternHttpServer`.
+
+    Args:
+        base_url: e.g. ``http://127.0.0.1:8763`` (scheme optional).
+        timeout: per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        if "//" not in base_url:
+            base_url = "http://" + base_url
+        parts = urlsplit(base_url)
+        if not parts.hostname:
+            raise ValueError(f"cannot parse host from {base_url!r}")
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict] = None
+    ):
+        """One request -> (status, decoded payload | text)."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            data = json.dumps(body).encode("utf-8") if body is not None else None
+            headers = {"Content-Type": "application/json"} if data else {}
+            try:
+                conn.request(method, path, body=data, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServeClientError(
+                    f"request {method} {path} failed: {exc}", code="transport"
+                ) from exc
+            content_type = response.headers.get("Content-Type", "")
+            if content_type.startswith("application/json"):
+                payload = json.loads(raw.decode("utf-8") or "{}")
+            else:
+                payload = raw.decode("utf-8")
+            return response.status, payload
+        finally:
+            conn.close()
+
+    def _raise_for(self, method: str, path: str, status: int, payload):
+        body = payload if isinstance(payload, dict) else {}
+        raise ServeClientError(
+            f"{method} {path} -> {status}: "
+            f"{body.get('error', payload)}",
+            status=status,
+            code=body.get("error_code", "unknown"),
+            payload=body,
+        )
+
+    # -- API -----------------------------------------------------------
+
+    def submit(
+        self,
+        text: str = "",
+        kind: str = "chat",
+        objective: Optional[str] = None,
+        source: Optional[str] = None,
+        deadline: Optional[float] = None,
+        params: Optional[Dict] = None,
+    ) -> str:
+        """POST /v1/jobs; returns the job id (raises on 4xx/5xx —
+        notably ``code == "queue_full"`` on backpressure)."""
+        body: Dict = {"text": text, "kind": kind}
+        if objective is not None:
+            body["objective"] = objective
+        if source is not None:
+            body["source"] = source
+        if deadline is not None:
+            body["deadline"] = deadline
+        if params is not None:
+            body["params"] = params
+        status, payload = self._request("POST", "/v1/jobs", body)
+        if status != 202:
+            self._raise_for("POST", "/v1/jobs", status, payload)
+        return payload["job_id"]
+
+    def status(self, job_id: str) -> Dict:
+        """GET /v1/jobs/{id}: the full progress view."""
+        path = f"/v1/jobs/{job_id}"
+        status, payload = self._request("GET", path)
+        if status != 200:
+            self._raise_for("GET", path, status, payload)
+        return payload
+
+    def result(self, job_id: str, include_topologies: bool = False) -> Dict:
+        """GET /v1/jobs/{id}/result for a SUCCEEDED job.
+
+        Raises :class:`ServeClientError` with the mapped status otherwise:
+        202 still running, 409 cancelled, 429 queue_full, 504 deadline.
+        """
+        path = f"/v1/jobs/{job_id}/result"
+        if include_topologies:
+            path += "?topologies=1"
+        status, payload = self._request("GET", path)
+        if status != 200:
+            self._raise_for("GET", path, status, payload)
+        return payload
+
+    def cancel(self, job_id: str) -> Dict:
+        """DELETE /v1/jobs/{id}; raises on 404/409 (cancel-conflict)."""
+        path = f"/v1/jobs/{job_id}"
+        status, payload = self._request("DELETE", path)
+        if status != 200:
+            self._raise_for("DELETE", path, status, payload)
+        return payload
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 120.0,
+        interval: float = 0.05,
+    ) -> Dict:
+        """Poll GET status until the job is terminal; returns the final
+        status view.  Raises :class:`JobTimeout` when patience runs out."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in TERMINAL_STATES:
+                return status
+            if time.monotonic() >= deadline:
+                raise JobTimeout(
+                    f"job {job_id} still {status['state']} "
+                    f"after {timeout:.1f}s",
+                    code="timeout",
+                    payload=status,
+                )
+            time.sleep(interval)
+
+    def metrics(self) -> str:
+        """GET /metrics: the Prometheus text exposition."""
+        status, payload = self._request("GET", "/metrics")
+        if status != 200:
+            self._raise_for("GET", "/metrics", status, payload)
+        return payload
+
+    def health(self) -> Dict:
+        status, payload = self._request("GET", "/healthz")
+        if status != 200:
+            self._raise_for("GET", "/healthz", status, payload)
+        return payload
+
+
+__all__ = ["JobTimeout", "ServeClient", "ServeClientError"]

@@ -50,7 +50,13 @@ from repro.serve.stats import BatchRecord, EngineStats, SchedulerStats
 
 
 class EngineError(RuntimeError):
-    """Base class of the engine's typed failure modes."""
+    """Base class of the engine's typed failure modes.
+
+    Every subclass carries a stable machine-readable ``code`` so wire
+    protocols and clients key on the code, never the message text.
+    """
+
+    code = "internal"
 
 
 class QueueFullError(EngineError):
@@ -60,9 +66,13 @@ class QueueFullError(EngineError):
     load or retry later instead of queueing unboundedly.
     """
 
+    code = "queue_full"
+
 
 class DeadlineExpiredError(EngineError):
     """A job's deadline passed while it was still queued."""
+
+    code = "deadline_expired"
 
 
 def model_supports_sampler_steps(model) -> bool:

@@ -1,0 +1,510 @@
+"""Stdlib-only asyncio HTTP front-end over :class:`PatternService`.
+
+The first wire protocol of the serving stack: requests enter as lifecycle
+jobs (:mod:`repro.serve.jobs`) and every endpoint is a view of the job
+table, so the process boundary adds no second bookkeeping layer.
+
+Endpoints::
+
+    POST   /v1/jobs           submit -> 202 {job_id} | 429 queue_full
+    GET    /v1/jobs/{id}      progress: state, stage, transitions,
+                              stage_events, engine_events  | 404
+    GET    /v1/jobs/{id}/result
+                              200 result | 202 still running |
+                              409 cancelled | 429 queue_full |
+                              504 deadline_expired | 500 failed
+    DELETE /v1/jobs/{id}      cancel: 200 honored | 409 conflict
+                              (job already finished) | 404
+    GET    /metrics           Prometheus text exposition (repro.obs)
+    GET    /healthz           liveness + job-table counts
+
+Status mapping is keyed on the job's stable ``error_code`` (never the
+message text): the engine's admission backpressure surfaces as 429, its
+deadline expiry as 504, a cancel race against a finished job as 409.
+
+The server is a plain ``asyncio.start_server`` loop running on a
+dedicated thread, so it embeds in tests (ephemeral port: ``port=0``), the
+CLI (``repro serve --http``) and scripts the same way.  Handlers never
+block the loop: job submission, status and cancel are sub-millisecond
+job-table operations — the heavy work runs on the service's request pool
+and the engine behind it.  ``serve_forever`` installs SIGINT/SIGTERM
+handlers and performs a graceful drain: stop accepting, let every
+admitted job reach a terminal state, then shut the service down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.obs.export import render_exposition
+from repro.serve.engine import QueueFullError
+from repro.serve.jobs import (
+    CANCELLED,
+    CODE_DEADLINE_EXPIRED,
+    CODE_INVALID_REQUEST,
+    CODE_QUEUE_FULL,
+    EXPIRED,
+    SUCCEEDED,
+)
+from repro.serve.service import PatternService, ServeRequest
+
+#: Submission bodies beyond this are rejected with 413.
+MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    504: "Gateway Timeout",
+}
+
+#: Request fields POST /v1/jobs accepts.
+_SUBMIT_FIELDS = frozenset(
+    {"text", "objective", "source", "deadline", "kind", "params"}
+)
+
+
+class PatternHttpServer:
+    """Asyncio HTTP server exposing a :class:`PatternService`.
+
+    Args:
+        service: the service to expose; ``start`` warms it (model resolve
+            + engine up) before accepting, so no request ever pays — or
+            blocks the event loop with — the model fit.
+        host / port: bind address.  ``port=0`` binds an ephemeral port;
+            read the real one from ``.port`` after ``start()``.
+    """
+
+    def __init__(
+        self,
+        service: PatternService,
+        host: str = "127.0.0.1",
+        port: int = 8763,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._server is not None and self._server.is_serving()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self, timeout: float = 120.0) -> "PatternHttpServer":
+        """Warm the service, bind the socket, start serving (background
+        thread); returns once the port is accepting."""
+        if self._thread is not None:
+            return self
+        # The expensive part (model fit / registry load, engine start)
+        # happens before the loop exists, so it cannot stall handlers.
+        self.service.start()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-http", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=timeout):
+            raise RuntimeError("HTTP server failed to start in time")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"HTTP server failed to bind {self.host}:{self.port}"
+            ) from self._startup_error
+        return self
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            self._server = loop.run_until_complete(
+                asyncio.start_server(self._handle_client, self.host, self.port)
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            self._server.close()
+            loop.run_until_complete(self._server.wait_closed())
+            loop.close()
+
+    def stop(self, drain: bool = True, stop_service: bool = True) -> None:
+        """Stop accepting; optionally drain admitted jobs and stop the
+        service (the SIGINT path).  ``drain=False`` abandons queued work."""
+        loop, self._loop = self._loop, None
+        if loop is not None:
+            loop.call_soon_threadsafe(loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+            self._thread = None
+        self._server = None
+        self._ready.clear()
+        if drain:
+            self.service.drain()
+        if stop_service:
+            self.service.stop()
+
+    def serve_forever(self) -> None:
+        """Blocking entrypoint with graceful drain on SIGINT/SIGTERM."""
+        stop_requested = threading.Event()
+
+        def _on_signal(signum, frame):
+            stop_requested.set()
+
+        previous = {
+            sig: signal.signal(sig, _on_signal)
+            for sig in (signal.SIGINT, signal.SIGTERM)
+        }
+        try:
+            self.start()
+            stop_requested.wait()
+        finally:
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
+            self.stop(drain=True, stop_service=True)
+
+    def __enter__(self) -> "PatternHttpServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_client(self, reader, writer) -> None:
+        try:
+            status, payload, content_type = await self._handle_request(reader)
+        except Exception as exc:  # defensive: a handler bug must not
+            # kill the connection silently
+            status, content_type = 500, "application/json"
+            payload = json.dumps(
+                {"error": f"{type(exc).__name__}: {exc}",
+                 "error_code": "internal"}
+            )
+        try:
+            body = payload.encode("utf-8")
+            head = (
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            )
+            writer.write(head.encode("latin-1") + body)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+
+    async def _handle_request(self, reader) -> Tuple[int, str, str]:
+        request_line = await reader.readline()
+        if not request_line:
+            return 400, _error_body("empty request"), "application/json"
+        try:
+            method, target, _version = (
+                request_line.decode("latin-1").strip().split(" ", 2)
+            )
+        except ValueError:
+            return 400, _error_body("malformed request line"), "application/json"
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            return 400, _error_body("bad Content-Length"), "application/json"
+        if length > MAX_BODY_BYTES:
+            return (
+                413,
+                _error_body(f"body exceeds {MAX_BODY_BYTES} bytes"),
+                "application/json",
+            )
+        body = await reader.readexactly(length) if length else b""
+        return self._route(method.upper(), target, body)
+
+    # -- routing -------------------------------------------------------
+
+    def _route(self, method: str, target: str, body: bytes):
+        parts = urlsplit(target)
+        path = parts.path.rstrip("/") or "/"
+        query = parse_qs(parts.query)
+        if path == "/v1/jobs":
+            if method == "POST":
+                return self._submit(body)
+            return self._method_not_allowed()
+        if path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/"):]
+            if rest.endswith("/result"):
+                job_id = rest[: -len("/result")]
+                if method == "GET":
+                    return self._result(job_id, query)
+                return self._method_not_allowed()
+            job_id = rest
+            if "/" in job_id:
+                return self._not_found("unknown route")
+            if method == "GET":
+                return self._status(job_id)
+            if method == "DELETE":
+                return self._cancel(job_id)
+            return self._method_not_allowed()
+        if path == "/metrics" and method == "GET":
+            exposition = render_exposition(self.service.metrics.snapshot())
+            return 200, exposition, "text/plain; version=0.0.4; charset=utf-8"
+        if path == "/healthz" and method == "GET":
+            return (
+                200,
+                json.dumps({"ok": True, "jobs": self.service.jobs.counts()}),
+                "application/json",
+            )
+        return self._not_found("unknown route")
+
+    def _method_not_allowed(self):
+        return 405, _error_body("method not allowed"), "application/json"
+
+    def _not_found(self, message: str):
+        return (
+            404,
+            _error_body(message, code="not_found"),
+            "application/json",
+        )
+
+    # -- endpoints -----------------------------------------------------
+
+    def _submit(self, body: bytes):
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return (
+                400,
+                _error_body(f"bad JSON body: {exc}"),
+                "application/json",
+            )
+        if not isinstance(payload, dict):
+            return (
+                400,
+                _error_body("body must be a JSON object"),
+                "application/json",
+            )
+        unknown = set(payload) - _SUBMIT_FIELDS
+        if unknown:
+            return (
+                400,
+                _error_body(
+                    f"unknown fields {sorted(unknown)}; "
+                    f"allowed: {sorted(_SUBMIT_FIELDS)}"
+                ),
+                "application/json",
+            )
+        kind = payload.get("kind", "chat")
+        text = payload.get("text", "")
+        if kind == "chat" and not text:
+            return (
+                400,
+                _error_body('"text" is required for kind="chat"'),
+                "application/json",
+            )
+        try:
+            request = ServeRequest(
+                text=text,
+                objective=payload.get("objective", "legality"),
+                source=payload.get("source", "default"),
+                deadline=payload.get("deadline"),
+                kind=kind,
+                params=payload.get("params"),
+            )
+            job = self.service.submit_job(request, enforce_queue_limit=True)
+        except QueueFullError as exc:
+            return (
+                429,
+                _error_body(str(exc), code=exc.code),
+                "application/json",
+            )
+        except (ValueError, TypeError) as exc:
+            return 400, _error_body(str(exc)), "application/json"
+        return (
+            202,
+            json.dumps(
+                {
+                    "job_id": job.job_id,
+                    "state": job.state,
+                    "status_url": f"/v1/jobs/{job.job_id}",
+                    "result_url": f"/v1/jobs/{job.job_id}/result",
+                }
+            ),
+            "application/json",
+        )
+
+    def _status(self, job_id: str):
+        status = self.service.job_status(job_id)
+        if status is None:
+            return self._not_found(f"unknown job {job_id!r}")
+        return 200, json.dumps(status), "application/json"
+
+    def _cancel(self, job_id: str):
+        job, effective = self.service.cancel_job(job_id)
+        if job is None:
+            return self._not_found(f"unknown job {job_id!r}")
+        if not effective:
+            # The cancel lost the race: the job already reached a
+            # different terminal state.
+            return (
+                409,
+                json.dumps(
+                    {
+                        "error": (
+                            f"job {job_id} already finished in state "
+                            f"{job.state}; nothing to cancel"
+                        ),
+                        "error_code": "conflict",
+                        "job_id": job_id,
+                        "state": job.state,
+                    }
+                ),
+                "application/json",
+            )
+        return (
+            200,
+            json.dumps(
+                {
+                    "job_id": job_id,
+                    "state": job.state,
+                    "cancel_requested": job.cancel_requested,
+                }
+            ),
+            "application/json",
+        )
+
+    def _result(self, job_id: str, query: Dict):
+        job = self.service.jobs.get(job_id)
+        if job is None:
+            return self._not_found(f"unknown job {job_id!r}")
+        job.maybe_expire()
+        if not job.is_terminal:
+            return (
+                202,
+                json.dumps(
+                    {
+                        "job_id": job_id,
+                        "state": job.state,
+                        "stage": job.stage,
+                        "detail": "job has not reached a terminal state yet",
+                    }
+                ),
+                "application/json",
+            )
+        if job.state == SUCCEEDED:
+            include_topologies = query.get("topologies", ["0"])[0] in (
+                "1",
+                "true",
+            )
+            return (
+                200,
+                json.dumps(_result_payload(job, include_topologies)),
+                "application/json",
+            )
+        # Terminal failures map by stable code, never by message text.
+        status = 500
+        if job.state == CANCELLED:
+            status = 409
+        elif job.state == EXPIRED or job.error_code == CODE_DEADLINE_EXPIRED:
+            status = 504
+        elif job.error_code == CODE_QUEUE_FULL:
+            status = 429
+        elif job.error_code == CODE_INVALID_REQUEST:
+            status = 400
+        return (
+            status,
+            json.dumps(
+                {
+                    "job_id": job_id,
+                    "state": job.state,
+                    "error": job.error,
+                    "error_code": job.error_code,
+                }
+            ),
+            "application/json",
+        )
+
+
+def _error_body(message: str, code: str = CODE_INVALID_REQUEST) -> str:
+    return json.dumps({"error": message, "error_code": code})
+
+
+def _result_payload(job, include_topologies: bool) -> Dict:
+    """JSON view of a succeeded job's outcome (library + stage record)."""
+    response = job.response
+    result = response.result if response is not None else None
+    payload: Dict = {
+        "job_id": job.job_id,
+        "state": job.state,
+        "produced": job.produced,
+        "stage_events": [e.as_dict() for e in job.stage_events],
+    }
+    if response is not None:
+        payload["request_id"] = response.request.request_id
+        payload["stats"] = {
+            "wall_seconds": round(response.stats.wall_seconds, 4),
+            "queue_wait_seconds": round(
+                response.stats.queue_wait_seconds, 4
+            ),
+            "samples": response.stats.samples,
+            "store_added": response.stats.store_added,
+            "store_deduplicated": response.stats.store_deduplicated,
+        }
+    if result is None:
+        return payload
+    payload["dropped"] = result.dropped
+    scores = getattr(result, "scores", None)
+    if scores:
+        payload["scores"] = scores
+    timings = getattr(result, "timings", None)
+    if timings is not None:
+        payload["timings"] = [t.as_dict() for t in timings]
+    library = getattr(result, "library", None)
+    if library is not None:
+        patterns = []
+        for index, pattern in enumerate(library):
+            entry: Dict = {"index": index}
+            topology = getattr(pattern, "topology", None)
+            if topology is not None:
+                entry["shape"] = list(topology.shape)
+                if include_topologies:
+                    entry["topology"] = topology.astype(int).tolist()
+            patterns.append(entry)
+        payload["library"] = patterns
+    return payload
+
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "PatternHttpServer",
+]

@@ -1,0 +1,555 @@
+"""Job lifecycle state machine: one observable record per served request.
+
+Every request entering the serving stack is tracked as a :class:`Job` — an
+explicit state machine
+
+    PENDING -> QUEUED -> RUNNING(stage) -> LEGALIZING -> PERSISTING
+            -> {SUCCEEDED, FAILED, CANCELLED, EXPIRED}
+
+with a monotonic transition log, per-stage progress events and engine-side
+hop records (admission, queue wait, batch gather, execute).  The three
+layers write into it rather than keeping parallel books:
+
+- :class:`~repro.api.pipeline.PatternPipeline` stage execution enters a
+  stage (a cancel checkpoint + state transition) and then reports the
+  executed stage through the same ``PipelineResult._record`` call that
+  produces :class:`~repro.api.pipeline.StageTiming` — so a job's
+  ``stage_events`` and ``PipelineResult.timings`` are two views of one
+  record, equal field for field.
+- :class:`~repro.serve.batching.BatchedSamplingModel` converts the
+  timestamps the :class:`~repro.serve.engine.ServeEngine` workers stamp on
+  each sampling job into ``engine_events`` on the lifecycle job.
+- :class:`~repro.serve.service.PatternService` owns the QUEUED/RUNNING
+  edges and the terminal transition, mapping the engine's typed errors
+  (:class:`~repro.serve.engine.QueueFullError`,
+  :class:`~repro.serve.engine.DeadlineExpiredError`) to terminal states
+  with stable machine-readable codes.
+
+Cancellation is cooperative: :meth:`Job.request_cancel` on a queued job
+cancels it outright (it never executes); on a running job it raises
+:class:`JobCancelled` at the next checkpoint — every pipeline stage entry
+and every engine sampling submission checks.  Terminal states are
+absorbing: double-cancel and cancel-after-success are idempotent no-ops.
+
+:class:`JobTable` is the thread-safe registry behind the HTTP API:
+ids -> jobs, with TTL-bounded retention of terminal jobs so a long-lived
+server does not accumulate every job it ever ran.
+"""
+
+from __future__ import annotations
+
+import itertools
+import secrets
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+# -- states -----------------------------------------------------------------
+
+PENDING = "PENDING"  # created, not yet admitted to the worker pool
+QUEUED = "QUEUED"  # admitted, waiting for a request worker
+RUNNING = "RUNNING"  # executing (``stage`` names the active stage)
+LEGALIZING = "LEGALIZING"  # the legalize stage (DRC + constraint solve)
+PERSISTING = "PERSISTING"  # writing the produced library to the store
+SUCCEEDED = "SUCCEEDED"
+FAILED = "FAILED"
+CANCELLED = "CANCELLED"
+EXPIRED = "EXPIRED"  # deadline passed (queued too long, or mid-flight)
+
+TERMINAL_STATES = frozenset({SUCCEEDED, FAILED, CANCELLED, EXPIRED})
+ACTIVE_STATES = frozenset({RUNNING, LEGALIZING, PERSISTING})
+JOB_STATES = (
+    PENDING,
+    QUEUED,
+    RUNNING,
+    LEGALIZING,
+    PERSISTING,
+    SUCCEEDED,
+    FAILED,
+    CANCELLED,
+    EXPIRED,
+)
+
+#: Legal forward edges of the state machine.  Active states may move
+#: freely among themselves (sample -> legalize -> score -> persist revisits
+#: RUNNING after LEGALIZING); terminal states have no outgoing edges.
+_ALLOWED: Dict[str, frozenset] = {
+    PENDING: frozenset({QUEUED}) | ACTIVE_STATES | TERMINAL_STATES,
+    QUEUED: ACTIVE_STATES | TERMINAL_STATES,
+    RUNNING: ACTIVE_STATES | TERMINAL_STATES,
+    LEGALIZING: ACTIVE_STATES | TERMINAL_STATES,
+    PERSISTING: ACTIVE_STATES | TERMINAL_STATES,
+    SUCCEEDED: frozenset(),
+    FAILED: frozenset(),
+    CANCELLED: frozenset(),
+    EXPIRED: frozenset(),
+}
+
+#: Pipeline stages that are first-class states; everything else is RUNNING.
+_STAGE_STATES = {"legalize": LEGALIZING, "persist": PERSISTING}
+
+# -- error codes ------------------------------------------------------------
+
+CODE_QUEUE_FULL = "queue_full"
+CODE_DEADLINE_EXPIRED = "deadline_expired"
+CODE_CANCELLED = "cancelled"
+CODE_INVALID_REQUEST = "invalid_request"
+CODE_LEGALIZE_FAILED = "legalize_failed"
+CODE_SHUTDOWN = "shutdown"
+CODE_INTERNAL = "internal"
+
+ERROR_CODES = (
+    CODE_QUEUE_FULL,
+    CODE_DEADLINE_EXPIRED,
+    CODE_CANCELLED,
+    CODE_INVALID_REQUEST,
+    CODE_LEGALIZE_FAILED,
+    CODE_SHUTDOWN,
+    CODE_INTERNAL,
+)
+
+
+class JobError(RuntimeError):
+    """Base class of job lifecycle errors."""
+
+
+class JobStateError(JobError):
+    """An illegal state-machine edge was requested (a programming error,
+    never a data-dependent condition)."""
+
+
+class JobCancelled(JobError):
+    """Raised at a cancel checkpoint after :meth:`Job.request_cancel`.
+
+    Control flow, not a fault: the service maps it to the CANCELLED
+    terminal state, and the agent's tool dispatcher re-raises it instead
+    of converting it to a tool failure.
+    """
+
+    code = CODE_CANCELLED
+
+
+def error_code_for(exc: BaseException, state: Optional[str] = None) -> str:
+    """Stable machine-readable code for a request failure.
+
+    Typed exceptions carry their own ``code`` attribute (the engine's
+    :class:`QueueFullError`/:class:`DeadlineExpiredError` and
+    :class:`JobCancelled`); bad-input errors map to ``invalid_request``;
+    anything else raised while the job was in the LEGALIZING state is a
+    ``legalize_failed``; the rest is ``internal``.
+    """
+    code = getattr(exc, "code", None)
+    if isinstance(code, str) and code:
+        return code
+    if isinstance(exc, (ValueError, KeyError, TypeError)):
+        return CODE_INVALID_REQUEST
+    if state == LEGALIZING:
+        return CODE_LEGALIZE_FAILED
+    return CODE_INTERNAL
+
+
+def terminal_state_for(code: str) -> str:
+    """The terminal state a failure code lands in."""
+    if code == CODE_CANCELLED or code == CODE_SHUTDOWN:
+        return CANCELLED
+    if code == CODE_DEADLINE_EXPIRED:
+        return EXPIRED
+    return FAILED
+
+
+# -- records ----------------------------------------------------------------
+
+
+@dataclass
+class JobTransition:
+    """One edge of a job's state machine (``t`` is seconds since creation)."""
+
+    state: str
+    t: float
+    stage: Optional[str] = None
+    detail: Dict = field(default_factory=dict)
+
+    def as_dict(self) -> Dict:
+        out: Dict = {"state": self.state, "t": round(self.t, 6)}
+        if self.stage is not None:
+            out["stage"] = self.stage
+        if self.detail:
+            out["detail"] = dict(self.detail)
+        return out
+
+
+@dataclass
+class StageEvent:
+    """One executed pipeline stage — the job-side view of
+    :class:`~repro.api.pipeline.StageTiming`, serialized identically."""
+
+    stage: str
+    seconds: float
+    detail: Dict = field(default_factory=dict)
+
+    def as_dict(self) -> Dict:
+        return {
+            "stage": self.stage,
+            "seconds": round(self.seconds, 4),
+            **({"detail": dict(self.detail)} if self.detail else {}),
+        }
+
+
+@dataclass
+class EngineEvent:
+    """One engine-side hop of the job's sampling work, built from the
+    timestamps the executor workers stamped on the engine job."""
+
+    kind: str  # admission | queue_wait | batch_gather | execute
+    t: float  # offset from job creation, seconds
+    seconds: float
+    detail: Dict = field(default_factory=dict)
+
+    def as_dict(self) -> Dict:
+        out: Dict = {
+            "kind": self.kind,
+            "t": round(self.t, 6),
+            "seconds": round(self.seconds, 6),
+        }
+        if self.detail:
+            out["detail"] = dict(self.detail)
+        return out
+
+
+# -- the job ----------------------------------------------------------------
+
+
+class Job:
+    """One tracked request: state machine + transition log + progress.
+
+    Thread-safe: the request worker, the engine-event writer and any
+    number of status/cancel callers may touch it concurrently.  The
+    transition log is monotonic by construction (timestamps are clamped to
+    never run backwards, appends happen under the lock).
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        request=None,
+        deadline: Optional[float] = None,
+    ):
+        self.job_id = job_id
+        self.request = request
+        self.created_at = time.perf_counter()
+        self.created_unix = time.time()
+        #: absolute ``perf_counter`` instant after which a still-queued job
+        #: expires (``None`` = no deadline)
+        self.deadline_at = (
+            self.created_at + deadline if deadline is not None else None
+        )
+        self._lock = threading.RLock()
+        self.state = PENDING
+        self.stage: Optional[str] = None
+        self.transitions: List[JobTransition] = [JobTransition(PENDING, 0.0)]
+        self.stage_events: List[StageEvent] = []
+        self.engine_events: List[EngineEvent] = []
+        self.error: Optional[str] = None
+        self.error_code: Optional[str] = None
+        self.cancel_requested = False
+        self.finished_at: Optional[float] = None
+        #: the service attaches the full :class:`ServeResponse` here when
+        #: the job reaches a terminal state
+        self.response = None
+        self._done = threading.Event()
+
+    # -- state machine -------------------------------------------------
+
+    def _now(self) -> float:
+        # Clamped so the log can never run backwards even if the clock
+        # resolution makes two transitions land on the same tick.
+        t = time.perf_counter() - self.created_at
+        last = self.transitions[-1].t if self.transitions else 0.0
+        return max(t, last)
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def transition(
+        self, state: str, stage: Optional[str] = None, **detail
+    ) -> bool:
+        """Move to ``state``; returns False (a no-op) once terminal.
+
+        Illegal *forward* edges raise :class:`JobStateError` — they are
+        programming errors.  Transitions requested after a terminal state
+        merely return ``False``: terminal states are absorbing, which is
+        what makes double-cancel and cancel-after-success idempotent.
+        """
+        if state not in _ALLOWED:
+            raise JobStateError(f"unknown job state {state!r}")
+        with self._lock:
+            if self.is_terminal:
+                return False
+            if state not in _ALLOWED[self.state]:
+                raise JobStateError(
+                    f"illegal transition {self.state} -> {state} "
+                    f"(job {self.job_id})"
+                )
+            self.state = state
+            self.stage = stage if state in ACTIVE_STATES else None
+            self.transitions.append(
+                JobTransition(state, self._now(), stage=stage, detail=detail)
+            )
+            if state in TERMINAL_STATES:
+                self.finished_at = time.perf_counter()
+                self._done.set()
+            return True
+
+    # -- cancellation --------------------------------------------------
+
+    def request_cancel(self) -> bool:
+        """Ask the job to stop; returns whether the cancel is effective.
+
+        Still PENDING/QUEUED: cancelled outright (it will never execute).
+        Active: the flag is set and honored at the next checkpoint.
+        Already CANCELLED: True (idempotent).  Any other terminal state:
+        False — the job already finished, there is nothing to cancel.
+        """
+        with self._lock:
+            if self.state == CANCELLED:
+                return True
+            if self.is_terminal:
+                return False
+            self.cancel_requested = True
+            if self.state in (PENDING, QUEUED):
+                self.error_code = CODE_CANCELLED
+                self.error = "cancelled before execution"
+                self.transition(CANCELLED, reason="cancelled_while_queued")
+            return True
+
+    def check_cancelled(self) -> None:
+        """Cancel checkpoint: raise :class:`JobCancelled` if requested."""
+        if self.cancel_requested:
+            raise JobCancelled(f"job {self.job_id} cancelled")
+
+    # -- stage + engine hooks ------------------------------------------
+
+    def enter_stage(self, stage: str, **detail) -> None:
+        """Pipeline hook: cancel checkpoint + transition into a stage.
+
+        ``legalize`` and ``persist`` are first-class states; every other
+        stage is RUNNING with the stage name attached.
+        """
+        self.check_cancelled()
+        self.transition(_STAGE_STATES.get(stage, RUNNING), stage=stage, **detail)
+
+    def record_stage(
+        self, stage: str, seconds: float, detail: Optional[Dict] = None
+    ) -> None:
+        """Record one executed stage (the ``StageTiming`` mirror)."""
+        with self._lock:
+            self.stage_events.append(
+                StageEvent(stage, seconds, dict(detail or {}))
+            )
+
+    def record_engine(
+        self, kind: str, start: float, end: float, **detail
+    ) -> None:
+        """Record one engine-side hop from engine-stamped timestamps."""
+        with self._lock:
+            self.engine_events.append(
+                EngineEvent(
+                    kind,
+                    t=max(start - self.created_at, 0.0),
+                    seconds=max(end - start, 0.0),
+                    detail=detail,
+                )
+            )
+
+    # -- terminal helpers ----------------------------------------------
+
+    def succeed(self, **detail) -> bool:
+        return self.transition(SUCCEEDED, **detail)
+
+    def fail(self, error: str, code: str = CODE_INTERNAL, **detail) -> bool:
+        with self._lock:
+            moved = self.transition(terminal_state_for(code), code=code, **detail)
+            if moved:
+                self.error = error
+                self.error_code = code
+            return moved
+
+    def expire(self, reason: str = "deadline expired") -> bool:
+        return self.fail(reason, code=CODE_DEADLINE_EXPIRED)
+
+    def maybe_expire(self) -> bool:
+        """Lazily expire a still-waiting job whose deadline has passed."""
+        with self._lock:
+            if (
+                self.deadline_at is not None
+                and not self.is_terminal
+                and self.state in (PENDING, QUEUED)
+                and time.perf_counter() > self.deadline_at
+            ):
+                waited = time.perf_counter() - self.created_at
+                return self.expire(
+                    f"job deadline expired after {waited:.3f}s in queue"
+                )
+            return False
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a terminal state."""
+        return self._done.wait(timeout=timeout)
+
+    # -- views ---------------------------------------------------------
+
+    @property
+    def elapsed_seconds(self) -> float:
+        end = (
+            self.finished_at
+            if self.finished_at is not None
+            else time.perf_counter()
+        )
+        return end - self.created_at
+
+    @property
+    def produced(self) -> int:
+        response = self.response
+        if response is None or response.result is None:
+            return 0
+        return response.result.produced
+
+    def as_dict(self) -> Dict:
+        """The full JSON-safe progress view (the HTTP status payload)."""
+        with self._lock:
+            out: Dict = {
+                "job_id": self.job_id,
+                "state": self.state,
+                "stage": self.stage,
+                "created_unix": round(self.created_unix, 3),
+                "elapsed_seconds": round(self.elapsed_seconds, 4),
+                "cancel_requested": self.cancel_requested,
+                "transitions": [t.as_dict() for t in self.transitions],
+                "stage_events": [e.as_dict() for e in self.stage_events],
+                "engine_events": [e.as_dict() for e in self.engine_events],
+            }
+            if self.error is not None:
+                out["error"] = self.error
+            if self.error_code is not None:
+                out["error_code"] = self.error_code
+            if self.is_terminal:
+                out["produced"] = self.produced
+            request = self.request
+            if request is not None:
+                out["request"] = {
+                    "text": getattr(request, "text", None),
+                    "kind": getattr(request, "kind", "chat"),
+                    "objective": getattr(request, "objective", None),
+                    "source": getattr(request, "source", None),
+                    "request_id": getattr(request, "request_id", None),
+                }
+            return out
+
+
+# -- the table --------------------------------------------------------------
+
+
+class JobTable:
+    """Thread-safe id -> :class:`Job` registry with TTL-bounded retention.
+
+    Terminal jobs are kept ``ttl`` seconds past their finish so pollers
+    can still read the outcome, then purged lazily on the next table
+    access — no background reaper thread.  Live jobs are never purged.
+    """
+
+    def __init__(self, ttl: float = 600.0):
+        if ttl <= 0:
+            raise ValueError("job ttl must be > 0 seconds")
+        self.ttl = float(ttl)
+        self._jobs: "Dict[str, Job]" = {}
+        self._lock = threading.Lock()
+        self._counter = itertools.count(1)
+
+    def create(self, request=None, deadline: Optional[float] = None) -> Job:
+        job_id = f"job-{next(self._counter):06d}-{secrets.token_hex(4)}"
+        job = Job(job_id, request=request, deadline=deadline)
+        with self._lock:
+            self._purge_locked()
+            self._jobs[job_id] = job
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            self._purge_locked()
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            self._purge_locked()
+            return list(self._jobs.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            self._purge_locked()
+            return len(self._jobs)
+
+    def counts(self) -> Dict[str, int]:
+        """Jobs per state (for stats/metrics endpoints)."""
+        counts: Dict[str, int] = {}
+        for job in self.jobs():
+            counts[job.state] = counts.get(job.state, 0) + 1
+        return counts
+
+    def queued_count(self) -> int:
+        """Jobs admitted but not yet running — the admission-bound gauge."""
+        return sum(
+            1 for job in self.jobs() if job.state in (PENDING, QUEUED)
+        )
+
+    def purge(self) -> int:
+        """Drop terminal jobs older than ``ttl``; returns how many."""
+        with self._lock:
+            return self._purge_locked()
+
+    def _purge_locked(self) -> int:
+        now = time.perf_counter()
+        stale = [
+            job_id
+            for job_id, job in self._jobs.items()
+            if job.finished_at is not None
+            and now - job.finished_at > self.ttl
+        ]
+        for job_id in stale:
+            del self._jobs[job_id]
+        return len(stale)
+
+
+__all__ = [
+    "ACTIVE_STATES",
+    "CANCELLED",
+    "CODE_CANCELLED",
+    "CODE_DEADLINE_EXPIRED",
+    "CODE_INTERNAL",
+    "CODE_INVALID_REQUEST",
+    "CODE_LEGALIZE_FAILED",
+    "CODE_QUEUE_FULL",
+    "CODE_SHUTDOWN",
+    "ERROR_CODES",
+    "EXPIRED",
+    "EngineEvent",
+    "FAILED",
+    "JOB_STATES",
+    "Job",
+    "JobCancelled",
+    "JobError",
+    "JobStateError",
+    "JobTable",
+    "JobTransition",
+    "LEGALIZING",
+    "PENDING",
+    "PERSISTING",
+    "QUEUED",
+    "RUNNING",
+    "SUCCEEDED",
+    "StageEvent",
+    "TERMINAL_STATES",
+    "error_code_for",
+    "terminal_state_for",
+]

@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.agent.backend import LLMBackend, SimulatedLLM
 from repro.api.config import PipelineConfig
-from repro.api.pipeline import PatternPipeline
+from repro.api.pipeline import PatternPipeline, PipelineResult
 from repro.core.chatpattern import ChatPattern, ChatResult
 from repro.diffusion.model import ConditionalDiffusionModel
 from repro.drc.rules import DesignRules
@@ -44,20 +44,39 @@ from repro.obs.export import SnapshotWriter
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.serve.batching import BatchedSamplingModel
-from repro.serve.engine import EngineClient, ServeEngine
+from repro.serve.engine import EngineClient, QueueFullError, ServeEngine
+from repro.serve.jobs import (
+    CODE_SHUTDOWN,
+    PERSISTING,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobTable,
+    error_code_for,
+)
 from repro.serve.registry import ModelKey, ModelRegistry
 from repro.serve.stats import LegalizeStageRecord, RequestStats, SchedulerStats
 from repro.serve.store import LibraryStore
 
+#: Parameters a ``kind="pipeline"`` request may carry.
+_PIPELINE_PARAMS = frozenset({"count", "style", "size", "seed"})
+
 
 @dataclass
 class ServeRequest:
-    """One natural-language generation request entering the service.
+    """One generation request entering the service.
 
     ``source`` tags the request's sampling jobs for the engine's
     fair-share policy (e.g. ``"bulk"`` vs ``"interactive"``); ``deadline``
     bounds, in seconds, how long its jobs may sit queued before failing
     with a typed error (``None`` defers to the engine default).
+
+    ``kind`` selects the execution path: ``"chat"`` (default) runs the
+    full natural-language agent pipeline on ``text``; ``"pipeline"`` runs
+    the typed stage chain (sample -> legalize -> score -> persist)
+    directly with ``params`` (``count`` / ``style`` / ``size`` / ``seed``)
+    — the path whose :class:`~repro.api.pipeline.PipelineResult.timings`
+    mirror the job's per-stage progress one to one.
     """
 
     text: str
@@ -65,21 +84,30 @@ class ServeRequest:
     request_id: int = 0
     source: str = "default"
     deadline: Optional[float] = None
+    kind: str = "chat"
+    params: Optional[Dict] = None
 
 
 @dataclass
 class ServeResponse:
     """One request's full outcome: agent result plus service metrics.
 
-    A request that raised is fault-isolated: ``result`` is ``None`` and
-    ``error`` carries the message, while every other request in the same
-    ``serve`` call completes normally.
+    A request that raised is fault-isolated: ``result`` is ``None``,
+    ``error`` carries the message and ``error_code`` the stable
+    machine-readable code (``queue_full`` | ``deadline_expired`` |
+    ``cancelled`` | ``invalid_request`` | ``legalize_failed`` |
+    ``shutdown`` | ``internal``) wire protocols and clients key on —
+    while every other request in the same ``serve`` call completes
+    normally.  ``job_id`` names the lifecycle job that tracked this
+    request (``None`` for pre-job code paths).
     """
 
     request: ServeRequest
-    result: Optional[ChatResult]
+    result: Optional[Union[ChatResult, PipelineResult]]
     stats: RequestStats
     error: Optional[str] = None
+    error_code: Optional[str] = None
+    job_id: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -113,6 +141,7 @@ class ServiceStats:
     legalize_seconds: float = 0.0
     legalize_stages: List[LegalizeStageRecord] = field(default_factory=list)
     engine: Optional[Dict] = None
+    jobs: Optional[Dict] = None
 
     def as_dict(self) -> Dict:
         payload = {
@@ -129,6 +158,8 @@ class ServiceStats:
             payload["store"] = self.store
         if self.engine is not None:
             payload["engine"] = dict(self.engine)
+        if self.jobs is not None:
+            payload["jobs"] = dict(self.jobs)
         return payload
 
 
@@ -226,6 +257,15 @@ class PatternService:
             "repro_request_latency_seconds",
             "End-to-end request wall time",
         )
+        self._m_job_states = self.metrics.counter(
+            "repro_job_terminal_total",
+            "Lifecycle jobs reaching a terminal state",
+            labels=("state",),
+        )
+        self._m_jobs_active = self.metrics.gauge(
+            "repro_jobs_active",
+            "Lifecycle jobs admitted but not yet terminal",
+        )
         self._snapshot_writer: Optional[SnapshotWriter] = None
         self._model = model
         self.model_key = model_key or ModelKey.from_config(self.config.train)
@@ -256,6 +296,9 @@ class PatternService:
         self._engine = engine
         self._owns_engine = engine is None
         self._client: Optional[EngineClient] = None
+        #: lifecycle registry behind submit/cancel/status and the HTTP API
+        self.jobs = JobTable(ttl=serve_cfg.job_ttl)
+        self._pool: Optional[ThreadPoolExecutor] = None
         self._responses: List[ServeResponse] = []
         self._legalize_stages: List[LegalizeStageRecord] = []
         # Aggregation must stay consistent while many request threads (and
@@ -379,11 +422,31 @@ class PatternService:
                     sampler_steps=self.config.sample.sampler_steps,
                     label=f"model-{self.model_key.recipe_hash()[:8]}",
                 )
+            if self._pool is None:
+                # Persistent request pool: submitted jobs outlive any one
+                # serve() call (the HTTP path submits and returns).
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-serve-request",
+                )
             self._engine.start()
             return self
 
+    def drain(self) -> None:
+        """Graceful drain: finish every admitted job, stop the pool.
+
+        Jobs already queued or running complete normally (honoring any
+        cancel requests at their checkpoints); new submissions fail with
+        the ``shutdown`` code.  :meth:`start` builds a fresh pool, so a
+        drained service can serve again.
+        """
+        with self._start_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
     def stop(self) -> None:
-        """Stop an owned engine (drain, then shut the pool down).
+        """Drain requests, then stop an owned engine.
 
         A *shared* engine (passed in via ``engine=``) keeps running — its
         other tenants still depend on it; only the owner stops it.  The
@@ -391,6 +454,7 @@ class PatternService:
         performs a final dump and the configured ``trace_path`` receives
         the collected spans as JSON lines.
         """
+        self.drain()
         if self._engine is not None and self._owns_engine:
             self._engine.stop()
         if self._snapshot_writer is not None:
@@ -420,7 +484,6 @@ class PatternService:
         """
         if not requests:
             return []
-        self.start()
         resolved = [
             request
             if isinstance(request, ServeRequest)
@@ -430,17 +493,11 @@ class PatternService:
         explicit_ids = [r.request_id for r in resolved if r.request_id != 0]
         if explicit_ids:
             self._reserve_request_ids(explicit_ids)
-        for request in resolved:
-            if request.request_id == 0:
-                request.request_id = self._next_request_id()
-        with ThreadPoolExecutor(
-            max_workers=min(self.max_workers, len(resolved)),
-            thread_name_prefix="repro-serve-request",
-        ) as pool:
-            futures = [pool.submit(self._handle_one, r) for r in resolved]
-            responses = [future.result() for future in futures]
-        with self._stats_lock:
-            self._responses.extend(responses)
+        jobs = [self.submit_job(request) for request in resolved]
+        responses = []
+        for job in jobs:
+            job.wait()
+            responses.append(job.response)
         return responses
 
     def handle(
@@ -449,25 +506,211 @@ class PatternService:
         """Serve a single request (still through the engine)."""
         return self.serve([ServeRequest(text=text, objective=objective)])[0]
 
-    def _handle_one(self, request: ServeRequest) -> ServeResponse:
+    # -- job lifecycle --------------------------------------------------
+
+    def submit_job(
+        self,
+        request: Union[str, ServeRequest],
+        enforce_queue_limit: bool = False,
+    ) -> Job:
+        """Admit a request as a lifecycle job; returns immediately.
+
+        The job lands QUEUED on the persistent request pool; poll it with
+        :meth:`job_status`, block with ``job.wait()``, stop it with
+        :meth:`cancel_job`.  With ``enforce_queue_limit`` (the HTTP
+        path), admission fails with the engine's typed
+        :class:`~repro.serve.engine.QueueFullError` once ``queue_limit``
+        jobs are already waiting — the blocking :meth:`serve` path keeps
+        its engine-level-only backpressure, unchanged.
+        """
+        self.start()
+        if not isinstance(request, ServeRequest):
+            request = ServeRequest(text=request)
+        if request.request_id == 0:
+            request.request_id = self._next_request_id()
+        else:
+            self._reserve_request_ids([request.request_id])
+        if (
+            enforce_queue_limit
+            and self.queue_limit is not None
+            and self.jobs.queued_count() >= self.queue_limit
+        ):
+            raise QueueFullError(
+                f"admission queue is full ({self.jobs.queued_count()} "
+                f"jobs waiting, queue_limit={self.queue_limit}); retry later"
+            )
+        deadline = (
+            request.deadline if request.deadline is not None else self.deadline
+        )
+        job = self.jobs.create(request=request, deadline=deadline)
+        job.transition(QUEUED)
+        self._m_jobs_active.inc()
+        pool = self._pool
+        try:
+            if pool is None:
+                raise RuntimeError("service request pool is not running")
+            pool.submit(self._run_job, job)
+        except RuntimeError:
+            # The pool shut down between start() and here (service is
+            # draining): fail the job instead of hanging its waiters.
+            self._finish_job(
+                job,
+                ServeResponse(
+                    request=request,
+                    result=None,
+                    stats=RequestStats(request_id=request.request_id),
+                    error="service is draining; job was not executed",
+                    error_code=CODE_SHUTDOWN,
+                    job_id=job.job_id,
+                ),
+            )
+        return job
+
+    def cancel_job(self, job_id: str) -> Tuple[Optional[Job], bool]:
+        """Request cancellation of a job by id.
+
+        Returns ``(job, effective)``: ``job`` is ``None`` for unknown ids;
+        ``effective`` is ``True`` when the cancel took (queued jobs are
+        cancelled outright and never execute; running jobs stop at their
+        next checkpoint; an already-CANCELLED job reports ``True``
+        idempotently) and ``False`` when the job already finished in
+        another terminal state.
+        """
+        job = self.jobs.get(job_id)
+        if job is None:
+            return None, False
+        was_terminal = job.is_terminal
+        effective = job.request_cancel()
+        if effective and not was_terminal and job.is_terminal:
+            # Cancelled straight out of the queue: no worker will ever
+            # touch it, so account for the terminal state here.
+            self._account_terminal(job)
+        return job, effective
+
+    def job_status(self, job_id: str) -> Optional[Dict]:
+        """The full progress view of a job (``None`` for unknown ids)."""
+        job = self.jobs.get(job_id)
+        if job is None:
+            return None
+        job.maybe_expire()
+        return job.as_dict()
+
+    def _account_terminal(self, job: Job) -> None:
+        self._m_job_states.inc(state=job.state)
+        self._m_jobs_active.dec()
+
+    def _finish_job(self, job: Job, response: ServeResponse) -> None:
+        """Stamp the terminal state + response onto a job, record stats."""
+        job.response = response
+        if job.is_terminal:
+            # Cancelled-while-queued or expired: the terminal state (and
+            # its accounting) is already on the job.
+            pass
+        elif response.error is None:
+            job.succeed(produced=response.produced)
+            self._account_terminal(job)
+        else:
+            job.fail(response.error, code=response.error_code or "internal")
+            self._account_terminal(job)
+        with self._stats_lock:
+            self._responses.append(response)
+
+    def _run_job(self, job: Job) -> None:
+        """Request-pool entry: execute one admitted job to a terminal state.
+
+        Never raises — a failure here would vanish into the pool.
+        """
+        request: ServeRequest = job.request
+        try:
+            if job.is_terminal:
+                # Cancelled while queued: DELETE prevented its execution.
+                if job.response is None:
+                    job.response = ServeResponse(
+                        request=request,
+                        result=None,
+                        stats=RequestStats(request_id=request.request_id),
+                        error=job.error,
+                        error_code=job.error_code,
+                        job_id=job.job_id,
+                    )
+                    with self._stats_lock:
+                        self._responses.append(job.response)
+                return
+            if job.maybe_expire():
+                self._account_terminal(job)
+                job.response = ServeResponse(
+                    request=request,
+                    result=None,
+                    stats=RequestStats(request_id=request.request_id),
+                    error=job.error,
+                    error_code=job.error_code,
+                    job_id=job.job_id,
+                )
+                with self._stats_lock:
+                    self._responses.append(job.response)
+                return
+            response = self._handle_one(request, job=job)
+            self._finish_job(job, response)
+        except Exception as exc:  # pragma: no cover - defensive
+            self._finish_job(
+                job,
+                ServeResponse(
+                    request=request,
+                    result=None,
+                    stats=RequestStats(request_id=request.request_id),
+                    error=f"{type(exc).__name__}: {exc}",
+                    error_code=error_code_for(exc, state=job.state),
+                    job_id=job.job_id,
+                ),
+            )
+
+    def _run_pipeline_request(
+        self, pipeline: PatternPipeline, request: ServeRequest
+    ) -> PipelineResult:
+        """Execute a ``kind="pipeline"`` request: the typed stage chain."""
+        params = dict(request.params or {})
+        unknown = set(params) - _PIPELINE_PARAMS
+        if unknown:
+            raise ValueError(
+                f"unknown pipeline params {sorted(unknown)}; "
+                f"allowed: {sorted(_PIPELINE_PARAMS)}"
+            )
+        result = pipeline.sample(
+            count=params.get("count"),
+            style=params.get("style"),
+            size=params.get("size"),
+            seed=params.get("seed"),
+        )
+        return pipeline.persist(pipeline.score(pipeline.legalize(result)))
+
+    def _handle_one(
+        self, request: ServeRequest, job: Optional[Job] = None
+    ) -> ServeResponse:
         started = time.perf_counter()
+        if job is not None:
+            job.transition(RUNNING, stage=request.kind)
         client = BatchedSamplingModel(
             self._client,
             source=request.source,
             deadline=request.deadline,
             tracer=self.tracer,
+            job=job,
         )
-        result: Optional[ChatResult] = None
+        result: Optional[Union[ChatResult, PipelineResult]] = None
         error: Optional[str] = None
+        error_code: Optional[str] = None
         # One pipeline per request, bound to the batched client: the agent
         # tools, the persistence below and the CLI all share these stage
-        # primitives.
+        # primitives.  The job rides the pipeline, so each stage entry is
+        # a cancel checkpoint + state transition and each StageTiming is
+        # mirrored into the job's stage_events.
         pipeline = PatternPipeline(
             self.config,
             model=client,
             store=self.store,
             metrics=self.metrics,
             tracer=self.tracer,
+            job=job,
         )
         # The whole agent pipeline for this request runs on this thread, so
         # the thread-local legalization counters isolate its legalize cost
@@ -482,19 +725,32 @@ class PatternService:
         ):
             try:  # fault isolation: one bad request must not sink the
                 # batch, and that covers per-request setup too
-                chat = ChatPattern(
-                    model=client,
-                    backend=self._backend_factory(),
-                    max_retries=self.max_retries,
-                    base_seed=self.base_seed + 7919 * request.request_id,
-                    store=self.store,
-                    pipeline=pipeline,
-                )
-                result = chat.handle_request(
-                    request.text, objective=request.objective
-                )
+                if request.kind == "pipeline":
+                    result = self._run_pipeline_request(pipeline, request)
+                elif request.kind == "chat":
+                    chat = ChatPattern(
+                        model=client,
+                        backend=self._backend_factory(),
+                        max_retries=self.max_retries,
+                        base_seed=self.base_seed + 7919 * request.request_id,
+                        store=self.store,
+                        pipeline=pipeline,
+                    )
+                    result = chat.handle_request(
+                        request.text, objective=request.objective
+                    )
+                else:
+                    raise ValueError(
+                        f"unknown request kind {request.kind!r}; "
+                        "known: chat, pipeline"
+                    )
             except Exception as exc:
                 error = f"{type(exc).__name__}: {exc}"
+                # Classify while the job still shows the failing stage
+                # (LEGALIZING at this point means legalization raised).
+                error_code = error_code_for(
+                    exc, state=job.state if job is not None else None
+                )
             legalize_calls, legalize_seconds = collect_legalize_timing()
             stats = RequestStats(
                 request_id=request.request_id,
@@ -508,11 +764,20 @@ class PatternService:
                 legalize_calls=legalize_calls,
                 legalize_seconds=legalize_seconds,
             )
-            if result is not None and len(result.library):
+            if isinstance(result, PipelineResult):
+                # The pipeline chain already ran its persist stage; just
+                # surface its store accounting.
+                stats.store_added = result.store_added
+                stats.store_deduplicated = result.store_deduplicated
+            elif result is not None and len(result.library):
                 # Unconditional persistence through the pipeline primitive:
                 # the add is idempotent (content-hash dedup), so patterns
                 # the agent already saved via Save_Library simply show up
                 # in `store_deduplicated` here.  No-op without a store.
+                if job is not None:
+                    # Direct transition (no cancel checkpoint): the result
+                    # already exists, cancelling now would only lose it.
+                    job.transition(PERSISTING, stage="persist")
                 with self.tracer.span(
                     "store_persist", patterns=len(result.library)
                 ):
@@ -523,7 +788,12 @@ class PatternService:
         self._m_requests.inc(status="error" if error else "ok")
         self._m_request_latency.observe(time.perf_counter() - started)
         return ServeResponse(
-            request=request, result=result, stats=stats, error=error
+            request=request,
+            result=result,
+            stats=stats,
+            error=error,
+            error_code=error_code,
+            job_id=job.job_id if job is not None else None,
         )
 
     # -- batch legalization stage --------------------------------------
@@ -616,4 +886,5 @@ class PatternService:
                 if self._engine is not None
                 else None
             ),
+            jobs=self.jobs.counts(),
         )

@@ -182,13 +182,18 @@ class LegalizeStageRecord:
 
 @dataclass
 class RequestStats:
-    """Per-request service metrics (queue wait, batching, throughput)."""
+    """Per-request service metrics (queue wait, batching, throughput).
+
+    Everything but ``request_id`` defaults to zero so a request that never
+    executed (cancelled while queued, expired, rejected at shutdown) still
+    carries a well-formed record.
+    """
 
     request_id: int
-    wall_seconds: float
-    queue_wait_seconds: float
-    sample_jobs: int
-    samples: int
+    wall_seconds: float = 0.0
+    queue_wait_seconds: float = 0.0
+    sample_jobs: int = 0
+    samples: int = 0
     batch_sizes: List[int] = field(default_factory=list)
     produced: int = 0
     dropped: int = 0
