@@ -21,6 +21,13 @@ Three measurements on one pre-fitted back-end:
   the second worker must win (incompatible trajectories drain in
   parallel); on a single-core host parity within noise is the physical
   ceiling, so the gate only demands it not *lose*.
+- **process executor tier**: the same uniform-shape job stream through
+  ``executor="process"`` with 1, 2 and 4 worker processes (shared-memory
+  batch transport, models loaded from a disk registry by recipe hash),
+  against a 2-thread run of the identical stream.  Process workers dodge
+  the GIL, so on a >= 4-core host the 2-process run must beat 2 threads
+  by >= 1.3x; on fewer cores the IPC tax has no parallelism to pay for
+  it, so the gate is only a sanity bound against pathological slowdown.
 
 Results are appended to ``BENCH_serve_throughput.json`` at the repo root;
 a run FAILS if its speedups regress more than 25% against the committed
@@ -30,6 +37,7 @@ sampling-throughput gate.  ``REPRO_SMOKE=1`` shrinks the workload for CI.
 
 import json
 import os
+import tempfile
 import time
 from datetime import datetime, timezone
 
@@ -46,6 +54,7 @@ from repro.serve import (
     PatternService,
     ServeEngine,
     ServeRequest,
+    leaked_segments,
 )
 
 SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
@@ -72,6 +81,14 @@ CPUS = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
     os.cpu_count() or 1
 )
 WORKER_FLOOR = 1.0 if CPUS >= 2 else 0.75
+# Process tier vs 2 threads: the spawn tier only pays off with real cores
+# to spread over.  >= 4 cpus must deliver >= 1.3x.  Below that the tier is
+# pure overhead — two processes time-slicing one core pay IPC, result
+# copies and scheduler churn with nothing to buy back — so the gate is
+# only a sanity bound that work still completes at the same order of
+# magnitude.
+PROCESS_WORKER_COUNTS = (1, 2, 4)
+PROCESS_SPEEDUP_FLOOR = 1.3 if CPUS >= 4 else 0.2
 
 RESULT_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
@@ -216,6 +233,58 @@ def _run_engine_stream(model, engine_workers):
     }
 
 
+def _run_executor_stream(model, registry, key, executor, workers):
+    """Uniform-shape job stream through one executor tier, N workers."""
+    engine = ServeEngine(
+        registry=registry,
+        executor=executor,
+        engine_workers=workers,
+        gather_window=ENGINE_GATHER,
+        max_batch=ENGINE_MAX_BATCH,
+    )
+    client = engine.bind(model, key=key)
+    with engine:
+        # Warm dispatch before the clock starts: absorbs the per-worker
+        # model load on the process tier (worker spawn already happened
+        # inside engine.start()).
+        client.submit(1, 0, seed=10_000).result(timeout=600)
+        started = time.perf_counter()
+        jobs = [
+            client.submit(ENGINE_SAMPLES_PER_JOB, i % 2, seed=i)
+            for i in range(ENGINE_JOBS)
+        ]
+        for job in jobs:
+            job.result(timeout=600)
+        wall = time.perf_counter() - started
+    total = ENGINE_JOBS * ENGINE_SAMPLES_PER_JOB
+    return {
+        "wall_seconds": round(wall, 3),
+        "executor": executor,
+        "engine_workers": workers,
+        "samples": total,
+        "samples_per_sec": round(total / wall, 2),
+        "workers_used": len(
+            {record.worker for record in engine.batch_records}
+        ),
+    }
+
+
+def _run_process_tier(model):
+    """Thread-vs-process scaling on one identical stream (1/2/4 procs)."""
+    key = ModelKey(window=model.window)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache:
+        registry = ModelRegistry(save_dir=cache)
+        registry.put(key, model)
+        thread_2 = _run_executor_stream(model, registry, key, "thread", 2)
+        process = {
+            workers: _run_executor_stream(
+                model, registry, key, "process", workers
+            )
+            for workers in PROCESS_WORKER_COUNTS
+        }
+    return thread_2, process
+
+
 def _speedup(slow, fast):
     return round(slow["wall_seconds"] / max(fast["wall_seconds"], 1e-9), 3)
 
@@ -259,6 +328,20 @@ def _check_regression(payload, history):
                 f"against the committed {anchor['speedup_workers']}x "
                 f"(floor {floor:.2f}x)"
             )
+    # Process-tier ratio: only against anchors that have one (older
+    # history entries predate the executor tier) and of the same core
+    # class — a single-core anchor says nothing about a multi-core run.
+    anchor_process = anchor.get("speedup_process")
+    if anchor_process and min(anchor.get("cpus", 1), 4) == min(
+        payload["cpus"], 4
+    ):
+        floor = anchor_process * REGRESSION_TOLERANCE
+        if payload["speedup_process"] < floor:
+            failures.append(
+                f"speedup_process {payload['speedup_process']}x regressed "
+                f"against the committed {anchor_process}x "
+                f"(floor {floor:.2f}x)"
+            )
     return failures
 
 
@@ -272,6 +355,7 @@ def _run(output_dir):
     batched_noobs = _run_batched(model, texts, obs_enabled=False)
     engine_single = _run_engine_stream(model, 1)
     engine_multi = _run_engine_stream(model, 2)
+    thread_tier, process_tiers = _run_process_tier(model)
 
     payload = {
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -292,8 +376,16 @@ def _run(output_dir):
         "batched_noobs": batched_noobs,
         "engine_single": engine_single,
         "engine_multi": engine_multi,
+        "thread_tier_2": thread_tier,
+        "process_tiers": {
+            str(workers): result
+            for workers, result in process_tiers.items()
+        },
         "speedup_batched": _speedup(sequential, batched),
         "speedup_workers": _speedup(engine_single, engine_multi),
+        # 2 process workers vs 2 threads on the identical stream: the
+        # executor-tier headline number.
+        "speedup_process": _speedup(thread_tier, process_tiers[2]),
         # Observability tax: the instrumented service vs the identical
         # workload with obs disabled (null metrics/tracer).  May come out
         # negative — the runs differ only by scheduler noise plus a few
@@ -350,9 +442,22 @@ def _run(output_dir):
              engine_multi["workers_used"]],
         ],
     )
+    print_table(
+        f"Executor tiers ({ENGINE_JOBS}-job uniform stream, {CPUS} cpu(s))",
+        ["tier", "wall (s)", "samples/s", "workers used"],
+        [
+            ["thread x2", thread_tier["wall_seconds"],
+             thread_tier["samples_per_sec"], thread_tier["workers_used"]],
+        ] + [
+            [f"process x{workers}", result["wall_seconds"],
+             result["samples_per_sec"], result["workers_used"]]
+            for workers, result in process_tiers.items()
+        ],
+    )
     print(
         f"batched speedup: {payload['speedup_batched']}x, "
-        f"2-worker speedup: {payload['speedup_workers']}x  "
+        f"2-worker speedup: {payload['speedup_workers']}x, "
+        f"2-process vs 2-thread: {payload['speedup_process']}x  "
         f"(history: {RESULT_PATH})"
     )
     payload["regressions"] = regressions
@@ -390,5 +495,16 @@ def test_serve_throughput(benchmark, output_dir):
         assert payload["speedup_workers"] > 1.0, payload["speedup_workers"]
     # Both executors must have actually drained batches in the 2-worker run.
     assert payload["engine_multi"]["workers_used"] == 2
+    # Process tier: every run produced its samples, the shutdown left no
+    # shared-memory segments, and the 2-process run clears its cpu-aware
+    # floor against 2 threads (>= 1.3x with >= 4 cores; a sanity bound
+    # where there is no parallelism for the IPC tax to buy back).
+    for result in payload["process_tiers"].values():
+        assert result["samples"] > 0
+        assert result["workers_used"] >= 1
+    assert leaked_segments() == []
+    assert (
+        payload["speedup_process"] >= PROCESS_SPEEDUP_FLOOR
+    ), payload["speedup_process"]
     # No >25% regression against the committed baseline.
     assert not payload["regressions"], payload["regressions"]

@@ -164,6 +164,12 @@ class StoreConfig(StageConfig):
 #: declared here so config validation never has to import the engine.
 SERVE_POLICIES = ("greedy", "shape_bucketed", "fair_share")
 
+#: Registered executor back-ends of the serving engine (layer 3).
+#: ``thread`` runs sampling in-process; ``process`` fans batches out to
+#: spawned worker processes over shared memory (requires a disk model
+#: cache so workers can load fitted models by recipe hash).
+SERVE_EXECUTORS = ("thread", "process")
+
 
 @dataclass(frozen=True)
 class ServeConfig(StageConfig):
@@ -173,10 +179,16 @@ class ServeConfig(StageConfig):
     ``policy`` picks the batching policy (``greedy`` = classic
     gather-window FIFO, ``shape_bucketed`` = coalesce compatible jobs
     across the whole queue, ``fair_share`` = round-robin across request
-    sources).  ``engine_workers`` sizes the executor pool draining batches
-    in parallel; ``queue_limit`` bounds the admission queue (jobs beyond
-    it fast-fail with backpressure instead of queueing unboundedly);
-    ``deadline`` expires jobs still queued after that many seconds.
+    sources).  ``executor`` picks the engine's execution tier:
+    ``thread`` (default) samples in-process, ``process`` dispatches each
+    batch to a spawned worker process over shared memory — isolation from
+    a crashing model and true multi-core sampling, at the price of
+    requiring a disk model cache (``model_cache``) so workers can load
+    fitted models by recipe hash.  ``engine_workers`` sizes the executor
+    pool draining batches in parallel; ``queue_limit`` bounds the
+    admission queue (jobs beyond it fast-fail with backpressure instead
+    of queueing unboundedly); ``deadline`` expires jobs still queued
+    after that many seconds.
     ``job_ttl`` bounds, in seconds, how long finished lifecycle jobs stay
     readable in the service's :class:`~repro.serve.jobs.JobTable` (and
     thus pollable over HTTP) after reaching a terminal state.
@@ -189,6 +201,7 @@ class ServeConfig(StageConfig):
     max_retries: int = 2
     base_seed: int = 0
     policy: str = "greedy"
+    executor: str = "thread"
     engine_workers: int = 1
     queue_limit: Optional[int] = None
     deadline: Optional[float] = None
@@ -199,6 +212,11 @@ class ServeConfig(StageConfig):
             raise ConfigError(
                 f"unknown serve policy {self.policy!r}; known: "
                 f"{sorted(SERVE_POLICIES)}"
+            )
+        if self.executor not in SERVE_EXECUTORS:
+            raise ConfigError(
+                f"unknown serve executor {self.executor!r}; known: "
+                f"{sorted(SERVE_EXECUTORS)}"
             )
         if self.engine_workers < 1:
             raise ConfigError("engine_workers must be >= 1")

@@ -27,7 +27,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.api.config import SERVE_POLICIES, PipelineConfig
+from repro.api.config import SERVE_EXECUTORS, SERVE_POLICIES, PipelineConfig
 from repro.api.pipeline import PatternPipeline
 from repro.data import STYLES
 from repro.diffusion.schedule import validate_sampler_steps
@@ -139,8 +139,16 @@ def build_parser() -> argparse.ArgumentParser:
              "queue) or fair_share (round-robin across request sources)",
     )
     srv.add_argument(
+        "--executor", choices=SERVE_EXECUTORS, default=None,
+        help="engine execution tier: thread (in-process, default) or "
+             "process (spawned worker processes with shared-memory batch "
+             "transport and crash supervision; requires --model-cache so "
+             "workers can load the fitted model by recipe hash)",
+    )
+    srv.add_argument(
         "--engine-workers", type=int, default=None,
-        help="executor threads draining batches in parallel",
+        help="executor workers (threads or processes) draining batches "
+             "in parallel",
     )
     srv.add_argument(
         "--queue-limit", type=int, default=None,
@@ -178,8 +186,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--http", metavar="HOST:PORT", default=None,
         help="instead of serving the given requests and exiting, run the "
              "asyncio HTTP front-end (POST /v1/jobs, GET /v1/jobs/ID, "
-             "DELETE cancel, GET /metrics) until SIGINT, then drain "
-             "gracefully; PORT 0 binds an ephemeral port",
+             "DELETE cancel, GET /metrics) until SIGINT or SIGTERM, then "
+             "drain gracefully (process-executor workers are reaped, no "
+             "orphans); PORT 0 binds an ephemeral port",
     )
 
     gen = sub.add_parser("generate", help="sample fixed-size patterns")
@@ -290,6 +299,8 @@ def _cmd_serve(args) -> int:
         serve_cfg = serve_cfg.replace(max_workers=args.workers)
     if args.policy is not None:
         serve_cfg = serve_cfg.replace(policy=args.policy)
+    if args.executor is not None:
+        serve_cfg = serve_cfg.replace(executor=args.executor)
     if args.engine_workers is not None:
         serve_cfg = serve_cfg.replace(engine_workers=args.engine_workers)
     if args.queue_limit is not None:

@@ -10,6 +10,13 @@ Layers (front to back):
   :class:`BatchPolicy` batching (``greedy`` | ``shape_bucketed`` |
   ``fair_share``), an ``engine_workers``-sized executor pool draining
   batches in parallel, and multi-model routing via :meth:`ServeEngine.bind`.
+- :class:`ExecutorBackend` — the engine's pluggable execution tier:
+  :class:`ThreadExecutor` (in-process, default) or
+  :class:`ProcessExecutor` (spawned worker processes loading fitted
+  models from the registry's disk tier, batches returned through the
+  :class:`ShmArena` shared-memory transport, supervised with heartbeats,
+  crash detection and bounded respawn — a lost worker fails its in-flight
+  jobs with the stable ``worker_crashed`` code after one retry).
 - :class:`MicroBatchScheduler` / :class:`BatchedSamplingModel` — the
   classic single-model facade over a private engine: compatible sampling
   work from different requests coalesces into single batched denoise
@@ -45,8 +52,18 @@ from repro.serve.engine import (
     QueueFullError,
     ServeEngine,
     ShapeBucketedPolicy,
+    TrajectoryPlan,
+    WorkerCrashedError,
     resolve_batch_policy,
 )
+from repro.serve.executors import (
+    ExecutorBackend,
+    ExecutorError,
+    ProcessExecutor,
+    ThreadExecutor,
+    resolve_executor,
+)
+from repro.serve.shm import ArrayRef, ShmArena, ShmError, leaked_segments
 from repro.serve.jobs import (
     JOB_STATES,
     TERMINAL_STATES,
@@ -81,6 +98,7 @@ from repro.serve.store import (
 )
 
 __all__ = [
+    "ArrayRef",
     "BatchPolicy",
     "BatchRecord",
     "BatchedSamplingModel",
@@ -89,6 +107,8 @@ __all__ = [
     "EngineError",
     "EngineJob",
     "EngineStats",
+    "ExecutorBackend",
+    "ExecutorError",
     "FairSharePolicy",
     "GreedyPolicy",
     "JOB_STATES",
@@ -105,6 +125,7 @@ __all__ = [
     "ModelRegistry",
     "PatternHttpServer",
     "PatternService",
+    "ProcessExecutor",
     "QueueFullError",
     "RequestStats",
     "SampleJob",
@@ -116,12 +137,19 @@ __all__ = [
     "ServeResponse",
     "ServiceStats",
     "ShapeBucketedPolicy",
+    "ShmArena",
+    "ShmError",
     "StoreRecord",
     "StoreReport",
     "TERMINAL_STATES",
+    "ThreadExecutor",
+    "TrajectoryPlan",
+    "WorkerCrashedError",
     "error_code_for",
     "fit_model",
+    "leaked_segments",
     "model_supports_sampler_steps",
     "pattern_content_hash",
     "resolve_batch_policy",
+    "resolve_executor",
 ]

@@ -63,6 +63,10 @@ class MicroBatchScheduler:
             the model's own default).  Individual jobs may override it.
         policy: batching policy name or :class:`BatchPolicy` instance
             (``"greedy"`` | ``"shape_bucketed"`` | ``"fair_share"``).
+        executor: execution tier (``"thread"`` | ``"process"``, or an
+            :class:`~repro.serve.executors.ExecutorBackend` instance).
+            The process tier needs an engine registry with a disk cache —
+            prefer :class:`~repro.serve.engine.ServeEngine` directly there.
         engine_workers: executor threads draining batches in parallel.
         queue_limit: bound on queued jobs; beyond it ``submit`` raises
             :class:`~repro.serve.engine.QueueFullError` (``None`` =
@@ -83,12 +87,14 @@ class MicroBatchScheduler:
         max_batch: int = 64,
         sampler_steps: SamplerSteps = None,
         policy: Union[str, BatchPolicy] = "greedy",
+        executor: str = "thread",
         engine_workers: int = 1,
         queue_limit: Optional[int] = None,
         deadline: Optional[float] = None,
     ):
         self._engine = ServeEngine(
             policy=policy,
+            executor=executor,
             engine_workers=engine_workers,
             queue_limit=queue_limit,
             gather_window=gather_window,

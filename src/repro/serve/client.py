@@ -35,6 +35,9 @@ class ServeClientError(RuntimeError):
         code: the server's stable error code (``queue_full`` | ... |
             ``unknown`` when the response carried none).
         payload: the decoded response body, when there was one.
+        retry_after: seconds the server suggested waiting before a retry
+            (the ``Retry-After`` header on 429 backpressure responses);
+            ``None`` when the response carried no hint.
     """
 
     def __init__(
@@ -43,11 +46,13 @@ class ServeClientError(RuntimeError):
         status: int = 0,
         code: str = "unknown",
         payload: Optional[Dict] = None,
+        retry_after: Optional[int] = None,
     ):
         super().__init__(message)
         self.status = status
         self.code = code
         self.payload = payload or {}
+        self.retry_after = retry_after
 
 
 class JobTimeout(ServeClientError):
@@ -71,6 +76,9 @@ class ServeClient:
         self.host = parts.hostname
         self.port = parts.port or 80
         self.timeout = timeout
+        # Backpressure pacing hint from the most recent response
+        # (Retry-After header, 429s); None when the server sent none.
+        self.last_retry_after: Optional[int] = None
 
     # -- transport -----------------------------------------------------
 
@@ -93,6 +101,13 @@ class ServeClient:
                     f"request {method} {path} failed: {exc}", code="transport"
                 ) from exc
             content_type = response.headers.get("Content-Type", "")
+            retry_after = response.headers.get("Retry-After")
+            try:
+                self.last_retry_after = (
+                    int(retry_after) if retry_after is not None else None
+                )
+            except ValueError:
+                self.last_retry_after = None
             if content_type.startswith("application/json"):
                 payload = json.loads(raw.decode("utf-8") or "{}")
             else:
@@ -109,6 +124,7 @@ class ServeClient:
             status=status,
             code=body.get("error_code", "unknown"),
             payload=body,
+            retry_after=self.last_retry_after,
         )
 
     # -- API -----------------------------------------------------------

@@ -15,11 +15,18 @@ explicit layers, each independently configurable:
    across the whole queue so one trajectory carries as many samples as
    possible, ``fair_share`` round-robins across request *sources* so a
    bulk client cannot starve interactive ones.
-3. **Executor pool** — ``engine_workers`` worker threads each drain
-   batches in parallel; incompatible batches (different shapes, step
-   schedules or models) no longer serialize behind each other.  ``stop``
-   drains gracefully, preserving the scheduler lifecycle guarantees
-   (submit-after-stop raises, restart works, nothing ever hangs).
+3. **Executor pool** — a pluggable :class:`ExecutorBackend`
+   (:mod:`repro.serve.executors`): ``executor="thread"`` (default) runs
+   ``engine_workers`` in-process threads, behavior-identical to the
+   classic pool; ``executor="process"`` runs spawned worker processes
+   that rehydrate their own fitted model from the disk registry and
+   return batches through shared memory — true multi-core parallelism.
+   Incompatible batches (different shapes, step schedules or models) no
+   longer serialize behind each other.  ``stop`` drains gracefully,
+   preserving the scheduler lifecycle guarantees (submit-after-stop
+   raises, restart works, nothing ever hangs); a crashed process worker
+   is respawned, its in-flight batch retried once, then failed with the
+   terminal ``worker_crashed`` code.
 4. **Routing** — the engine serves many models at once: :meth:`bind`
    resolves a :class:`~repro.serve.registry.ModelKey` through a
    :class:`~repro.serve.registry.ModelRegistry` (or accepts a pre-fitted
@@ -75,6 +82,17 @@ class DeadlineExpiredError(EngineError):
     code = "deadline_expired"
 
 
+class WorkerCrashedError(EngineError):
+    """An executor worker died executing this job's batch — twice.
+
+    The process tier retries an in-flight batch once on a fresh worker;
+    only a second crash surfaces this terminal error to the affected jobs
+    (the engine itself keeps serving on its remaining/respawned workers).
+    """
+
+    code = "worker_crashed"
+
+
 def model_supports_sampler_steps(model) -> bool:
     """Explicit backend-protocol check for the step-schedule capability.
 
@@ -108,6 +126,7 @@ class EngineJob:
         "source",
         "deadline",
         "model",
+        "model_key",
         "model_label",
         "submitted_at",
         "future",
@@ -129,6 +148,7 @@ class EngineJob:
         deadline: Optional[float] = None,
         model=None,
         model_label: str = "model",
+        model_key=None,
     ):
         self.count = int(count)
         self.condition = condition
@@ -140,6 +160,10 @@ class EngineJob:
         #: dead on arrival at a worker (``None`` = no deadline)
         self.deadline = deadline
         self.model = model
+        #: the recipe (:class:`~repro.serve.registry.ModelKey`) behind
+        #: ``model`` — required by process-tier executors, whose workers
+        #: resolve the model by recipe_hash rather than by object.
+        self.model_key = model_key
         self.model_label = model_label
         self.submitted_at = time.perf_counter()
         self.future: "Future[np.ndarray]" = Future()
@@ -160,6 +184,59 @@ class EngineJob:
     def result(self, timeout: Optional[float] = None) -> np.ndarray:
         """Block until a worker delivers this job's samples."""
         return self.future.result(timeout=timeout)
+
+
+class TrajectoryPlan:
+    """One fully-derived trajectory: the unit an executor backend runs.
+
+    :meth:`ServeEngine._plan` turns a selected batch into plans — jobs
+    grouped by trajectory key, re-sorted into arrival order, conditions
+    stacked and seeds collected — so every backend executes *identical*
+    trajectories: the thread tier calls ``model.sample_batch`` in-process,
+    the process tier ships everything but the model object to a worker
+    that rebuilds the same rng from the same seeds.
+    """
+
+    __slots__ = (
+        "jobs",
+        "shape",
+        "sampler_steps",
+        "pass_sampler_steps",
+        "model",
+        "model_key",
+        "model_label",
+        "conditions",
+        "seeds",
+    )
+
+    def __init__(
+        self,
+        jobs: List["EngineJob"],
+        shape: Tuple[int, int],
+        sampler_steps: SamplerSteps,
+        pass_sampler_steps: bool,
+        model,
+        model_key,
+        model_label: str,
+        conditions: List[Optional[int]],
+        seeds: List[int],
+    ):
+        self.jobs = jobs
+        self.shape = shape
+        self.sampler_steps = sampler_steps
+        #: whether the thread tier would pass the ``sampler_steps`` kwarg
+        #: (capability-checked against the *parent's* model object, so
+        #: process workers make the identical call).
+        self.pass_sampler_steps = pass_sampler_steps
+        self.model = model
+        self.model_key = model_key
+        self.model_label = model_label
+        self.conditions = conditions
+        self.seeds = seeds
+
+    @property
+    def samples(self) -> int:
+        return len(self.conditions)
 
 
 # ---------------------------------------------------------------------------
@@ -350,6 +427,11 @@ class ServeEngine:
         max_batch: sample budget per selected batch.
         deadline: default per-job deadline in seconds from submission
             (``None`` = jobs never expire).  Per-job deadlines override it.
+        executor: executor backend name (``"thread"`` | ``"process"``) or
+            an :class:`~repro.serve.executors.ExecutorBackend` instance.
+            ``"process"`` requires a registry with a disk tier and jobs
+            that carry a ``model_key`` (bind by recipe, or pass ``key=``
+            to :meth:`bind`).
         metrics: :class:`~repro.obs.metrics.MetricsRegistry` the engine
             reports into (``None`` = the process-wide default registry;
             pass :data:`~repro.obs.metrics.NULL_METRICS` to disable).
@@ -364,6 +446,7 @@ class ServeEngine:
         gather_window: float = 0.02,
         max_batch: int = 64,
         deadline: Optional[float] = None,
+        executor="thread",
         metrics=None,
     ):
         if gather_window < 0:
@@ -390,7 +473,11 @@ class ServeEngine:
         self._has_work = threading.Condition(self._lock)
 
         # -- executor pool (layer 3) ----------------------------------
-        self._threads: List[threading.Thread] = []
+        # Lazy import: executors imports engine types, so the backend
+        # registry resolves at construction, not at module load.
+        from repro.serve.executors import resolve_executor
+
+        self.executor = resolve_executor(executor)
         self._draining = threading.Event()  # graceful: finish the queue
         self._halt = threading.Event()  # hard: finish in-flight, fail rest
         self._stopped = False  # a stopped engine refuses new jobs
@@ -458,6 +545,23 @@ class ServeEngine:
             "Summed trajectory execution time per executor worker",
             labels=("worker",),
         )
+        # Process-tier supervision instruments (stay at zero for threads).
+        self._m_worker_restarts = m.counter(
+            "repro_engine_worker_restarts_total",
+            "Executor worker processes respawned after a crash",
+            labels=("worker",),
+        )
+        self._m_ipc_roundtrip = m.histogram(
+            "repro_ipc_roundtrip_seconds",
+            "Process-executor dispatch overhead: round trip minus the "
+            "child's own execution time",
+            labels=("worker",),
+        )
+        self._m_worker_active = m.gauge(
+            "repro_engine_worker_busy",
+            "1 while an executor worker slot is executing a batch",
+            labels=("worker",),
+        )
 
     # -- routing -------------------------------------------------------
 
@@ -467,6 +571,7 @@ class ServeEngine:
         sampler_steps: SamplerSteps = None,
         source: str = "default",
         label: Optional[str] = None,
+        key=None,
     ) -> "EngineClient":
         """Resolve a back-end and return its submission handle.
 
@@ -476,6 +581,11 @@ class ServeEngine:
         engine's registry (fitting on first use).  Binding the same model
         object twice shares one routing token, so jobs from different
         clients of one model still coalesce.
+
+        ``key`` names the recipe behind a pre-fitted model: process-tier
+        executors resolve models by recipe_hash in their workers, so jobs
+        they execute must carry one (binding by recipe sets it
+        automatically).
         """
         from repro.api.config import TrainConfig
 
@@ -491,6 +601,10 @@ class ServeEngine:
             label = label or f"model-{key.recipe_hash()[:8]}"
         else:
             model = model_or_key
+            if key is not None:
+                from repro.serve.registry import ModelKey
+
+                key = ModelKey.from_config(key)
         token = id(model)
         with self._bind_lock:
             existing = self._bindings.get(token)
@@ -502,7 +616,12 @@ class ServeEngine:
                 )
             self._bind_count += 1
             client = EngineClient(
-                self, model, label, sampler_steps=sampler_steps, source=source
+                self,
+                model,
+                label,
+                sampler_steps=sampler_steps,
+                source=source,
+                model_key=key,
             )
             self._bindings[token] = client
         return client
@@ -511,7 +630,7 @@ class ServeEngine:
 
     @property
     def running(self) -> bool:
-        return any(thread.is_alive() for thread in self._threads)
+        return self.executor.running
 
     def start(self) -> "ServeEngine":
         with self._lifecycle_lock:
@@ -520,17 +639,7 @@ class ServeEngine:
             self._draining.clear()
             self._halt.clear()
             self._stopped = False
-            self._threads = [
-                threading.Thread(
-                    target=self._worker_loop,
-                    args=(index,),
-                    name=f"repro-serve-engine-{index}",
-                    daemon=True,
-                )
-                for index in range(self.engine_workers)
-            ]
-            for thread in self._threads:
-                thread.start()
+            self.executor.start(self)
             return self
 
     def stop(self, timeout: float = 10.0) -> None:
@@ -541,25 +650,28 @@ class ServeEngine:
         ``timeout`` the pool is halted — workers finish their in-flight
         batch and every job still queued fails rather than hang its
         caller.  ``running`` only flips once every worker is actually
-        dead, so a restart can never race a live pool.
+        dead, so a restart can never race a live pool.  Once the loops
+        end, ``executor.shutdown()`` reaps backend resources (process
+        workers, shared-memory segments) — no orphans survive.
         """
         with self._lifecycle_lock:
             if not self.running:
+                # Idempotent resource sweep: loops may have exited on
+                # their own (all-crashed slots), children could remain.
+                self.executor.shutdown()
                 return
             self._draining.set()
             with self._has_work:
                 self._has_work.notify_all()
             deadline = time.perf_counter() + timeout
-            for thread in self._threads:
-                thread.join(timeout=max(0.0, deadline - time.perf_counter()))
-            if any(thread.is_alive() for thread in self._threads):
+            self.executor.join(deadline)
+            if self.executor.running:
                 self._halt.set()
                 with self._has_work:
                     self._has_work.notify_all()
-                for thread in self._threads:
-                    thread.join(timeout=timeout)
-            if not any(thread.is_alive() for thread in self._threads):
-                self._threads = []
+                self.executor.join(time.perf_counter() + timeout)
+            if not self.executor.running:
+                self.executor.shutdown()
                 self._stopped = True
                 # Hard-halt case: sweep whatever the pool never drained.
                 self._fail_pending("engine stopped before job ran")
@@ -578,6 +690,12 @@ class ServeEngine:
             raise ValueError("count must be >= 1")
         if job.model is None:
             raise ValueError("job must carry a model (use EngineClient)")
+        if self.executor.requires_model_key and job.model_key is None:
+            raise ValueError(
+                f'the {self.executor.name!r} executor resolves models by '
+                "recipe in its workers: bind by ModelKey/TrainConfig, or "
+                "pass key= to bind() for a pre-fitted model"
+            )
         if job.deadline is None and self.deadline is not None:
             job.deadline = job.submitted_at + self.deadline
         with self._lifecycle_lock:
@@ -724,7 +842,16 @@ class ServeEngine:
 
     # -- execution (one trajectory per compatible group) ----------------
 
-    def _execute(self, jobs: Sequence[EngineJob], worker: int = 0) -> None:
+    def _plan(
+        self, jobs: Sequence[EngineJob], worker: int = 0
+    ) -> List[TrajectoryPlan]:
+        """Turn a selected batch into executable trajectory plans.
+
+        Stamps selection timestamps, groups jobs by trajectory key, and
+        derives each group's stacked conditions + seed list.  Every
+        executor backend runs the returned plans — the derivation happens
+        exactly once, so tiers cannot drift apart.
+        """
         now = time.perf_counter()
         for job in jobs:
             job.queue_wait = now - job.submitted_at
@@ -733,6 +860,7 @@ class ServeEngine:
         groups: "OrderedDict[Tuple, List[EngineJob]]" = OrderedDict()
         for job in jobs:
             groups.setdefault(job.batch_key, []).append(job)
+        plans: List[TrajectoryPlan] = []
         for (_, shape, steps), group in groups.items():
             # A trajectory's riders always line up in arrival order, so the
             # stacked conditions and the derived seed sequence — and hence
@@ -743,50 +871,92 @@ class ServeEngine:
             conditions: List[Optional[int]] = []
             for job in group:
                 conditions.extend([job.condition] * job.count)
-            rng = np.random.default_rng(
-                np.random.SeedSequence([job.seed % (2**32) for job in group])
-            )
-            kwargs = (
-                {"sampler_steps": steps}
-                if steps is not None and model_supports_sampler_steps(model)
-                else {}
-            )
-            started = time.perf_counter()
-            try:
-                samples = model.sample_batch(
-                    conditions, rng, shape=shape, **kwargs
+            plans.append(
+                TrajectoryPlan(
+                    jobs=group,
+                    shape=shape,
+                    sampler_steps=steps,
+                    pass_sampler_steps=model_supports_sampler_steps(model),
+                    model=model,
+                    model_key=group[0].model_key,
+                    model_label=group[0].model_label,
+                    conditions=conditions,
+                    seeds=[job.seed % (2**32) for job in group],
                 )
-            except Exception as exc:  # propagate to every waiting caller
-                for job in group:
-                    if not job.future.done():
-                        job.future.set_exception(exc)
-                continue
-            wall = time.perf_counter() - started
-            with self._records_lock:
-                self._records.append(
-                    BatchRecord(
-                        jobs=len(group),
-                        samples=len(conditions),
-                        shape=shape,
-                        wall_seconds=wall,
-                        model=group[0].model_label,
-                        worker=worker,
-                        policy=self.policy.name,
-                        started_at=started,
-                    )
-                )
-            self._m_batch_size.observe(
-                len(conditions), policy=self.policy.name
             )
-            self._m_batch_latency.observe(wall, policy=self.policy.name)
-            self._m_worker_busy.inc(wall, worker=str(worker))
-            offset = 0
-            for job in group:
-                job.batch_samples = len(conditions)
-                job.exec_started_at = started
-                job.exec_ended_at = started + wall
-                job.future.set_result(samples[offset : offset + job.count])
-                offset += job.count
+        return plans
+
+    def _execute(self, jobs: Sequence[EngineJob], worker: int = 0) -> None:
+        """In-process execution of a selected batch (the thread tier)."""
+        for plan in self._plan(jobs, worker=worker):
+            self._run_plan_local(plan, worker=worker)
+
+    def _run_plan_local(self, plan: TrajectoryPlan, worker: int = 0) -> None:
+        rng = np.random.default_rng(np.random.SeedSequence(plan.seeds))
+        kwargs = (
+            {"sampler_steps": plan.sampler_steps}
+            if plan.sampler_steps is not None and plan.pass_sampler_steps
+            else {}
+        )
+        started = time.perf_counter()
+        try:
+            samples = plan.model.sample_batch(
+                plan.conditions, rng, shape=plan.shape, **kwargs
+            )
+        except Exception as exc:  # propagate to every waiting caller
+            self._fail_plan(plan, exc)
+            return
+        wall = time.perf_counter() - started
+        self._finish_plan(plan, samples, started, wall, worker=worker)
+
+    def _finish_plan(
+        self,
+        plan: TrajectoryPlan,
+        samples: np.ndarray,
+        started: float,
+        wall: float,
+        worker: int = 0,
+    ) -> None:
+        """Record a delivered trajectory and distribute its samples.
+
+        Called by every executor backend once a plan's samples exist —
+        in-process for threads, copied out of shared memory for process
+        workers.  ``started``/``wall`` are parent-clock dispatch time and
+        duration, so traces stay consistent across tiers.
+        """
+        with self._records_lock:
+            self._records.append(
+                BatchRecord(
+                    jobs=len(plan.jobs),
+                    samples=plan.samples,
+                    shape=plan.shape,
+                    wall_seconds=wall,
+                    model=plan.model_label,
+                    worker=worker,
+                    policy=self.policy.name,
+                    started_at=started,
+                )
+            )
+        self._m_batch_size.observe(plan.samples, policy=self.policy.name)
+        self._m_batch_latency.observe(wall, policy=self.policy.name)
+        self._m_worker_busy.inc(wall, worker=str(worker))
+        offset = 0
+        for job in plan.jobs:
+            job.batch_samples = plan.samples
+            job.exec_started_at = started
+            job.exec_ended_at = started + wall
+            job.future.set_result(samples[offset : offset + job.count])
+            offset += job.count
+
+    @staticmethod
+    def _fail_plan(plan: TrajectoryPlan, exc: BaseException) -> None:
+        """Fail every rider of a plan (execution error or worker crash)."""
+        for job in plan.jobs:
+            if not job.future.done():
+                try:
+                    job.future.set_exception(exc)
+                except Exception:
+                    pass
 
     # -- observability -------------------------------------------------
 
@@ -808,6 +978,7 @@ class ServeEngine:
         return EngineStats(
             scheduler=SchedulerStats.from_records(self.batch_records),
             policy=self.policy.name,
+            executor=self.executor.name,
             engine_workers=self.engine_workers,
             queue_limit=self.queue_limit,
             queued=queued,
@@ -836,12 +1007,14 @@ class EngineClient:
         label: str,
         sampler_steps: SamplerSteps = None,
         source: str = "default",
+        model_key=None,
     ):
         self.engine = engine
         self.model = model
         self.label = label
         self.sampler_steps = sampler_steps
         self.source = source
+        self.model_key = model_key
 
     @property
     def running(self) -> bool:
@@ -883,6 +1056,7 @@ class EngineClient:
             source=source if source is not None else self.source,
             model=self.model,
             model_label=self.label,
+            model_key=self.model_key,
         )
         if deadline is not None:
             if deadline <= 0:

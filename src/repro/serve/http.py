@@ -20,7 +20,12 @@ Endpoints::
 
 Status mapping is keyed on the job's stable ``error_code`` (never the
 message text): the engine's admission backpressure surfaces as 429, its
-deadline expiry as 504, a cancel race against a finished job as 409.
+deadline expiry as 504, a cancel race against a finished job as 409, a
+process-executor worker lost mid-batch (``worker_crashed``) as 500.
+Every 429 carries a ``Retry-After`` header derived from the service's
+live batch latency (:meth:`PatternService.retry_after_hint`), so
+backpressured clients pace their retries to how fast the queue actually
+drains.
 
 The server is a plain ``asyncio.start_server`` loop running on a
 dedicated thread, so it embeds in tests (ephemeral port: ``port=0``), the
@@ -28,8 +33,11 @@ CLI (``repro serve --http``) and scripts the same way.  Handlers never
 block the loop: job submission, status and cancel are sub-millisecond
 job-table operations — the heavy work runs on the service's request pool
 and the engine behind it.  ``serve_forever`` installs SIGINT/SIGTERM
-handlers and performs a graceful drain: stop accepting, let every
-admitted job reach a terminal state, then shut the service down.
+handlers (both signals drain identically) and performs a graceful
+shutdown: stop accepting, let every admitted job reach a terminal state,
+then stop the service — which also reaps any process-executor workers
+and their shared-memory segments, so a signalled exit leaves no orphan
+children and nothing in ``/dev/shm``.
 """
 
 from __future__ import annotations
@@ -196,8 +204,15 @@ class PatternHttpServer:
     # -- connection handling -------------------------------------------
 
     async def _handle_client(self, reader, writer) -> None:
+        extra_headers: Dict[str, str] = {}
         try:
-            status, payload, content_type = await self._handle_request(reader)
+            response = await self._handle_request(reader)
+            # Handlers return (status, payload, content_type) or the same
+            # plus a headers dict (e.g. Retry-After on 429).
+            if len(response) == 4:
+                status, payload, content_type, extra_headers = response
+            else:
+                status, payload, content_type = response
         except Exception as exc:  # defensive: a handler bug must not
             # kill the connection silently
             status, content_type = 500, "application/json"
@@ -207,10 +222,15 @@ class PatternHttpServer:
             )
         try:
             body = payload.encode("utf-8")
+            extra = "".join(
+                f"{name}: {value}\r\n"
+                for name, value in (extra_headers or {}).items()
+            )
             head = (
                 f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
                 f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
+                f"{extra}"
                 "Connection: close\r\n"
                 "\r\n"
             )
@@ -221,7 +241,7 @@ class PatternHttpServer:
         finally:
             writer.close()
 
-    async def _handle_request(self, reader) -> Tuple[int, str, str]:
+    async def _handle_request(self, reader) -> Tuple:
         request_line = await reader.readline()
         if not request_line:
             return 400, _error_body("empty request"), "application/json"
@@ -347,6 +367,7 @@ class PatternHttpServer:
                 429,
                 _error_body(str(exc), code=exc.code),
                 "application/json",
+                self._retry_after_headers(),
             )
         except (ValueError, TypeError) as exc:
             return 400, _error_body(str(exc)), "application/json"
@@ -441,18 +462,21 @@ class PatternHttpServer:
             status = 429
         elif job.error_code == CODE_INVALID_REQUEST:
             status = 400
-        return (
-            status,
-            json.dumps(
-                {
-                    "job_id": job_id,
-                    "state": job.state,
-                    "error": job.error,
-                    "error_code": job.error_code,
-                }
-            ),
-            "application/json",
+        body = json.dumps(
+            {
+                "job_id": job_id,
+                "state": job.state,
+                "error": job.error,
+                "error_code": job.error_code,
+            }
         )
+        if status == 429:
+            return status, body, "application/json", self._retry_after_headers()
+        return status, body, "application/json"
+
+    def _retry_after_headers(self) -> Dict[str, str]:
+        """``Retry-After`` for backpressure responses, from live latency."""
+        return {"Retry-After": str(self.service.retry_after_hint())}
 
 
 def _error_body(message: str, code: str = CODE_INVALID_REQUEST) -> str:

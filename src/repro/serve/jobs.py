@@ -97,6 +97,7 @@ CODE_CANCELLED = "cancelled"
 CODE_INVALID_REQUEST = "invalid_request"
 CODE_LEGALIZE_FAILED = "legalize_failed"
 CODE_SHUTDOWN = "shutdown"
+CODE_WORKER_CRASHED = "worker_crashed"
 CODE_INTERNAL = "internal"
 
 ERROR_CODES = (
@@ -106,6 +107,7 @@ ERROR_CODES = (
     CODE_INVALID_REQUEST,
     CODE_LEGALIZE_FAILED,
     CODE_SHUTDOWN,
+    CODE_WORKER_CRASHED,
     CODE_INTERNAL,
 )
 
@@ -531,6 +533,7 @@ __all__ = [
     "CODE_LEGALIZE_FAILED",
     "CODE_QUEUE_FULL",
     "CODE_SHUTDOWN",
+    "CODE_WORKER_CRASHED",
     "ERROR_CODES",
     "EXPIRED",
     "EngineEvent",

@@ -24,10 +24,17 @@ import dataclasses
 import os
 import pickle
 import threading
+import time
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple, Union
+
+try:  # POSIX-only advisory locks; the cross-process single-flight fit
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 import numpy as np
 
@@ -176,13 +183,25 @@ class ModelRegistry:
                 self._m_hits.inc(tier="disk")
                 self.put(key, model)
                 return model, "disk"
-            if on_fit_start is not None:
-                on_fit_start(key)
-            model = self._builder(key)
-            self._ensure_compiled(model)
-            self.put(key, model, _count_miss=True)
-            self._save_to_disk(key, model)
-            return model, "fit"
+            with self._fit_lock(key):
+                # Single-flight across *processes*: while this one blocked
+                # on the advisory lock, the winner may have published the
+                # fitted model — re-check disk before paying for a refit
+                # (prevents an N-worker retrain stampede at cold start).
+                model = self._load_from_disk(key)
+                if model is not None:
+                    with self._lock:
+                        self._disk_hits += 1
+                    self._m_hits.inc(tier="disk")
+                    self.put(key, model)
+                    return model, "disk"
+                if on_fit_start is not None:
+                    on_fit_start(key)
+                model = self._builder(key)
+                self._ensure_compiled(model)
+                self.put(key, model, _count_miss=True)
+                self._save_to_disk(key, model)
+                return model, "fit"
 
     @staticmethod
     def _ensure_compiled(model) -> bool:
@@ -204,29 +223,95 @@ class ModelRegistry:
 
     # -- disk tier -----------------------------------------------------
 
+    @contextmanager
+    def _fit_lock(self, key: ModelKey):
+        """Advisory cross-process lock for ``key``'s fit (no-op in memory-only
+        registries or where ``fcntl`` is unavailable).
+
+        The lock file sits next to the cache entry and is left in place —
+        unlinking it would race a concurrent locker onto a different inode,
+        silently voiding the mutual exclusion.
+        """
+        path = self.cache_path(key)
+        if path is None or fcntl is None:
+            yield
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lock_path = path.with_name(path.name + ".fitlock")
+        handle = open(lock_path, "a+b")
+        try:
+            try:
+                fcntl.flock(handle, fcntl.LOCK_EX)
+            except OSError:  # pragma: no cover - exotic filesystems
+                pass
+            yield
+        finally:
+            try:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+            except OSError:  # pragma: no cover
+                pass
+            handle.close()
+
     def _load_from_disk(
-        self, key: ModelKey
+        self, key: ModelKey, retries: int = 3, retry_delay: float = 0.05
     ) -> Optional[ConditionalDiffusionModel]:
         path = self.cache_path(key)
-        if path is None or not path.exists():
+        if path is None:
             return None
-        try:
-            with open(path, "rb") as handle:
-                payload = pickle.load(handle)
-            if payload.get("format") != _CACHE_FORMAT:
+        for attempt in range(retries):
+            if not path.exists():
                 return None
-            model = payload["model"]
-        except Exception:
-            # A corrupt/partial/foreign cache file must degrade to a refit,
-            # never crash the service.
+            try:
+                with open(path, "rb") as handle:
+                    payload = pickle.load(handle)
+                if payload.get("format") != _CACHE_FORMAT:
+                    # A wrong-format payload is durable, not transient:
+                    # retrying cannot fix it, so refit immediately.
+                    return None
+                model = payload["model"]
+            except FileNotFoundError:
+                return None
+            except Exception:
+                # A truncated or garbled read may be transient (a reader
+                # racing a writer on a non-atomic filesystem, a torn NFS
+                # page): retry briefly before degrading to a refit.  A
+                # genuinely corrupt file exhausts the budget and refits —
+                # the registry must never crash the service over cache
+                # contents.
+                if attempt + 1 < retries:
+                    time.sleep(retry_delay * (attempt + 1))
+                    continue
+                return None
+            if not getattr(model, "fitted", False):
+                return None
+            # Pre-compiled-table payloads (or denoisers whose __setstate__
+            # does not self-heal) are compiled here, so a disk hit always
+            # serves the fast sampling path.
+            self._ensure_compiled(model)
+            return model
+        return None
+
+    def ensure_on_disk(
+        self, key: Union[ModelKey, TrainConfig], model: ConditionalDiffusionModel
+    ) -> Optional[Path]:
+        """Guarantee ``key``'s fitted model is present in the disk tier.
+
+        The process-executor publish path: workers load models from disk by
+        recipe hash, so a model bound directly into the engine (never
+        resolved through :meth:`resolve`) must be written out before the
+        first dispatch.  Returns the cache path, or ``None`` when the
+        registry has no disk tier or the write failed.
+        """
+        path = self.cache_path(key)
+        if path is None:
             return None
-        if not getattr(model, "fitted", False):
-            return None
-        # Pre-compiled-table payloads (or denoisers whose __setstate__ does
-        # not self-heal) are compiled here, so a disk hit always serves the
-        # fast sampling path.
-        self._ensure_compiled(model)
-        return model
+        if path.exists():
+            return path
+        key = ModelKey.from_config(key)
+        with self._fit_lock(key):
+            if path.exists():
+                return path
+            return self._save_to_disk(key, model)
 
     def _save_to_disk(self, key: ModelKey, model) -> Optional[Path]:
         path = self.cache_path(key)

@@ -96,7 +96,8 @@ class ServeResponse:
     ``error`` carries the message and ``error_code`` the stable
     machine-readable code (``queue_full`` | ``deadline_expired`` |
     ``cancelled`` | ``invalid_request`` | ``legalize_failed`` |
-    ``shutdown`` | ``internal``) wire protocols and clients key on —
+    ``shutdown`` | ``worker_crashed`` | ``internal``) wire protocols and
+    clients key on —
     while every other request in the same ``serve`` call completes
     normally.  ``job_id`` names the lifecycle job that tracked this
     request (``None`` for pre-job code paths).
@@ -190,9 +191,12 @@ class PatternService:
             arguments above still win, keeping the old constructor a thin
             facade.  Use :meth:`from_config` to derive everything from one
             config object.
-        policy / engine_workers / queue_limit / deadline: engine layers
-            (batching policy, executor pool size, admission bound, default
-            job deadline); ``None`` defers to ``config.serve``.
+        policy / executor / engine_workers / queue_limit / deadline:
+            engine layers (batching policy, execution tier, executor pool
+            size, admission bound, default job deadline); ``None`` defers
+            to ``config.serve``.  ``executor="process"`` requires a
+            registry with a disk tier (``config.model_cache``) so worker
+            processes can load the fitted model by recipe hash.
         engine: a pre-built (possibly shared) :class:`ServeEngine`.  The
             service then only *binds* its model to it — ``stop`` leaves a
             shared engine running for its other tenants.
@@ -219,6 +223,7 @@ class PatternService:
         max_retries: int = 2,
         config: Optional[PipelineConfig] = None,
         policy: Optional[str] = None,
+        executor: Optional[str] = None,
         engine_workers: Optional[int] = None,
         queue_limit: Optional[int] = None,
         deadline: Optional[float] = None,
@@ -284,6 +289,19 @@ class PatternService:
         self.base_seed = int(base_seed)
         self.max_retries = int(max_retries)
         self.policy = policy if policy is not None else serve_cfg.policy
+        self.executor = (
+            executor if executor is not None else serve_cfg.executor
+        )
+        if (
+            engine is None
+            and self.executor == "process"
+            and self.registry.save_dir is None
+        ):
+            raise ValueError(
+                "executor='process' requires a disk model cache so worker "
+                "processes can load fitted models by recipe hash; set "
+                "model_cache (or pass a registry with save_dir)"
+            )
         self.engine_workers = int(
             engine_workers
             if engine_workers is not None
@@ -346,6 +364,7 @@ class PatternService:
             base_seed=serve.base_seed,
             max_retries=serve.max_retries,
             policy=serve.policy,
+            executor=serve.executor,
             engine_workers=serve.engine_workers,
             queue_limit=serve.queue_limit,
             deadline=serve.deadline,
@@ -394,6 +413,7 @@ class PatternService:
                 self._engine = ServeEngine(
                     registry=self.registry,
                     policy=self.policy,
+                    executor=self.executor,
                     engine_workers=self.engine_workers,
                     queue_limit=self.queue_limit,
                     gather_window=self._gather_window,
@@ -421,6 +441,10 @@ class PatternService:
                     # per-job overrides still win inside the engine.
                     sampler_steps=self.config.sample.sampler_steps,
                     label=f"model-{self.model_key.recipe_hash()[:8]}",
+                    # The recipe identity rides every job so process
+                    # workers can resolve the same fitted model from the
+                    # shared disk cache.
+                    key=self.model_key,
                 )
             if self._pool is None:
                 # Persistent request pool: submitted jobs outlive any one
@@ -854,6 +878,23 @@ class PatternService:
         return result
 
     # -- observability -------------------------------------------------
+
+    def retry_after_hint(self) -> int:
+        """Seconds a backpressured (429) client should wait before retrying.
+
+        Derived from live service latency — the gather window plus the
+        mean wall time of the most recent batches — so the hint tracks how
+        fast the engine is actually draining the queue rather than being a
+        fixed constant.  Clamped to [1, 60] whole seconds (the HTTP
+        ``Retry-After`` grammar wants a non-negative integer).
+        """
+        estimate = self._gather_window
+        engine = self._engine
+        if engine is not None:
+            recent = engine.batch_records[-8:]
+            if recent:
+                estimate += sum(r.wall_seconds for r in recent) / len(recent)
+        return max(1, min(60, int(estimate + 0.999)))
 
     @property
     def responses(self) -> List[ServeResponse]:

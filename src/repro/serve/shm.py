@@ -1,0 +1,321 @@
+"""Shared-memory arena: zero-copy array transport across process workers.
+
+The process executor tier (:mod:`repro.serve.executors`) must move sampled
+batches — ``(N, H, W)`` uint8 stacks — from worker processes back to the
+engine without pickling megabytes of array through a pipe on every batch.
+This module is the transport: arrays cross the process boundary as plain
+:class:`ArrayRef` descriptors (``segment name, shape, dtype, offset``) over
+a ``multiprocessing.shared_memory`` segment, and only the tiny descriptor
+is pickled.
+
+Ownership model (the part that keeps ``/dev/shm`` clean):
+
+- The **parent** (arena owner) creates every segment.  It knows the result
+  shape before dispatching a batch, so it pre-allocates the destination,
+  ships the descriptor in the work message, and the child only *attaches*
+  and writes.  A worker killed mid-batch therefore can never leak a
+  segment the parent does not already track — crash cleanup is entirely
+  the parent's :meth:`ShmArena.release`/:meth:`ShmArena.close`.
+- Segments are **refcounted** in the arena: :meth:`ShmArena.retain` for
+  each additional reader, :meth:`ShmArena.release` per finished reader;
+  the backing segment is closed + unlinked when the count reaches zero.
+  :meth:`ShmArena.close` force-releases everything (engine shutdown).
+- Attaching (child side) goes through :func:`attach_ref`, which
+  *suppresses* the ``resource_tracker`` registration the attach would
+  otherwise perform: on Python < 3.13 every attach registers the name
+  (bpo-39959), and since spawn-children share the parent's tracker
+  process, a child-side unregister-after-attach would erase the *owner's*
+  registration — so the attach must simply never register.  The creating
+  arena's registration stays intact, which keeps the tracker's
+  crash-of-owner cleanup working.
+
+Every segment name carries the :data:`SHM_PREFIX` prefix, so leak checks
+(tests, the ``procpool-smoke`` CI job) can assert ``/dev/shm`` holds no
+``repro_shm_*`` entries after shutdown — see :func:`leaked_segments`.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+#: Name prefix of every arena segment (leak checks grep for it).
+SHM_PREFIX = "repro_shm"
+
+
+class ShmError(RuntimeError):
+    """A shared-memory transport operation failed."""
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """Wire descriptor of an array living in a shared-memory segment.
+
+    The pickled payload of the hot path: ~100 bytes regardless of the
+    array size.  ``offset`` allows sub-views into one segment; the current
+    executors allocate one segment per batch, so it is 0 in practice.
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+    offset: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= int(dim)
+        return count * np.dtype(self.dtype).itemsize
+
+    def as_tuple(self) -> Tuple:
+        """Plain-tuple form for pipe messages (no class pickling)."""
+        return (self.name, tuple(self.shape), self.dtype, self.offset)
+
+    @classmethod
+    def from_tuple(cls, data: Tuple) -> "ArrayRef":
+        name, shape, dtype, offset = data
+        return cls(
+            name=name, shape=tuple(shape), dtype=dtype, offset=int(offset)
+        )
+
+
+_tracker_patch_lock = threading.Lock()
+
+
+@contextmanager
+def _suppress_tracker_register():
+    """Silence ``resource_tracker.register`` for the enclosed attach.
+
+    Attaching registers the segment name on Python < 3.13 (bpo-39959).
+    Spawn-children share the owner's tracker process, so an attach-side
+    registration followed by unregister would erase the owner's entry and
+    make the owner's eventual ``unlink`` fail noisily inside the tracker.
+    Suppressing the registration entirely leaves exactly one tracker
+    entry — the creator's — for the segment's whole life.
+    """
+    with _tracker_patch_lock:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            yield
+        finally:
+            resource_tracker.register = original
+
+
+def attach_ref(ref: ArrayRef) -> Tuple[np.ndarray, shared_memory.SharedMemory]:
+    """Attach to a ref's segment; returns ``(view, segment)``.
+
+    The view is writable and zero-copy; the caller must ``segment.close()``
+    once done with it (:func:`write_into` / :func:`read_copy` wrap the
+    common patterns).  Never unlinks — the owning arena does that.
+    """
+    try:
+        with _suppress_tracker_register():
+            segment = shared_memory.SharedMemory(name=ref.name)
+    except FileNotFoundError:
+        raise ShmError(
+            f"shared-memory segment {ref.name!r} is gone "
+            "(owner released it, or it never existed)"
+        ) from None
+    view = np.ndarray(
+        ref.shape,
+        dtype=np.dtype(ref.dtype),
+        buffer=segment.buf,
+        offset=ref.offset,
+    )
+    return view, segment
+
+
+def write_into(ref: ArrayRef, array: np.ndarray) -> None:
+    """Copy ``array`` into the ref's segment (the child-side write path)."""
+    if tuple(array.shape) != tuple(ref.shape):
+        raise ShmError(
+            f"array shape {tuple(array.shape)} does not match "
+            f"descriptor shape {tuple(ref.shape)}"
+        )
+    view, segment = attach_ref(ref)
+    try:
+        view[...] = array
+    finally:
+        del view  # the buffer view must die before the segment closes
+        segment.close()
+
+
+def read_copy(ref: ArrayRef) -> np.ndarray:
+    """Attach, copy out, detach: a standalone (non-owner) read."""
+    view, segment = attach_ref(ref)
+    try:
+        return np.array(view, copy=True)
+    finally:
+        del view
+        segment.close()
+
+
+def leaked_segments(prefix: str = SHM_PREFIX) -> List[str]:
+    """Arena-named segments currently present in ``/dev/shm``.
+
+    The post-shutdown leak check: after every arena closed, this must be
+    empty.  Returns ``[]`` on platforms without a ``/dev/shm``.
+    """
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():
+        return []
+    return sorted(p.name for p in shm_dir.glob(f"{prefix}_*"))
+
+
+class _Segment:
+    __slots__ = ("memory", "refcount")
+
+    def __init__(self, memory: shared_memory.SharedMemory):
+        self.memory = memory
+        self.refcount = 1
+
+
+class ShmArena:
+    """Owner-side registry of refcounted shared-memory segments.
+
+    One arena per process executor: the supervisor threads allocate result
+    segments through it, readers retain/release, and ``close()`` on engine
+    shutdown unlinks anything still live (e.g. batches a crashed worker
+    never delivered).  Thread-safe — supervisor threads share one arena.
+    """
+
+    def __init__(self, prefix: str = SHM_PREFIX):
+        self._prefix = prefix
+        self._segments: Dict[str, _Segment] = {}
+        self._lock = threading.Lock()
+        self._seq = 0
+
+    # -- allocation ----------------------------------------------------
+
+    def _next_name(self) -> str:
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+        # pid + counter + random token: unique across processes, arenas
+        # and restarts, while keeping the greppable prefix.
+        return f"{self._prefix}_{os.getpid()}_{seq}_{secrets.token_hex(4)}"
+
+    def allocate(self, shape: Tuple[int, ...], dtype="uint8") -> ArrayRef:
+        """Create a zero-filled segment sized for ``shape``/``dtype``."""
+        ref = ArrayRef(
+            name=self._next_name(),
+            shape=tuple(int(dim) for dim in shape),
+            dtype=np.dtype(dtype).name,
+        )
+        if ref.nbytes == 0:
+            raise ShmError("cannot allocate a zero-byte segment")
+        memory = shared_memory.SharedMemory(
+            name=ref.name, create=True, size=ref.nbytes
+        )
+        with self._lock:
+            self._segments[ref.name] = _Segment(memory)
+        return ref
+
+    def share(self, array: np.ndarray) -> ArrayRef:
+        """Allocate a segment and copy ``array`` into it."""
+        array = np.ascontiguousarray(array)
+        ref = self.allocate(array.shape, dtype=array.dtype)
+        view = self.view(ref)
+        view[...] = array
+        del view
+        return ref
+
+    # -- access --------------------------------------------------------
+
+    def view(self, ref: ArrayRef) -> np.ndarray:
+        """Zero-copy writable view of an *owned* segment."""
+        with self._lock:
+            segment = self._segments.get(ref.name)
+        if segment is None:
+            raise ShmError(f"arena does not own segment {ref.name!r}")
+        return np.ndarray(
+            ref.shape,
+            dtype=np.dtype(ref.dtype),
+            buffer=segment.memory.buf,
+            offset=ref.offset,
+        )
+
+    def take(self, ref: ArrayRef) -> np.ndarray:
+        """Copy an owned segment's array out and release it.
+
+        The common parent read: one copy into normal memory, then the
+        segment dies (refcount permitting) — callers get an ordinary
+        ndarray with no shared-memory lifetime attached.
+        """
+        result = np.array(self.view(ref), copy=True)
+        self.release(ref)
+        return result
+
+    # -- lifetime ------------------------------------------------------
+
+    def retain(self, ref: ArrayRef) -> None:
+        with self._lock:
+            segment = self._segments.get(ref.name)
+            if segment is None:
+                raise ShmError(f"arena does not own segment {ref.name!r}")
+            segment.refcount += 1
+
+    def release(self, ref: ArrayRef) -> None:
+        """Drop one reference; unlink the segment at zero.  Idempotent for
+        already-released names (crash cleanup may race a normal release)."""
+        with self._lock:
+            segment = self._segments.get(ref.name)
+            if segment is None:
+                return
+            segment.refcount -= 1
+            if segment.refcount > 0:
+                return
+            del self._segments[ref.name]
+        self._destroy(segment.memory)
+
+    @staticmethod
+    def _destroy(memory: shared_memory.SharedMemory) -> None:
+        try:
+            memory.close()
+        except Exception:
+            pass
+        try:
+            memory.unlink()
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        """Force-release every live segment (shutdown / crash sweep)."""
+        with self._lock:
+            segments, self._segments = list(self._segments.values()), {}
+        for segment in segments:
+            self._destroy(segment.memory)
+
+    @property
+    def active(self) -> int:
+        """Number of live segments (0 after a clean shutdown)."""
+        with self._lock:
+            return len(self._segments)
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = [
+    "SHM_PREFIX",
+    "ArrayRef",
+    "ShmArena",
+    "ShmError",
+    "attach_ref",
+    "leaked_segments",
+    "read_copy",
+    "write_into",
+]

@@ -136,11 +136,13 @@ class EngineStats:
     rejected: int
     expired: int
     models: int
+    executor: str = "thread"
 
     def as_dict(self) -> Dict:
         return {
             "scheduler": self.scheduler.as_dict(),
             "policy": self.policy,
+            "executor": self.executor,
             "engine_workers": self.engine_workers,
             "queue_limit": self.queue_limit,
             "queued": self.queued,

@@ -32,8 +32,8 @@ def _variants():
         StoreConfig(store_dir="store", output_path="out.npz"),
         ServeConfig(objective="diversity", gather_window=0.5, max_batch=16,
                     max_workers=2, max_retries=0, base_seed=3,
-                    policy="fair_share", engine_workers=2, queue_limit=128,
-                    deadline=30.0),
+                    policy="fair_share", executor="process", engine_workers=2,
+                    queue_limit=128, deadline=30.0),
     ]
 
 
@@ -78,6 +78,8 @@ class TestSectionRoundTrip:
     def test_serve_config_validates_engine_knobs(self):
         with pytest.raises(ConfigError, match="unknown serve policy"):
             ServeConfig(policy="fifo")
+        with pytest.raises(ConfigError, match="unknown serve executor"):
+            ServeConfig(executor="fiber")
         with pytest.raises(ConfigError, match="engine_workers"):
             ServeConfig(engine_workers=0)
         with pytest.raises(ConfigError, match="queue_limit"):
@@ -90,6 +92,7 @@ class TestSectionRoundTrip:
         worker, greedy batching, unbounded queue, no deadlines."""
         cfg = ServeConfig()
         assert cfg.policy == "greedy"
+        assert cfg.executor == "thread"
         assert cfg.engine_workers == 1
         assert cfg.queue_limit is None
         assert cfg.deadline is None

@@ -202,6 +202,25 @@ class TestHttpErrors:
         assert excinfo.value.status == 429
         assert excinfo.value.code == CODE_QUEUE_FULL
 
+    def test_queue_full_429_carries_retry_after(self, blocked):
+        """Backpressure responses pace clients: a 429 carries a
+        Retry-After header derived from live batch latency."""
+        server, client, model = blocked
+        client.submit(kind="pipeline", params=PARAMS)  # pins the worker
+        assert model.started.wait(timeout=10.0)
+        client.submit(kind="pipeline", params=PARAMS)  # fills queue_limit=1
+        with pytest.raises(ServeClientError) as excinfo:
+            client.submit(kind="pipeline", params=PARAMS)
+        assert excinfo.value.status == 429
+        assert isinstance(excinfo.value.retry_after, int)
+        assert 1 <= excinfo.value.retry_after <= 60
+        assert client.last_retry_after == excinfo.value.retry_after
+        # the hint matches what the service would advertise right now
+        assert excinfo.value.retry_after == server.service.retry_after_hint()
+        # non-backpressure responses carry no hint
+        client.health()
+        assert client.last_retry_after is None
+
     def test_deadline_expired_504(self, blocked):
         _server, client, model = blocked
         client.submit(kind="pipeline", params=PARAMS)  # pins the worker

@@ -1,0 +1,97 @@
+"""Unit tests for the shared-memory arena transport."""
+
+import numpy as np
+import pytest
+
+from repro.serve import ArrayRef, ShmArena, ShmError, leaked_segments
+from repro.serve.shm import SHM_PREFIX, attach_ref, read_copy, write_into
+
+
+class TestArrayRef:
+    def test_nbytes(self):
+        ref = ArrayRef(name="x", shape=(3, 4, 5), dtype="uint8")
+        assert ref.nbytes == 60
+        assert ArrayRef(name="x", shape=(2,), dtype="float64").nbytes == 16
+
+    def test_tuple_roundtrip(self):
+        ref = ArrayRef(name="seg", shape=(2, 8), dtype="uint8", offset=0)
+        assert ArrayRef.from_tuple(ref.as_tuple()) == ref
+
+
+class TestShmArena:
+    def test_share_and_take_roundtrip(self):
+        rng = np.random.default_rng(0)
+        array = rng.integers(0, 2, size=(4, 16, 16)).astype(np.uint8)
+        with ShmArena() as arena:
+            ref = arena.share(array)
+            assert ref.name.startswith(SHM_PREFIX)
+            out = arena.take(ref)
+            assert np.array_equal(out, array)
+            # take released the segment
+            assert arena.active == 0
+
+    def test_release_unlinks_at_zero(self):
+        arena = ShmArena()
+        ref = arena.allocate((8, 8))
+        assert arena.active == 1
+        arena.release(ref)
+        assert arena.active == 0
+        # the backing file is gone: attaching now fails
+        with pytest.raises(ShmError):
+            attach_ref(ref)
+        # releasing an already-released ref is a no-op
+        arena.release(ref)
+
+    def test_refcount_keeps_segment_alive(self):
+        arena = ShmArena()
+        ref = arena.allocate((4, 4))
+        arena.retain(ref)
+        arena.release(ref)
+        assert arena.active == 1  # one reference still out
+        arena.release(ref)
+        assert arena.active == 0
+
+    def test_view_requires_ownership(self):
+        arena = ShmArena()
+        foreign = ArrayRef(name="never_created", shape=(2,), dtype="uint8")
+        with pytest.raises(ShmError):
+            arena.view(foreign)
+        with pytest.raises(ShmError):
+            arena.retain(foreign)
+
+    def test_zero_byte_allocation_rejected(self):
+        arena = ShmArena()
+        with pytest.raises(ShmError):
+            arena.allocate((0, 8))
+
+    def test_close_sweeps_everything(self):
+        arena = ShmArena()
+        refs = [arena.allocate((4, 4)) for _ in range(3)]
+        names = {ref.name for ref in refs}
+        assert arena.active == 3
+        assert names & set(leaked_segments())
+        arena.close()
+        assert arena.active == 0
+        assert not (names & set(leaked_segments()))
+
+    def test_attach_write_read_cross_view(self):
+        # Simulates the executor flow in-process: owner allocates, a
+        # detached attacher writes, the owner reads the result back.
+        payload = np.arange(64, dtype=np.uint8).reshape(4, 16)
+        with ShmArena() as arena:
+            ref = arena.allocate(payload.shape)
+            write_into(ref, payload)
+            assert np.array_equal(read_copy(ref), payload)
+            assert np.array_equal(arena.view(ref), payload)
+
+    def test_write_into_shape_mismatch(self):
+        with ShmArena() as arena:
+            ref = arena.allocate((2, 2))
+            with pytest.raises(ShmError):
+                write_into(ref, np.zeros((3, 3), dtype=np.uint8))
+
+    def test_leak_listing_only_matches_prefix(self):
+        with ShmArena() as arena:
+            ref = arena.allocate((2, 2))
+            assert ref.name in leaked_segments()
+        assert ref.name not in leaked_segments()
