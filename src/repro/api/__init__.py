@@ -10,6 +10,7 @@
 from repro.api.config import (
     SERVE_POLICIES,
     ConfigError,
+    FaultConfig,
     LegalizeConfig,
     ObsConfig,
     PipelineConfig,
@@ -28,6 +29,7 @@ from repro.api.pipeline import (
 __all__ = [
     "SERVE_POLICIES",
     "ConfigError",
+    "FaultConfig",
     "LegalizeConfig",
     "ObsConfig",
     "PatternPipeline",

@@ -192,6 +192,10 @@ class ServeConfig(StageConfig):
     ``job_ttl`` bounds, in seconds, how long finished lifecycle jobs stay
     readable in the service's :class:`~repro.serve.jobs.JobTable` (and
     thus pollable over HTTP) after reaching a terminal state.
+    ``state_dir`` names a directory where the job table journals job
+    records: on restart, terminal jobs are rehydrated (pollable instead
+    of 404) and jobs caught mid-flight come back FAILED with the stable
+    ``server_restart`` error code.
     """
 
     objective: str = "legality"
@@ -206,6 +210,7 @@ class ServeConfig(StageConfig):
     queue_limit: Optional[int] = None
     deadline: Optional[float] = None
     job_ttl: float = 600.0
+    state_dir: Optional[str] = None
 
     def __post_init__(self):
         if self.policy not in SERVE_POLICIES:
@@ -226,6 +231,8 @@ class ServeConfig(StageConfig):
             raise ConfigError("deadline must be > 0 seconds (or null)")
         if self.job_ttl <= 0:
             raise ConfigError("job_ttl must be > 0 seconds")
+        if self.state_dir is not None and not isinstance(self.state_dir, str):
+            raise ConfigError("state_dir must be a path string (or null)")
 
 
 @dataclass(frozen=True)
@@ -263,6 +270,35 @@ class ObsConfig(StageConfig):
 
 
 @dataclass(frozen=True)
+class FaultConfig(StageConfig):
+    """Deterministic fault injection (see :mod:`repro.faults`).
+
+    Disabled by default: every component then shares the no-op
+    :data:`~repro.faults.NULL_FAULTS` plan and injection costs one
+    attribute load — the same null-object pattern as :class:`ObsConfig`.
+    When ``enabled``, the service builds and installs a seeded
+    :class:`~repro.faults.FaultPlan` from ``points`` (each a mapping as
+    accepted by :func:`repro.faults.validate_point`); injections are
+    counted in ``repro_faults_injected_total{site=...}``.
+    """
+
+    enabled: bool = False
+    seed: int = 0
+    points: Tuple[Dict, ...] = ()
+
+    def __post_init__(self):
+        from repro.faults.plan import validate_point
+
+        try:
+            normalized = tuple(validate_point(p) for p in self.points)
+        except ValueError as exc:
+            raise ConfigError(str(exc)) from exc
+        object.__setattr__(self, "points", normalized)
+        if not isinstance(self.seed, int):
+            raise ConfigError(f"fault seed must be an int, got {self.seed!r}")
+
+
+@dataclass(frozen=True)
 class PipelineConfig(StageConfig):
     """The composed pipeline description behind every entrypoint.
 
@@ -277,6 +313,7 @@ class PipelineConfig(StageConfig):
     store: StoreConfig = field(default_factory=StoreConfig)
     serve: ServeConfig = field(default_factory=ServeConfig)
     obs: ObsConfig = field(default_factory=ObsConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig)
     model_cache: Optional[str] = None
 
     _SECTIONS = {
@@ -286,6 +323,7 @@ class PipelineConfig(StageConfig):
         "store": StoreConfig,
         "serve": ServeConfig,
         "obs": ObsConfig,
+        "faults": FaultConfig,
     }
 
     def as_dict(self) -> Dict:

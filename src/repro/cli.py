@@ -24,6 +24,7 @@ on disk so repeated invocations skip training::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -183,6 +184,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the observability layer (no metrics, no traces)",
     )
     srv.add_argument(
+        "--state-dir", metavar="DIR", default=None,
+        help="durable job-state directory: terminal jobs are journaled "
+             "and rehydrated across restarts, and jobs lost in flight "
+             "resurface as FAILED with the 'server_restart' error code "
+             "instead of vanishing",
+    )
+    srv.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="install a deterministic fault-injection plan (chaos "
+             "testing): JSON, or compact clauses like "
+             "'seed=7|worker.execute:kill:nth=2|registry.disk_read:error:"
+             "nth=1'; the REPRO_FAULTS environment variable is an "
+             "equivalent escape hatch",
+    )
+    srv.add_argument(
         "--http", metavar="HOST:PORT", default=None,
         help="instead of serving the given requests and exiting, run the "
              "asyncio HTTP front-end (POST /v1/jobs, GET /v1/jobs/ID, "
@@ -307,7 +323,22 @@ def _cmd_serve(args) -> int:
         serve_cfg = serve_cfg.replace(queue_limit=args.queue_limit)
     if args.deadline is not None:
         serve_cfg = serve_cfg.replace(deadline=args.deadline)
+    if args.state_dir is not None:
+        serve_cfg = serve_cfg.replace(state_dir=args.state_dir)
     cfg = cfg.replace(serve=serve_cfg)
+    fault_spec = args.faults or os.environ.get("REPRO_FAULTS")
+    if fault_spec:
+        from repro.api.config import FaultConfig
+        from repro.faults import parse_fault_spec
+
+        try:
+            parsed = parse_fault_spec(fault_spec)
+        except ValueError as exc:
+            print(f"bad fault spec: {exc}", file=sys.stderr)
+            return 2
+        cfg = cfg.replace(
+            faults=FaultConfig.from_dict({**parsed, "enabled": True})
+        )
     if args.store:
         cfg = cfg.replace(store=cfg.store.replace(store_dir=args.store))
     obs_cfg = cfg.obs

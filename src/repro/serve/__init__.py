@@ -63,14 +63,22 @@ from repro.serve.executors import (
     ThreadExecutor,
     resolve_executor,
 )
-from repro.serve.shm import ArrayRef, ShmArena, ShmError, leaked_segments
+from repro.serve.shm import (
+    ArrayRef,
+    ShmArena,
+    ShmError,
+    leaked_segments,
+    sweep_stale_segments,
+)
 from repro.serve.jobs import (
+    CODE_SERVER_RESTART,
     JOB_STATES,
     TERMINAL_STATES,
     Job,
     JobCancelled,
     JobError,
     JobStateError,
+    JobStateStore,
     JobTable,
     error_code_for,
 )
@@ -100,6 +108,7 @@ from repro.serve.store import (
 __all__ = [
     "ArrayRef",
     "BatchPolicy",
+    "CODE_SERVER_RESTART",
     "BatchRecord",
     "BatchedSamplingModel",
     "DeadlineExpiredError",
@@ -116,6 +125,7 @@ __all__ = [
     "JobCancelled",
     "JobError",
     "JobStateError",
+    "JobStateStore",
     "JobTable",
     "JobTimeout",
     "LegalizeStageRecord",
@@ -152,4 +162,5 @@ __all__ = [
     "pattern_content_hash",
     "resolve_batch_policy",
     "resolve_executor",
+    "sweep_stale_segments",
 ]

@@ -14,17 +14,31 @@ Failures raise :class:`ServeClientError` carrying the HTTP status and the
 server's stable machine-readable ``code`` (``queue_full``,
 ``deadline_expired``, ``cancelled``, ...), so callers branch on codes,
 never on message text.
+
+Resilience: construct with ``retries > 0`` and :meth:`submit` rides out
+backpressure (429), drains (503) and transport failures with capped,
+jittered exponential backoff that honors the server's ``Retry-After``
+hint.  Retried submissions are made *idempotent* by a client job id —
+auto-generated when not supplied — so a retry after a lost response can
+never run the same work twice: the server returns the job it already
+created under that key.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
+import uuid
 from typing import Dict, Optional
 from urllib.parse import urlsplit
 
 from repro.serve.jobs import TERMINAL_STATES
+
+#: Error codes (and statuses) submit() treats as retryable.
+RETRYABLE_CODES = frozenset({"queue_full", "shutdown", "transport"})
+RETRYABLE_STATUSES = frozenset({429, 503})
 
 
 class ServeClientError(RuntimeError):
@@ -65,9 +79,23 @@ class ServeClient:
     Args:
         base_url: e.g. ``http://127.0.0.1:8763`` (scheme optional).
         timeout: per-request socket timeout in seconds.
+        retries: submission retry budget (0 = fail fast, the default).
+        backoff_base / backoff_cap: exponential backoff window in
+            seconds; attempt *n* sleeps ``min(cap, base * 2**n)`` plus
+            proportional jitter, or the server's ``Retry-After`` when
+            the response carried one (still capped).
+        rng: injectable randomness source for the jitter (tests).
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retries: int = 0,
+        backoff_base: float = 0.1,
+        backoff_cap: float = 5.0,
+        rng: Optional[random.Random] = None,
+    ):
         if "//" not in base_url:
             base_url = "http://" + base_url
         parts = urlsplit(base_url)
@@ -76,9 +104,17 @@ class ServeClient:
         self.host = parts.hostname
         self.port = parts.port or 80
         self.timeout = timeout
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.retries = int(retries)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self._rng = rng or random.Random()
         # Backpressure pacing hint from the most recent response
         # (Retry-After header, 429s); None when the server sent none.
         self.last_retry_after: Optional[int] = None
+        #: backoff sleeps performed by submit() over this client's life
+        self.retries_performed = 0
 
     # -- transport -----------------------------------------------------
 
@@ -129,6 +165,19 @@ class ServeClient:
 
     # -- API -----------------------------------------------------------
 
+    def _backoff_delay(
+        self, attempt: int, retry_after: Optional[int]
+    ) -> float:
+        """Capped, jittered exponential backoff honoring ``Retry-After``."""
+        if retry_after is not None and retry_after > 0:
+            delay = float(retry_after)
+        else:
+            delay = self.backoff_base * (2 ** attempt)
+        delay = min(self.backoff_cap, delay)
+        # Full proportional jitter de-synchronizes a fleet of clients
+        # all backpressured by the same event.
+        return delay * (0.5 + 0.5 * self._rng.random())
+
     def submit(
         self,
         text: str = "",
@@ -137,9 +186,22 @@ class ServeClient:
         source: Optional[str] = None,
         deadline: Optional[float] = None,
         params: Optional[Dict] = None,
+        client_job_id: Optional[str] = None,
+        retries: Optional[int] = None,
     ) -> str:
         """POST /v1/jobs; returns the job id (raises on 4xx/5xx —
-        notably ``code == "queue_full"`` on backpressure)."""
+        notably ``code == "queue_full"`` on backpressure).
+
+        With a retry budget (``retries`` here, or the constructor's),
+        retryable failures — 429 backpressure, 503 drain, transport
+        errors — are retried with capped jittered exponential backoff,
+        honoring the server's ``Retry-After``.  A ``client_job_id`` is
+        auto-generated for retried submissions so a retry after a lost
+        response resolves to the server-side job already created.
+        """
+        budget = self.retries if retries is None else int(retries)
+        if budget > 0 and client_job_id is None:
+            client_job_id = f"ck-{uuid.uuid4().hex}"
         body: Dict = {"text": text, "kind": kind}
         if objective is not None:
             body["objective"] = objective
@@ -149,10 +211,25 @@ class ServeClient:
             body["deadline"] = deadline
         if params is not None:
             body["params"] = params
-        status, payload = self._request("POST", "/v1/jobs", body)
-        if status != 202:
-            self._raise_for("POST", "/v1/jobs", status, payload)
-        return payload["job_id"]
+        if client_job_id is not None:
+            body["client_job_id"] = client_job_id
+        attempt = 0
+        while True:
+            try:
+                status, payload = self._request("POST", "/v1/jobs", body)
+                if status != 202:
+                    self._raise_for("POST", "/v1/jobs", status, payload)
+                return payload["job_id"]
+            except ServeClientError as exc:
+                retryable = (
+                    exc.status in RETRYABLE_STATUSES
+                    or exc.code in RETRYABLE_CODES
+                )
+                if not retryable or attempt >= budget:
+                    raise
+                time.sleep(self._backoff_delay(attempt, exc.retry_after))
+                self.retries_performed += 1
+                attempt += 1
 
     def status(self, job_id: str) -> Dict:
         """GET /v1/jobs/{id}: the full progress view."""
@@ -220,4 +297,10 @@ class ServeClient:
         return payload
 
 
-__all__ = ["JobTimeout", "ServeClient", "ServeClientError"]
+__all__ = [
+    "JobTimeout",
+    "RETRYABLE_CODES",
+    "RETRYABLE_STATUSES",
+    "ServeClient",
+    "ServeClientError",
+]

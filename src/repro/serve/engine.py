@@ -50,6 +50,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import faults
 from repro.api.config import SERVE_POLICIES
 from repro.diffusion.model import SamplerSteps
 from repro.obs.metrics import DEFAULT_SIZE_BUCKETS, default_metrics
@@ -900,6 +901,7 @@ class ServeEngine:
         )
         started = time.perf_counter()
         try:
+            faults.fire("engine.execute")
             samples = plan.model.sample_batch(
                 plan.conditions, rng, shape=plan.shape, **kwargs
             )

@@ -46,6 +46,8 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro import faults
+from repro.faults import FaultError, FaultPlan
 from repro.serve import shm as shm_transport
 from repro.serve.shm import ArrayRef, ShmArena
 
@@ -145,7 +147,7 @@ class _WorkerSlot:
     """Parent-side state of one worker process (owned by one supervisor)."""
 
     __slots__ = ("index", "proc", "conn", "crashes", "spawns", "last_beat",
-                 "busy", "task_ids")
+                 "busy", "task_ids", "dispatches")
 
     def __init__(self, index: int):
         self.index = index
@@ -156,6 +158,10 @@ class _WorkerSlot:
         self.last_beat = 0.0
         self.busy = False
         self.task_ids = itertools.count(1)
+        #: batches shipped to this slot's children over all their lives —
+        #: primes a respawned child's ``worker.execute`` fault counter so
+        #: nth-based rules track the global dispatch index, not the life's.
+        self.dispatches = 0
 
 
 class ProcessExecutor(ExecutorBackend):
@@ -213,6 +219,21 @@ class ProcessExecutor(ExecutorBackend):
             )
         self._save_dir = str(registry.save_dir)
         self._published = set()
+        # Boot-time hygiene: a previous serve process SIGKILLed before its
+        # arena closed leaves repro_shm_* files in /dev/shm forever.  The
+        # sweep unlinks only segments whose owner pid is dead, so live
+        # engines on the same machine are untouched.
+        stale = shm_transport.sweep_stale_segments()
+        swept = engine.metrics.counter(
+            "repro_shm_stale_cleaned_total",
+            "Stale shared-memory segments of dead owners removed at startup",
+        )
+        if stale:
+            swept.inc(len(stale))
+            logger.warning(
+                "swept %d stale shared-memory segment(s) left by dead "
+                "processes: %s", len(stale), ", ".join(stale),
+            )
         if self._arena is None:
             self._arena = ShmArena()
         self._slots = [
@@ -350,9 +371,21 @@ class ProcessExecutor(ExecutorBackend):
 
     def _spawn(self, slot: _WorkerSlot) -> None:
         parent_conn, child_conn = self._ctx.Pipe()
+        # Ship the active fault plan (if any) to the child, with the
+        # worker.execute counter primed to this slot's global dispatch
+        # tally — an nth-based kill rule fires at the same call index
+        # across respawns instead of re-firing every new life.
+        plan = faults.active_plan()
+        faults_spec = None
+        if getattr(plan, "enabled", False) and hasattr(plan, "as_spec"):
+            faults_spec = dict(plan.as_spec())
+            faults_spec["counts"] = {"worker.execute": slot.dispatches}
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(child_conn, self._save_dir, self._heartbeat_interval),
+            args=(
+                child_conn, self._save_dir, self._heartbeat_interval,
+                faults_spec,
+            ),
             name=f"repro-exec-worker-{slot.index}",
             daemon=True,
         )
@@ -440,6 +473,13 @@ class ProcessExecutor(ExecutorBackend):
 
         Raises :class:`_WorkerCrash` on child death / lost heartbeat and
         :class:`_RemoteError` when the child executed and raised."""
+        try:
+            # A dispatch-side fault is indistinguishable from a child that
+            # died as the batch went out: route it through the crash path
+            # so the retry-once machinery is what gets exercised.
+            faults.fire("engine.dispatch")
+        except FaultError as exc:
+            raise _WorkerCrash(f"injected dispatch fault: {exc}") from None
         ref: Optional[ArrayRef] = None
         if self._use_shm:
             ref = self._arena.allocate(
@@ -463,6 +503,7 @@ class ProcessExecutor(ExecutorBackend):
                 slot.conn.send(message)
             except (OSError, ValueError, BrokenPipeError) as exc:
                 raise _WorkerCrash(f"dispatch failed: {exc}") from None
+            slot.dispatches += 1
             slot.last_beat = time.monotonic()
             while True:
                 try:
@@ -520,7 +561,9 @@ class ProcessExecutor(ExecutorBackend):
                 self._arena.release(ref)
 
 
-def _worker_main(conn, save_dir: str, heartbeat_interval: float) -> None:
+def _worker_main(
+    conn, save_dir: str, heartbeat_interval: float, faults_spec=None
+) -> None:
     """Entry point of a spawned worker process.
 
     Protocol (tuples over the pipe): receives ``("exec", task_id, recipe,
@@ -532,9 +575,15 @@ def _worker_main(conn, save_dir: str, heartbeat_interval: float) -> None:
     Models resolve through a private :class:`ModelRegistry` over the
     shared ``save_dir`` — a pure cache read for published recipes; the
     registry's single-flight refit is the safety net if the file vanishes.
+
+    ``faults_spec`` (the parent's active plan + primed counters) installs
+    the same fault plan in this process, so chaos rules reach the
+    ``worker.execute`` seam and the child-side shm/registry seams.
     """
     from repro.serve.registry import ModelKey, ModelRegistry
 
+    if faults_spec:
+        faults.install(FaultPlan.from_spec(faults_spec))
     registry = ModelRegistry(save_dir=save_dir)
     send_lock = threading.Lock()
     executing = threading.Event()
@@ -566,6 +615,10 @@ def _worker_main(conn, save_dir: str, heartbeat_interval: float) -> None:
          sampler_steps, pass_steps, ref_tuple) = message
         executing.set()
         try:
+            # The canonical worker-crash seam: a kill-mode rule hard-exits
+            # right here, reproducing a child SIGKILLed mid-batch; an
+            # error-mode rule surfaces as a remote execution failure.
+            faults.fire("worker.execute")
             model = registry.get_or_fit(ModelKey.from_dict(recipe))
             # Exactly the engine's trajectory derivation: the rng comes
             # from the riders' seeds and the step kwarg is passed iff the

@@ -6,7 +6,8 @@ table, so the process boundary adds no second bookkeeping layer.
 
 Endpoints::
 
-    POST   /v1/jobs           submit -> 202 {job_id} | 429 queue_full
+    POST   /v1/jobs           submit -> 202 {job_id} | 429 queue_full |
+                              503 shutdown (draining; has Retry-After)
     GET    /v1/jobs/{id}      progress: state, stage, transitions,
                               stage_events, engine_events  | 404
     GET    /v1/jobs/{id}/result
@@ -49,6 +50,8 @@ import threading
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from repro import faults
+from repro.faults import FaultError
 from repro.obs.export import render_exposition
 from repro.serve.engine import QueueFullError
 from repro.serve.jobs import (
@@ -56,6 +59,7 @@ from repro.serve.jobs import (
     CODE_DEADLINE_EXPIRED,
     CODE_INVALID_REQUEST,
     CODE_QUEUE_FULL,
+    CODE_SHUTDOWN,
     EXPIRED,
     SUCCEEDED,
 )
@@ -74,12 +78,14 @@ _REASONS = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
     504: "Gateway Timeout",
 }
 
 #: Request fields POST /v1/jobs accepts.
 _SUBMIT_FIELDS = frozenset(
-    {"text", "objective", "source", "deadline", "kind", "params"}
+    {"text", "objective", "source", "deadline", "kind", "params",
+     "client_job_id"}
 )
 
 
@@ -107,6 +113,7 @@ class PatternHttpServer:
         self._server: Optional[asyncio.base_events.Server] = None
         self._thread: Optional[threading.Thread] = None
         self._ready = threading.Event()
+        self._draining = threading.Event()
         self._startup_error: Optional[BaseException] = None
 
     # -- lifecycle -----------------------------------------------------
@@ -161,8 +168,17 @@ class PatternHttpServer:
             loop.close()
 
     def stop(self, drain: bool = True, stop_service: bool = True) -> None:
-        """Stop accepting; optionally drain admitted jobs and stop the
-        service (the SIGINT path).  ``drain=False`` abandons queued work."""
+        """Stop the server; optionally drain admitted jobs and stop the
+        service (the SIGINT path).  ``drain=False`` abandons queued work.
+
+        The drain happens *while the event loop is still serving*: new
+        submissions receive 503 + ``Retry-After`` (instead of a reset
+        connection), status/result polls keep working, and only once
+        every admitted job is terminal does the listener go down.
+        """
+        if drain:
+            self._draining.set()
+            self.service.drain()
         loop, self._loop = self._loop, None
         if loop is not None:
             loop.call_soon_threadsafe(loop.stop)
@@ -171,8 +187,7 @@ class PatternHttpServer:
             self._thread = None
         self._server = None
         self._ready.clear()
-        if drain:
-            self.service.drain()
+        self._draining.clear()
         if stop_service:
             self.service.stop()
 
@@ -206,6 +221,13 @@ class PatternHttpServer:
     async def _handle_client(self, reader, writer) -> None:
         extra_headers: Dict[str, str] = {}
         try:
+            faults.fire("http.accept")
+        except FaultError:
+            # Injected accept failure: the client sees a dropped
+            # connection, exactly like a crashed front-end.
+            writer.close()
+            return
+        try:
             response = await self._handle_request(reader)
             # Handlers return (status, payload, content_type) or the same
             # plus a headers dict (e.g. Retry-After on 429).
@@ -221,6 +243,7 @@ class PatternHttpServer:
                  "error_code": "internal"}
             )
         try:
+            faults.fire("http.respond")
             body = payload.encode("utf-8")
             extra = "".join(
                 f"{name}: {value}\r\n"
@@ -236,6 +259,8 @@ class PatternHttpServer:
             )
             writer.write(head.encode("latin-1") + body)
             await writer.drain()
+        except FaultError:
+            pass  # injected respond failure: drop without answering
         except (ConnectionError, BrokenPipeError):
             pass
         finally:
@@ -320,6 +345,19 @@ class PatternHttpServer:
     # -- endpoints -----------------------------------------------------
 
     def _submit(self, body: bytes):
+        if self._draining.is_set() or not self.service.accepting:
+            # Graceful drain: refuse loudly and retryably instead of
+            # resetting the connection — the client backs off and
+            # resubmits against the restarted server.
+            return (
+                503,
+                _error_body(
+                    "service is draining; retry after the restart",
+                    code=CODE_SHUTDOWN,
+                ),
+                "application/json",
+                self._retry_after_headers(),
+            )
         try:
             payload = json.loads(body.decode("utf-8") or "{}")
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -352,6 +390,15 @@ class PatternHttpServer:
                 _error_body('"text" is required for kind="chat"'),
                 "application/json",
             )
+        client_job_id = payload.get("client_job_id")
+        if client_job_id is not None and (
+            not isinstance(client_job_id, str) or not client_job_id
+        ):
+            return (
+                400,
+                _error_body('"client_job_id" must be a non-empty string'),
+                "application/json",
+            )
         try:
             request = ServeRequest(
                 text=text,
@@ -360,6 +407,7 @@ class PatternHttpServer:
                 deadline=payload.get("deadline"),
                 kind=kind,
                 params=payload.get("params"),
+                client_job_id=client_job_id,
             )
             job = self.service.submit_job(request, enforce_queue_limit=True)
         except QueueFullError as exc:
@@ -454,7 +502,10 @@ class PatternHttpServer:
             )
         # Terminal failures map by stable code, never by message text.
         status = 500
-        if job.state == CANCELLED:
+        if job.error_code == CODE_SHUTDOWN:
+            # Shed during a drain, not cancelled by the user: retryable.
+            status = 503
+        elif job.state == CANCELLED:
             status = 409
         elif job.state == EXPIRED or job.error_code == CODE_DEADLINE_EXPIRED:
             status = 504
@@ -470,7 +521,7 @@ class PatternHttpServer:
                 "error_code": job.error_code,
             }
         )
-        if status == 429:
+        if status in (429, 503):
             return status, body, "application/json", self._retry_after_headers()
         return status, body, "application/json"
 

@@ -39,11 +39,18 @@ server does not accumulate every job it ever ran.
 from __future__ import annotations
 
 import itertools
+import json
+import logging
+import os
+import re
 import secrets
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+_log = logging.getLogger("repro.serve.jobs")
 
 # -- states -----------------------------------------------------------------
 
@@ -98,6 +105,7 @@ CODE_INVALID_REQUEST = "invalid_request"
 CODE_LEGALIZE_FAILED = "legalize_failed"
 CODE_SHUTDOWN = "shutdown"
 CODE_WORKER_CRASHED = "worker_crashed"
+CODE_SERVER_RESTART = "server_restart"
 CODE_INTERNAL = "internal"
 
 ERROR_CODES = (
@@ -108,6 +116,7 @@ ERROR_CODES = (
     CODE_LEGALIZE_FAILED,
     CODE_SHUTDOWN,
     CODE_WORKER_CRASHED,
+    CODE_SERVER_RESTART,
     CODE_INTERNAL,
 )
 
@@ -259,6 +268,14 @@ class Job:
         #: the service attaches the full :class:`ServeResponse` here when
         #: the job reaches a terminal state
         self.response = None
+        #: client-supplied idempotency key (see :meth:`JobTable.create`)
+        self.client_id: Optional[str] = None
+        #: called with the job right after a terminal transition (the
+        #: :class:`JobTable` journal hook; errors are logged, not raised)
+        self.on_terminal = None
+        #: for jobs rehydrated from a state journal: the frozen dict view
+        self._restored_view: Optional[Dict] = None
+        self.restored = False
         self._done = threading.Event()
 
     # -- state machine -------------------------------------------------
@@ -286,6 +303,7 @@ class Job:
         """
         if state not in _ALLOWED:
             raise JobStateError(f"unknown job state {state!r}")
+        notify = None
         with self._lock:
             if self.is_terminal:
                 return False
@@ -302,7 +320,15 @@ class Job:
             if state in TERMINAL_STATES:
                 self.finished_at = time.perf_counter()
                 self._done.set()
-            return True
+                notify = self.on_terminal
+        if notify is not None:
+            try:
+                notify(self)
+            except Exception:
+                _log.exception(
+                    "terminal hook failed for job %s", self.job_id
+                )
+        return True
 
     # -- cancellation --------------------------------------------------
 
@@ -372,11 +398,13 @@ class Job:
 
     def fail(self, error: str, code: str = CODE_INTERNAL, **detail) -> bool:
         with self._lock:
-            moved = self.transition(terminal_state_for(code), code=code, **detail)
-            if moved:
-                self.error = error
-                self.error_code = code
-            return moved
+            if self.is_terminal:
+                return False
+            # Error fields are set before the transition so the terminal
+            # hook (state journaling) snapshots a complete record.
+            self.error = error
+            self.error_code = code
+            return self.transition(terminal_state_for(code), code=code, **detail)
 
     def expire(self, reason: str = "deadline expired") -> bool:
         return self.fail(reason, code=CODE_DEADLINE_EXPIRED)
@@ -415,12 +443,16 @@ class Job:
     def produced(self) -> int:
         response = self.response
         if response is None or response.result is None:
+            if self._restored_view is not None:
+                return int(self._restored_view.get("produced", 0))
             return 0
         return response.result.produced
 
     def as_dict(self) -> Dict:
         """The full JSON-safe progress view (the HTTP status payload)."""
         with self._lock:
+            if self._restored_view is not None:
+                return dict(self._restored_view)
             out: Dict = {
                 "job_id": self.job_id,
                 "state": self.state,
@@ -436,6 +468,8 @@ class Job:
                 out["error"] = self.error
             if self.error_code is not None:
                 out["error_code"] = self.error_code
+            if self.client_id is not None:
+                out["client_id"] = self.client_id
             if self.is_terminal:
                 out["produced"] = self.produced
             request = self.request
@@ -449,8 +483,157 @@ class Job:
                 }
             return out
 
+    @classmethod
+    def restore(cls, payload: Dict) -> "Job":
+        """Rehydrate a terminal job from its journaled ``as_dict`` view.
+
+        The restored job is read-only in practice: terminal states are
+        absorbing, so status/result/cancel calls behave exactly as they
+        would against the original object — except the TTL window
+        restarts at boot (``finished_at`` is *now*), giving pollers a
+        full retention period after a restart.
+        """
+        if payload.get("state") not in TERMINAL_STATES:
+            raise JobStateError(
+                f"can only restore terminal jobs, got state "
+                f"{payload.get('state')!r}"
+            )
+        job = cls(payload["job_id"])
+        with job._lock:
+            job.state = payload["state"]
+            job.created_unix = float(payload.get("created_unix", job.created_unix))
+            job.error = payload.get("error")
+            job.error_code = payload.get("error_code")
+            job.client_id = payload.get("client_id")
+            job.cancel_requested = bool(payload.get("cancel_requested", False))
+            job.stage_events = [
+                StageEvent(
+                    e["stage"], e["seconds"], dict(e.get("detail", {}))
+                )
+                for e in payload.get("stage_events", [])
+            ]
+            view = dict(payload)
+            view["restored"] = True
+            job._restored_view = view
+            job.restored = True
+            job.finished_at = time.perf_counter()
+            job._done.set()
+        return job
+
 
 # -- the table --------------------------------------------------------------
+
+
+class JobStateStore:
+    """Append-only fsynced journal of job records under a state directory.
+
+    One JSON line per event: ``create`` when a job is admitted to the
+    table, ``terminal`` (the full ``Job.as_dict`` snapshot) when it
+    finishes — appended again by :meth:`JobTable.persist` once the
+    service attaches the response, so the last record wins at replay.
+    Boot compacts the journal down to one terminal record per surviving
+    job.  A torn trailing line (crash mid-append) is dropped at replay,
+    never propagated.
+    """
+
+    _JOURNAL_NAME = "jobs.jsonl"
+
+    def __init__(self, state_dir: Union[str, Path]):
+        self.dir = Path(state_dir)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.path = self.dir / self._JOURNAL_NAME
+        self._lock = threading.Lock()
+        self._handle = None
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def _append(self, entry: Dict) -> None:
+        with self._lock:
+            if self._handle is None:
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def record_create(self, job: Job) -> None:
+        self._append(
+            {
+                "op": "create",
+                "job_id": job.job_id,
+                "client_id": job.client_id,
+                "created_unix": round(job.created_unix, 3),
+                "request": (
+                    {
+                        "text": getattr(job.request, "text", None),
+                        "kind": getattr(job.request, "kind", "chat"),
+                        "objective": getattr(job.request, "objective", None),
+                        "source": getattr(job.request, "source", None),
+                        "request_id": getattr(job.request, "request_id", None),
+                    }
+                    if job.request is not None
+                    else None
+                ),
+            }
+        )
+
+    def record_terminal(self, job: Job) -> None:
+        self._append({"op": "terminal", "record": job.as_dict()})
+
+    def replay(self) -> Tuple[Dict[str, Dict], Dict[str, Dict]]:
+        """Read the journal back: ``(terminal_records, orphan_creates)``.
+
+        ``terminal_records`` maps job id -> last terminal snapshot;
+        ``orphan_creates`` maps job id -> create payload for jobs that
+        never reached a journaled terminal state (in flight at crash).
+        """
+        terminals: Dict[str, Dict] = {}
+        creates: Dict[str, Dict] = {}
+        if not self.path.exists():
+            return terminals, creates
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                if not line.strip():
+                    continue
+                try:
+                    entry = json.loads(line)
+                    op = entry["op"]
+                except (ValueError, KeyError, TypeError):
+                    break  # torn trailing write from a crash
+                if op == "create":
+                    creates[entry["job_id"]] = entry
+                elif op == "terminal":
+                    record = entry.get("record") or {}
+                    job_id = record.get("job_id")
+                    if job_id:
+                        terminals[job_id] = record
+        for job_id in terminals:
+            creates.pop(job_id, None)
+        return terminals, creates
+
+    def compact(self, records: List[Dict]) -> None:
+        """Atomically rewrite the journal as one terminal line per job."""
+        tmp = self.path.with_name(self._JOURNAL_NAME + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(
+                    json.dumps({"op": "terminal", "record": record},
+                               sort_keys=True)
+                    + "\n"
+                )
+            handle.flush()
+            os.fsync(handle.fileno())
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            os.replace(tmp, self.path)
+
+
+_JOB_ID_RE = re.compile(r"^job-(\d+)-[0-9a-f]+$")
 
 
 class JobTable:
@@ -459,23 +642,122 @@ class JobTable:
     Terminal jobs are kept ``ttl`` seconds past their finish so pollers
     can still read the outcome, then purged lazily on the next table
     access — no background reaper thread.  Live jobs are never purged.
+
+    With ``state_dir`` set, the table journals every job through a
+    :class:`JobStateStore` and rehydrates on construction: terminal jobs
+    come back pollable (instead of 404) and jobs that were in flight at
+    the crash are resurrected as FAILED with the stable
+    ``server_restart`` code — a client polling a pre-restart id gets a
+    truthful answer, never silence.
     """
 
-    def __init__(self, ttl: float = 600.0):
+    def __init__(
+        self,
+        ttl: float = 600.0,
+        state_dir: Optional[Union[str, Path]] = None,
+        metrics=None,
+    ):
         if ttl <= 0:
             raise ValueError("job ttl must be > 0 seconds")
         self.ttl = float(ttl)
         self._jobs: "Dict[str, Job]" = {}
+        self._by_client: Dict[str, str] = {}
         self._lock = threading.Lock()
         self._counter = itertools.count(1)
+        self.state_store: Optional[JobStateStore] = None
+        #: terminal jobs rehydrated at boot / in-flight jobs resurrected
+        #: as FAILED ``server_restart``
+        self.restored = 0
+        self.resurrected = 0
+        if state_dir is not None:
+            self.state_store = JobStateStore(state_dir)
+            self._restore()
+        if metrics is not None and (self.restored or self.resurrected):
+            restored_metric = metrics.counter(
+                "repro_jobs_restored_total",
+                "Jobs rehydrated from the state journal at boot",
+                labels=("outcome",),
+            )
+            if self.restored:
+                restored_metric.inc(self.restored, outcome="terminal")
+            if self.resurrected:
+                restored_metric.inc(self.resurrected, outcome="resurrected")
 
-    def create(self, request=None, deadline: Optional[float] = None) -> Job:
+    def _restore(self) -> None:
+        terminals, orphans = self.state_store.replay()
+        max_serial = 0
+        for job_id, payload in terminals.items():
+            try:
+                job = Job.restore(payload)
+            except (JobStateError, KeyError, TypeError, ValueError):
+                _log.warning("dropping unreadable job record %r", job_id)
+                continue
+            self._jobs[job.job_id] = job
+            if job.client_id:
+                self._by_client[job.client_id] = job.job_id
+            self.restored += 1
+        for job_id, entry in orphans.items():
+            view = {
+                "job_id": job_id,
+                "state": terminal_state_for(CODE_SERVER_RESTART),
+                "error": "server restarted while the job was in flight",
+                "error_code": CODE_SERVER_RESTART,
+                "created_unix": entry.get("created_unix"),
+                "client_id": entry.get("client_id"),
+                "request": entry.get("request"),
+                "produced": 0,
+            }
+            job = Job.restore(view)
+            self._jobs[job.job_id] = job
+            if job.client_id:
+                self._by_client[job.client_id] = job.job_id
+            self.resurrected += 1
+        for job_id in self._jobs:
+            match = _JOB_ID_RE.match(job_id)
+            if match:
+                max_serial = max(max_serial, int(match.group(1)))
+        self._counter = itertools.count(max_serial + 1)
+        # One terminal line per surviving job; orphan resurrections are
+        # durable from here on (a second restart must not forget them).
+        self.state_store.compact(
+            [job.as_dict() for job in self._jobs.values()]
+        )
+
+    def _on_job_terminal(self, job: Job) -> None:
+        if self.state_store is not None:
+            self.state_store.record_terminal(job)
+
+    def persist(self, job: Job) -> None:
+        """Re-journal a terminal job (after the response was attached)."""
+        if self.state_store is not None and job.is_terminal:
+            self.state_store.record_terminal(job)
+
+    def create(
+        self,
+        request=None,
+        deadline: Optional[float] = None,
+        client_id: Optional[str] = None,
+    ) -> Job:
         job_id = f"job-{next(self._counter):06d}-{secrets.token_hex(4)}"
         job = Job(job_id, request=request, deadline=deadline)
+        job.client_id = client_id
+        if self.state_store is not None:
+            job.on_terminal = self._on_job_terminal
         with self._lock:
             self._purge_locked()
             self._jobs[job_id] = job
+            if client_id:
+                self._by_client[client_id] = job_id
+        if self.state_store is not None:
+            self.state_store.record_create(job)
         return job
+
+    def find_client(self, client_id: str) -> Optional[Job]:
+        """The job previously submitted under a client idempotency key."""
+        with self._lock:
+            self._purge_locked()
+            job_id = self._by_client.get(client_id)
+            return self._jobs.get(job_id) if job_id else None
 
     def get(self, job_id: str) -> Optional[Job]:
         with self._lock:
@@ -519,8 +801,16 @@ class JobTable:
             and now - job.finished_at > self.ttl
         ]
         for job_id in stale:
+            client_id = self._jobs[job_id].client_id
+            if client_id and self._by_client.get(client_id) == job_id:
+                del self._by_client[client_id]
             del self._jobs[job_id]
         return len(stale)
+
+    def close(self) -> None:
+        """Release the state journal handle, if any."""
+        if self.state_store is not None:
+            self.state_store.close()
 
 
 __all__ = [
@@ -532,6 +822,7 @@ __all__ = [
     "CODE_INVALID_REQUEST",
     "CODE_LEGALIZE_FAILED",
     "CODE_QUEUE_FULL",
+    "CODE_SERVER_RESTART",
     "CODE_SHUTDOWN",
     "CODE_WORKER_CRASHED",
     "ERROR_CODES",
@@ -543,6 +834,7 @@ __all__ = [
     "JobCancelled",
     "JobError",
     "JobStateError",
+    "JobStateStore",
     "JobTable",
     "JobTransition",
     "LEGALIZING",

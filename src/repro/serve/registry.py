@@ -38,6 +38,7 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
 
 import numpy as np
 
+from repro import faults
 from repro.api.config import TrainConfig
 from repro.data.dataset import build_training_set
 from repro.diffusion.model import ConditionalDiffusionModel
@@ -262,6 +263,7 @@ class ModelRegistry:
             if not path.exists():
                 return None
             try:
+                faults.fire("registry.disk_read")
                 with open(path, "rb") as handle:
                     payload = pickle.load(handle)
                 if payload.get("format") != _CACHE_FORMAT:
@@ -331,6 +333,7 @@ class ModelRegistry:
             "model": model,
         }
         try:
+            faults.fire("registry.disk_write")
             with open(tmp, "wb") as handle:
                 pickle.dump(payload, handle)
             tmp.replace(path)  # atomic: concurrent readers see old or new

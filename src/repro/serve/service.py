@@ -29,8 +29,10 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import faults
 from repro.agent.backend import LLMBackend, SimulatedLLM
 from repro.api.config import PipelineConfig
+from repro.faults import FaultPlan
 from repro.api.pipeline import PatternPipeline, PipelineResult
 from repro.core.chatpattern import ChatPattern, ChatResult
 from repro.diffusion.model import ConditionalDiffusionModel
@@ -77,6 +79,11 @@ class ServeRequest:
     directly with ``params`` (``count`` / ``style`` / ``size`` / ``seed``)
     — the path whose :class:`~repro.api.pipeline.PipelineResult.timings`
     mirror the job's per-stage progress one to one.
+
+    ``client_job_id`` is an optional client-supplied idempotency key:
+    resubmitting with the same key returns the *existing* job instead of
+    running the work twice — the safe-retry contract the client SDK's
+    backoff relies on.
     """
 
     text: str
@@ -86,6 +93,7 @@ class ServeRequest:
     deadline: Optional[float] = None
     kind: str = "chat"
     params: Optional[Dict] = None
+    client_job_id: Optional[str] = None
 
 
 @dataclass
@@ -236,6 +244,7 @@ class PatternService:
         self.config = config or PipelineConfig()
         serve_cfg = self.config.serve
         obs_cfg = self.config.obs
+        faults_cfg = getattr(self.config, "faults", None)
         # A private registry/tracer per service (unless injected): its
         # snapshots then describe exactly this service's traffic, and two
         # services in one process never mix series.
@@ -271,6 +280,13 @@ class PatternService:
             "repro_jobs_active",
             "Lifecycle jobs admitted but not yet terminal",
         )
+        # An enabled FaultConfig installs the process-wide plan here —
+        # before any component below can hit a seam — so a configured
+        # server boots faulty end to end (the chaos-smoke contract).
+        # Disabled configs leave whatever plan is active (usually the
+        # null plan) untouched.
+        if faults_cfg is not None and faults_cfg.enabled:
+            faults.install(FaultPlan.from_config(faults_cfg, metrics=self.metrics))
         self._snapshot_writer: Optional[SnapshotWriter] = None
         self._model = model
         self.model_key = model_key or ModelKey.from_config(self.config.train)
@@ -315,7 +331,12 @@ class PatternService:
         self._owns_engine = engine is None
         self._client: Optional[EngineClient] = None
         #: lifecycle registry behind submit/cancel/status and the HTTP API
-        self.jobs = JobTable(ttl=serve_cfg.job_ttl)
+        #: (``serve.state_dir`` makes it journal + rehydrate across restarts)
+        self.jobs = JobTable(
+            ttl=serve_cfg.job_ttl,
+            state_dir=serve_cfg.state_dir,
+            metrics=self.metrics,
+        )
         self._pool: Optional[ThreadPoolExecutor] = None
         self._responses: List[ServeResponse] = []
         self._legalize_stages: List[LegalizeStageRecord] = []
@@ -389,6 +410,11 @@ class PatternService:
     @property
     def running(self) -> bool:
         return self._engine is not None and self._engine.running
+
+    @property
+    def accepting(self) -> bool:
+        """Whether new submissions would be executed (False mid-drain)."""
+        return self._pool is not None
 
     @property
     def model(self) -> Optional[ConditionalDiffusionModel]:
@@ -481,6 +507,9 @@ class PatternService:
         self.drain()
         if self._engine is not None and self._owns_engine:
             self._engine.stop()
+        self.jobs.close()
+        if self.store is not None:
+            self.store.close()
         if self._snapshot_writer is not None:
             self._snapshot_writer.stop(write_final=True)
             self._snapshot_writer = None
@@ -550,6 +579,13 @@ class PatternService:
         self.start()
         if not isinstance(request, ServeRequest):
             request = ServeRequest(text=request)
+        if request.client_job_id:
+            # Idempotent resubmission: the same client key returns the
+            # job already created for it (whatever state it is in) —
+            # a retried POST after a lost response runs the work once.
+            existing = self.jobs.find_client(request.client_job_id)
+            if existing is not None:
+                return existing
         if request.request_id == 0:
             request.request_id = self._next_request_id()
         else:
@@ -566,7 +602,11 @@ class PatternService:
         deadline = (
             request.deadline if request.deadline is not None else self.deadline
         )
-        job = self.jobs.create(request=request, deadline=deadline)
+        job = self.jobs.create(
+            request=request,
+            deadline=deadline,
+            client_id=request.client_job_id,
+        )
         job.transition(QUEUED)
         self._m_jobs_active.inc()
         pool = self._pool
@@ -636,6 +676,10 @@ class PatternService:
         else:
             job.fail(response.error, code=response.error_code or "internal")
             self._account_terminal(job)
+        # Re-journal with the response attached so a restored record
+        # carries the produced count (the transition hook ran earlier,
+        # before the response existed; last record wins at replay).
+        self.jobs.persist(job)
         with self._stats_lock:
             self._responses.append(response)
 

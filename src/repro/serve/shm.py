@@ -47,6 +47,8 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro import faults
+
 #: Name prefix of every arena segment (leak checks grep for it).
 SHM_PREFIX = "repro_shm"
 
@@ -118,6 +120,7 @@ def attach_ref(ref: ArrayRef) -> Tuple[np.ndarray, shared_memory.SharedMemory]:
     once done with it (:func:`write_into` / :func:`read_copy` wrap the
     common patterns).  Never unlinks — the owning arena does that.
     """
+    faults.fire("shm.attach")
     try:
         with _suppress_tracker_register():
             segment = shared_memory.SharedMemory(name=ref.name)
@@ -144,6 +147,7 @@ def write_into(ref: ArrayRef, array: np.ndarray) -> None:
         )
     view, segment = attach_ref(ref)
     try:
+        faults.fire("shm.write")
         view[...] = array
     finally:
         del view  # the buffer view must die before the segment closes
@@ -158,6 +162,44 @@ def read_copy(ref: ArrayRef) -> np.ndarray:
     finally:
         del view
         segment.close()
+
+
+def sweep_stale_segments(prefix: str = SHM_PREFIX) -> List[str]:
+    """Unlink arena segments whose owning process is gone.
+
+    A SIGKILLed parent (or a machine crash before the resource tracker
+    ran) can strand ``repro_shm_*`` files in ``/dev/shm`` forever.  The
+    arena name format — ``{prefix}_{pid}_{seq}_{token}`` — records the
+    owner's pid, so a boot-time sweep can tell *stale* (owner dead) from
+    *live* (another serve process on this machine): only segments whose
+    owner fails the ``kill(pid, 0)`` liveness probe are removed.
+
+    Returns the names unlinked.  Safe to call concurrently with live
+    arenas; a no-op on platforms without ``/dev/shm``.
+    """
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():
+        return []
+    removed: List[str] = []
+    for path in shm_dir.glob(f"{prefix}_*"):
+        fields = path.name[len(prefix) + 1:].split("_")
+        try:
+            owner_pid = int(fields[0])
+        except (IndexError, ValueError):
+            continue  # not an arena name; leave it alone
+        try:
+            os.kill(owner_pid, 0)
+            continue  # owner alive — segment is in use
+        except ProcessLookupError:
+            pass  # owner dead: stale
+        except PermissionError:
+            continue  # alive, owned by another user
+        try:
+            path.unlink()
+            removed.append(path.name)
+        except OSError:
+            continue  # raced another sweeper, or perms — both fine
+    return sorted(removed)
 
 
 def leaked_segments(prefix: str = SHM_PREFIX) -> List[str]:
@@ -214,6 +256,7 @@ class ShmArena:
         )
         if ref.nbytes == 0:
             raise ShmError("cannot allocate a zero-byte segment")
+        faults.fire("shm.allocate")
         memory = shared_memory.SharedMemory(
             name=ref.name, create=True, size=ref.nbytes
         )
@@ -317,5 +360,6 @@ __all__ = [
     "attach_ref",
     "leaked_segments",
     "read_copy",
+    "sweep_stale_segments",
     "write_into",
 ]

@@ -8,6 +8,26 @@ topology, keyed by a content hash of ``(style, topology)``, plus a JSON
 index holding the queryable characteristics: style, topology size, physical
 size and legality.  Duplicate topologies — common when many requests ask
 for the same styles — are counted, not re-stored.
+
+Durability contract (the crash-safety half of this module):
+
+- ``add()`` is **write-ahead journaled**: the object file is written
+  first, then a JSONL record is appended to ``journal.jsonl`` and
+  fsynced, and only then does the in-memory index mutate.  Once ``add()``
+  returns, the pattern survives any crash.
+- ``_flush()`` publishes the index atomically — temp file written,
+  fsynced, ``os.replace``d, parent directory fsynced — and stamps the
+  journal high-water mark (``journal_seq``) into the payload, after
+  which the journal is compacted.
+- Boot replays journal entries *newer* than the index's ``journal_seq``
+  (tolerating a torn trailing line from a mid-append crash), so a crash
+  between an acked ``add()`` and the next index flush loses nothing.
+  Replays are counted in ``repro_store_journal_replays_total``.
+
+Named fault sites (``store.object_write``, ``store.journal_append``,
+``store.journal_sync``, ``store.flush_tmp``, ``store.flush_publish``,
+``store.flush_compact``) let the chaos suite kill the process at every
+step of that protocol and property-test the recovery.
 """
 
 from __future__ import annotations
@@ -22,11 +42,13 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from repro import faults
 from repro.io.store import load_library, save_library
 from repro.obs.metrics import default_metrics
 from repro.squish.pattern import PatternLibrary, SquishPattern
 
 _INDEX_NAME = "index.json"
+_JOURNAL_NAME = "journal.jsonl"
 _INDEX_VERSION = 1
 
 
@@ -104,7 +126,8 @@ class LibraryStore:
         (self.root / "objects").mkdir(parents=True, exist_ok=True)
         self._lock = threading.RLock()
         self._records: Dict[str, StoreRecord] = {}
-        self._load_index()
+        self._journal = None
+        self._journal_seq = 0
         self.metrics = metrics if metrics is not None else default_metrics()
         self._m_added = self.metrics.counter(
             "repro_store_added_total", "Unique patterns written to the store"
@@ -116,13 +139,35 @@ class LibraryStore:
         self._m_unique = self.metrics.gauge(
             "repro_store_unique_patterns", "Unique patterns in the store index"
         )
+        self._m_replays = self.metrics.counter(
+            "repro_store_journal_replays_total",
+            "Journal entries replayed at boot (acked adds newer than the index)",
+        )
+        self._load_index()
+        #: Journal entries applied during this boot (0 after a clean stop).
+        self.journal_replayed = self._replay_journal()
         self._m_unique.set(len(self._records))
+        if self.journal_replayed:
+            self._m_replays.inc(self.journal_replayed)
+            with self._lock:
+                self._flush()
 
     # -- persistence ---------------------------------------------------
 
     @property
     def index_path(self) -> Path:
         return self.root / _INDEX_NAME
+
+    @property
+    def journal_path(self) -> Path:
+        return self.root / _JOURNAL_NAME
+
+    def close(self) -> None:
+        """Release the journal file handle (the index is already durable)."""
+        with self._lock:
+            if self._journal is not None:
+                self._journal.close()
+                self._journal = None
 
     def _load_index(self) -> None:
         if not self.index_path.exists():
@@ -131,15 +176,102 @@ class LibraryStore:
         for entry in payload.get("patterns", []):
             record = StoreRecord.from_dict(entry)
             self._records[record.content_hash] = record
+        self._journal_seq = int(payload.get("journal_seq", 0))
+
+    def _replay_journal(self) -> int:
+        """Apply journal entries newer than the index; returns the count.
+
+        A torn trailing line (crash mid-append, before the fsync was
+        acked) terminates the replay: nothing after it was acknowledged
+        to a caller, so dropping it is correct, not lossy.
+        """
+        if not self.journal_path.exists():
+            return 0
+        index_seq = self._journal_seq
+        max_seq = self._journal_seq
+        applied = 0
+        with open(self.journal_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                if not line.strip():
+                    continue
+                try:
+                    entry = json.loads(line)
+                    seq = int(entry["seq"])
+                    op = entry["op"]
+                except (ValueError, KeyError, TypeError):
+                    break
+                if seq <= index_seq:
+                    continue
+                if op == "add":
+                    record = StoreRecord.from_dict(entry["record"])
+                    self._records.setdefault(record.content_hash, record)
+                elif op == "dup":
+                    record = self._records.get(entry["hash"])
+                    if record is not None:
+                        record.duplicates += 1
+                        if record.legal is None and entry.get("legal") is not None:
+                            record.legal = bool(entry["legal"])
+                max_seq = max(max_seq, seq)
+                applied += 1
+        self._journal_seq = max_seq
+        return applied
+
+    def _journal_handle(self):
+        if self._journal is None:
+            self._journal = open(self.journal_path, "a", encoding="utf-8")
+        return self._journal
+
+    def _append_journal(self, entry: Dict) -> None:
+        """Write-ahead: the entry is durable (fsynced) before this returns."""
+        self._journal_seq += 1
+        entry["seq"] = self._journal_seq
+        handle = self._journal_handle()
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        handle.flush()
+        faults.fire("store.journal_append")
+        os.fsync(handle.fileno())
+        faults.fire("store.journal_sync")
+
+    @staticmethod
+    def _fsync_dir(path: Path) -> None:
+        """Make a rename durable: fsync the directory holding it."""
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-specific
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - platform-specific
+            pass
+        finally:
+            os.close(fd)
 
     def _flush(self) -> None:
         payload = {
             "version": _INDEX_VERSION,
+            "journal_seq": self._journal_seq,
             "patterns": [r.as_dict() for r in self._records.values()],
         }
         tmp = self.index_path.with_name(_INDEX_NAME + ".tmp")
-        tmp.write_text(json.dumps(payload, indent=1))
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, indent=1))
+            handle.flush()
+            os.fsync(handle.fileno())
+        faults.fire("store.flush_tmp")
         os.replace(tmp, self.index_path)
+        self._fsync_dir(self.root)
+        faults.fire("store.flush_publish")
+        # Every journaled entry is now in the published index; truncate.
+        self._compact_journal()
+        faults.fire("store.flush_compact")
+
+    def _compact_journal(self) -> None:
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+        with open(self.journal_path, "w", encoding="utf-8") as handle:
+            handle.flush()
+            os.fsync(handle.fileno())
 
     # -- writing -------------------------------------------------------
 
@@ -152,11 +284,17 @@ class LibraryStore:
         its duplicate counter increments and nothing is written to the
         object tree.  A known ``legal`` verdict upgrades a record whose
         legality was previously unknown.
+
+        Durability: by the time this returns, the add is journaled and
+        fsynced — a crash at any later point replays it at next boot.
         """
         content_hash = pattern_content_hash(pattern)
         with self._lock:
             record = self._records.get(content_hash)
             if record is not None:
+                self._append_journal(
+                    {"op": "dup", "hash": content_hash, "legal": legal}
+                )
                 record.duplicates += 1
                 if record.legal is None and legal is not None:
                     record.legal = legal
@@ -167,6 +305,7 @@ class LibraryStore:
             rel = Path("objects") / content_hash[:2] / f"{content_hash}.npz"
             target = self.root / rel
             target.parent.mkdir(parents=True, exist_ok=True)
+            faults.fire("store.object_write")
             written = save_library(
                 PatternLibrary(patterns=[pattern], name=content_hash), target
             )
@@ -180,6 +319,7 @@ class LibraryStore:
                 legal=legal,
                 file=str(written.relative_to(self.root)),
             )
+            self._append_journal({"op": "add", "record": record.as_dict()})
             self._records[content_hash] = record
             self._m_added.inc()
             self._m_unique.set(len(self._records))
@@ -260,6 +400,11 @@ class LibraryStore:
         return matches
 
     # -- observability -------------------------------------------------
+
+    def records(self) -> List[StoreRecord]:
+        """Snapshot of every index row."""
+        with self._lock:
+            return list(self._records.values())
 
     def __len__(self) -> int:
         with self._lock:

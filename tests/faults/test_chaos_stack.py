@@ -1,0 +1,309 @@
+"""Full-stack chaos scenarios: seeded fault plans against a live stack.
+
+The acceptance bar of the fault-injection harness, asserted end to end:
+
+- **no request is lost silently** — every submitted job reaches a terminal
+  state, even when responses are dropped on the floor mid-flight;
+- **no data is corrupted** — stores and job journals reopen clean;
+- **the engine keeps serving** — a crash consumes one batch (at most),
+  never the service.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.api.config import FaultConfig, PipelineConfig
+from repro.faults import FaultPlan, FaultPoint, injected
+from repro.serve import (
+    ModelKey,
+    ModelRegistry,
+    PatternHttpServer,
+    PatternService,
+    ServeClient,
+    ServeClientError,
+    ServeEngine,
+    ServeRequest,
+    WorkerCrashedError,
+    leaked_segments,
+)
+from repro.serve.jobs import TERMINAL_STATES
+
+TINY_KEY = ModelKey(window=64, train_count=4)
+PARAMS = {"count": 2, "style": "Layer-10001"}
+
+
+@pytest.fixture(autouse=True)
+def clean_active_plan():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+class StubModel:
+    """Instant fake sampler producing legal 16x16 patterns."""
+
+    def __init__(self, window=16):
+        self.window = window
+        self.fitted = True
+        self.n_classes = 2
+        self.supports_sampler_steps = True
+
+    def sample_batch(self, conditions, rng, shape=None, **kwargs):
+        shape = shape or (self.window, self.window)
+        out = np.zeros((len(conditions), *shape), dtype=np.uint8)
+        out[:, 4:12, 4:12] = 1
+        return out
+
+
+@pytest.fixture(scope="module")
+def disk_registry(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("chaos-model-cache")
+    registry = ModelRegistry(save_dir=cache)
+    registry.get_or_fit(TINY_KEY)
+    return registry
+
+
+def _live_server(**service_kwargs):
+    service = PatternService(
+        model=StubModel(), max_workers=2, gather_window=0.0, **service_kwargs
+    )
+    server = PatternHttpServer(service, port=0)
+    server.start()
+    return server
+
+
+class TestEngineChaos:
+    def test_thread_tier_fault_fails_one_batch_not_the_engine(self):
+        model = StubModel()
+        engine = ServeEngine(engine_workers=1, gather_window=0.0)
+        client = engine.bind(model, label="stub")
+        plan = FaultPlan(
+            [FaultPoint(site="engine.execute", nth=1, times=1)]
+        )
+        with injected(plan), engine:
+            doomed = client.submit(count=1, condition=0, seed=1)
+            with pytest.raises(Exception, match="injected fault"):
+                doomed.result(timeout=30)
+            healthy = client.submit(count=1, condition=0, seed=2)
+            assert healthy.result(timeout=30).shape == (1, 16, 16)
+        assert plan.injected_total() == 1
+
+    def test_config_enabled_plan_installs_through_the_service(self):
+        cfg = PipelineConfig().replace(
+            faults=FaultConfig.from_dict(
+                {"enabled": True, "seed": 3,
+                 "points": [{"site": "engine.execute", "nth": 1,
+                             "times": 1}]}
+            )
+        )
+        service = PatternService(model=StubModel(), config=cfg)
+        try:
+            active = faults.active_plan()
+            assert active.enabled
+            assert active.points[0].site == "engine.execute"
+            with service:
+                responses = service.serve(
+                    [ServeRequest(text="Generate 2 legal patterns, 16*16 "
+                                       "topology, physical size 1024nm * "
+                                       "1024nm, style Layer-10001.")]
+                )
+            # The injected batch failure was retried by the agent
+            # pipeline or surfaced as a clean failure — never a hang.
+            assert responses[0].error is None or responses[0].error_code
+        finally:
+            faults.reset()
+
+
+class TestProcessTierChaos:
+    def test_seeded_kill_crashes_once_retry_succeeds(self, disk_registry):
+        """worker.execute:kill:nth=2 — the second dispatched batch kills
+        its worker; the respawned child (counter primed past the rule)
+        executes the retry instead of crash-looping."""
+        engine = ServeEngine(
+            registry=disk_registry, executor="process", engine_workers=1,
+            gather_window=0.0,
+        )
+        model = disk_registry.get_or_fit(TINY_KEY)
+        client = engine.bind(model, label="tiny", key=TINY_KEY)
+        plan = FaultPlan(
+            [FaultPoint(site="worker.execute", mode="kill", nth=2, times=1)]
+        )
+        with injected(plan), engine:
+            first = client.submit(count=1, condition=0, seed=1)
+            assert first.result(timeout=240).shape == (1, 64, 64)
+            second = client.submit(count=1, condition=0, seed=2)
+            # Crashed once, was retried on a fresh worker, delivered.
+            assert second.result(timeout=240).shape == (1, 64, 64)
+            third = client.submit(count=1, condition=1, seed=3)
+            assert third.result(timeout=240).shape == (1, 64, 64)
+        assert leaked_segments() == []
+
+    def test_dispatch_fault_burns_the_retry_then_fails_terminal(
+        self, disk_registry
+    ):
+        """Two parent-side dispatch faults on one batch exhaust the
+        retry-once budget: the jobs fail with worker_crashed while the
+        engine survives to serve the next batch."""
+        engine = ServeEngine(
+            registry=disk_registry, executor="process", engine_workers=1,
+            gather_window=0.0,
+        )
+        model = disk_registry.get_or_fit(TINY_KEY)
+        client = engine.bind(model, label="tiny", key=TINY_KEY)
+        plan = FaultPlan(
+            [FaultPoint(site="engine.dispatch", nth=1, times=1),
+             FaultPoint(site="engine.dispatch", nth=2, times=1)]
+        )
+        with injected(plan), engine:
+            doomed = client.submit(count=1, condition=0, seed=1)
+            with pytest.raises(WorkerCrashedError):
+                doomed.result(timeout=240)
+            healthy = client.submit(count=1, condition=0, seed=2)
+            assert healthy.result(timeout=240).shape == (1, 64, 64)
+        assert leaked_segments() == []
+
+    def test_cancel_races_the_crash_retry(self, disk_registry):
+        """Cancel a service job while its crashed batch is being retried:
+        the job must reach a terminal state (CANCELLED if the checkpoint
+        saw the flag, else SUCCEEDED) and the service keeps serving."""
+        service = PatternService(
+            model=disk_registry.get_or_fit(TINY_KEY),
+            model_key=TINY_KEY,
+            registry=disk_registry,
+            executor="process",
+            engine_workers=1,
+            gather_window=0.0,
+            max_retries=0,
+        )
+        plan = FaultPlan([
+            FaultPoint(site="worker.execute", mode="kill", nth=1, times=1),
+            FaultPoint(site="worker.execute", mode="latency", nth=2,
+                       delay=0.5),
+        ])
+        request = ServeRequest(
+            text="Generate 2 legal patterns, 64*64 topology, physical "
+                 "size 1024nm * 1024nm, style Layer-10001.",
+        )
+        with injected(plan), service:
+            job = service.submit_job(request)
+            # Let the first dispatch crash, then cancel mid-retry.
+            time.sleep(0.3)
+            service.cancel_job(job.job_id)
+            assert job.wait(timeout=240)
+            assert job.state in TERMINAL_STATES
+            follow_up = service.submit_job(request)
+            assert follow_up.wait(timeout=240)
+            assert follow_up.state in TERMINAL_STATES
+        assert leaked_segments() == []
+
+
+class TestHttpChaos:
+    def test_dropped_response_plus_idempotent_retry_runs_once(self):
+        """http.respond kills the submit's response on the wire; the
+        client's transport retry re-POSTs the same client key and lands
+        on the job already created — exactly one job, no silent loss."""
+        server = _live_server()
+        try:
+            client = ServeClient(
+                server.url, retries=3, backoff_base=0.01, backoff_cap=0.05
+            )
+            plan = FaultPlan(
+                [FaultPoint(site="http.respond", nth=1, times=1)]
+            )
+            with injected(plan):
+                job_id = client.submit(kind="pipeline", params=PARAMS)
+            assert client.retries_performed >= 1
+            final = client.wait(job_id, timeout=120)
+            assert final["state"] in TERMINAL_STATES
+            assert len(server.service.jobs) == 1  # ran once, not twice
+        finally:
+            server.stop()
+
+    def test_accept_faults_shed_connections_not_the_server(self):
+        server = _live_server()
+        try:
+            client = ServeClient(
+                server.url, retries=5, backoff_base=0.01, backoff_cap=0.05
+            )
+            plan = FaultPlan(
+                [FaultPoint(site="http.accept", nth=1, times=1)]
+            )
+            with injected(plan):
+                job_id = client.submit(kind="pipeline", params=PARAMS)
+            final = client.wait(job_id, timeout=120)
+            assert final["state"] in TERMINAL_STATES
+        finally:
+            server.stop()
+
+    def test_draining_server_answers_503_with_retry_after(self):
+        server = _live_server()
+        try:
+            # Flip the drain gate without stopping the loop: exactly the
+            # window a client sees during graceful shutdown.
+            server._draining.set()
+            client = ServeClient(server.url)
+            with pytest.raises(ServeClientError) as excinfo:
+                client.submit(kind="pipeline", params=PARAMS)
+            assert excinfo.value.status == 503
+            assert excinfo.value.code == "shutdown"
+            assert excinfo.value.retry_after is not None
+            server._draining.clear()
+            # The gate was temporary: the server still serves.
+            job_id = client.submit(kind="pipeline", params=PARAMS)
+            assert client.wait(job_id, timeout=120)["state"] in TERMINAL_STATES
+        finally:
+            server.stop()
+
+    def test_drain_under_load_finishes_admitted_jobs(self):
+        server = _live_server()
+        stopper = None
+        try:
+            client = ServeClient(server.url)
+            job_ids = [
+                client.submit(kind="pipeline", params=PARAMS)
+                for _ in range(4)
+            ]
+            stopper = threading.Thread(
+                target=server.stop, kwargs={"drain": True}
+            )
+            stopper.start()
+            stopper.join(timeout=120)
+            assert not stopper.is_alive()
+            # Every admitted job reached a terminal state before the
+            # loop went down — none were abandoned mid-flight.
+            for job_id in job_ids:
+                job = server.service.jobs.get(job_id)
+                assert job is not None
+                assert job.state in TERMINAL_STATES
+        finally:
+            if stopper is None or not stopper.is_alive():
+                server.stop()
+
+
+class TestDurableServiceAcrossRestart:
+    def test_terminal_jobs_survive_a_service_reboot(self, tmp_path):
+        cfg = PipelineConfig()
+        cfg = cfg.replace(serve=cfg.serve.replace(state_dir=str(tmp_path)))
+        service = PatternService(model=StubModel(), config=cfg)
+        with service:
+            request = ServeRequest(
+                text="Generate 2 legal patterns, 16*16 topology, physical "
+                     "size 1024nm * 1024nm, style Layer-10001.",
+                client_job_id="ck-durable",
+            )
+            job = service.submit_job(request)
+            job.wait(timeout=120)
+            job_id, state = job.job_id, job.state
+        assert state in TERMINAL_STATES
+        reborn = PatternService(model=StubModel(), config=cfg)
+        restored = reborn.jobs.get(job_id)
+        assert restored is not None
+        assert restored.state == state
+        assert restored.as_dict()["restored"] is True
+        # And the idempotency key still routes to the restored job.
+        assert reborn.jobs.find_client("ck-durable").job_id == job_id
+        reborn.jobs.close()

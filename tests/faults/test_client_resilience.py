@@ -1,0 +1,165 @@
+"""ServeClient retry/backoff behavior under backpressure and drain.
+
+The transport is scripted (a ServeClient subclass replaying canned
+responses), so every retry decision is exercised deterministically: which
+codes/statuses retry, how backoff grows and caps, how Retry-After is
+honored, and that the auto-generated client job id makes retried
+submissions idempotent."""
+
+import random
+
+import pytest
+
+from repro.serve import ServeClient, ServeClientError
+from repro.serve.client import RETRYABLE_CODES, RETRYABLE_STATUSES
+
+
+class ScriptedClient(ServeClient):
+    """Replays a canned (status, payload) sequence instead of sockets."""
+
+    def __init__(self, script, **kwargs):
+        kwargs.setdefault("rng", random.Random(0))
+        super().__init__("http://127.0.0.1:1", **kwargs)
+        self.script = list(script)
+        self.bodies = []
+        self.sleeps = []
+
+    def _request(self, method, path, body=None):
+        self.bodies.append(body)
+        if not self.script:
+            raise AssertionError("script exhausted")
+        entry = self.script.pop(0)
+        if isinstance(entry, Exception):
+            raise entry
+        status, payload, retry_after = entry
+        self.last_retry_after = retry_after
+        return status, payload
+
+    def _backoff_delay(self, attempt, retry_after):
+        delay = super()._backoff_delay(attempt, retry_after)
+        self.sleeps.append(delay)
+        return 0.0  # scripted: never actually sleep
+
+
+def _busy(retry_after=None):
+    return (
+        429,
+        {"error": "queue is full", "error_code": "queue_full"},
+        retry_after,
+    )
+
+
+def _draining():
+    return (
+        503,
+        {"error": "shutting down", "error_code": "shutdown"},
+        1,
+    )
+
+
+def _accepted(job_id="job-000001-aa"):
+    return (202, {"job_id": job_id}, None)
+
+
+class TestRetryPolicy:
+    def test_rides_out_backpressure_then_succeeds(self):
+        client = ScriptedClient([_busy(), _busy(), _accepted()], retries=5)
+        assert client.submit(kind="pipeline") == "job-000001-aa"
+        assert client.retries_performed == 2
+
+    def test_exhausted_budget_raises_the_last_error(self):
+        client = ScriptedClient([_busy(), _busy(), _busy()], retries=2)
+        with pytest.raises(ServeClientError) as excinfo:
+            client.submit()
+        assert excinfo.value.code == "queue_full"
+        assert client.retries_performed == 2
+
+    def test_zero_budget_fails_fast(self):
+        client = ScriptedClient([_busy()])
+        with pytest.raises(ServeClientError):
+            client.submit()
+        assert client.retries_performed == 0
+
+    def test_drain_503_is_retryable(self):
+        client = ScriptedClient([_draining(), _accepted()], retries=1)
+        assert client.submit() == "job-000001-aa"
+
+    def test_transport_errors_are_retryable(self):
+        client = ScriptedClient(
+            [ServeClientError("connection refused", code="transport"),
+             _accepted()],
+            retries=1,
+        )
+        assert client.submit() == "job-000001-aa"
+
+    def test_non_retryable_codes_raise_immediately(self):
+        client = ScriptedClient(
+            [(400, {"error": "bad", "error_code": "invalid_request"}, None)],
+            retries=5,
+        )
+        with pytest.raises(ServeClientError) as excinfo:
+            client.submit()
+        assert excinfo.value.status == 400
+        assert client.retries_performed == 0
+
+    def test_per_call_budget_overrides_constructor(self):
+        client = ScriptedClient([_busy()], retries=5)
+        with pytest.raises(ServeClientError):
+            client.submit(retries=0)
+
+    def test_retryable_sets_are_sane(self):
+        assert "queue_full" in RETRYABLE_CODES
+        assert "shutdown" in RETRYABLE_CODES
+        assert "transport" in RETRYABLE_CODES
+        assert RETRYABLE_STATUSES == frozenset({429, 503})
+
+
+class TestBackoff:
+    def test_exponential_growth_with_jitter_in_bounds(self):
+        client = ServeClient(
+            "http://127.0.0.1:1",
+            backoff_base=0.1,
+            backoff_cap=5.0,
+            rng=random.Random(42),
+        )
+        for attempt in range(4):
+            ceiling = min(5.0, 0.1 * (2 ** attempt))
+            delay = client._backoff_delay(attempt, None)
+            assert 0.5 * ceiling <= delay <= ceiling
+
+    def test_retry_after_overrides_the_exponent(self):
+        client = ServeClient(
+            "http://127.0.0.1:1", backoff_cap=60.0, rng=random.Random(1)
+        )
+        delay = client._backoff_delay(0, 10)
+        assert 5.0 <= delay <= 10.0  # honors the hint (with jitter)
+
+    def test_cap_bounds_even_retry_after(self):
+        client = ServeClient(
+            "http://127.0.0.1:1", backoff_cap=2.0, rng=random.Random(1)
+        )
+        assert client._backoff_delay(0, 3600) <= 2.0
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            ServeClient("http://127.0.0.1:1", retries=-1)
+
+
+class TestIdempotentResubmission:
+    def test_client_job_id_autogenerated_with_a_budget(self):
+        client = ScriptedClient([_busy(), _accepted()], retries=1)
+        client.submit()
+        keys = {body.get("client_job_id") for body in client.bodies}
+        assert len(keys) == 1  # every attempt carried the SAME key
+        (key,) = keys
+        assert key and key.startswith("ck-")
+
+    def test_explicit_client_job_id_passes_through(self):
+        client = ScriptedClient([_accepted()], retries=3)
+        client.submit(client_job_id="ck-mine")
+        assert client.bodies[0]["client_job_id"] == "ck-mine"
+
+    def test_no_budget_no_key(self):
+        client = ScriptedClient([_accepted()])
+        client.submit()
+        assert "client_job_id" not in client.bodies[0]
