@@ -21,6 +21,11 @@ Three measurements on one pre-fitted back-end:
   the second worker must win (incompatible trajectories drain in
   parallel); on a single-core host parity within noise is the physical
   ceiling, so the gate only demands it not *lose*.
+- **adaptive spike**: one identical burst of full-quality jobs into a
+  ``greedy`` engine and into an ``adaptive`` engine with a tight p95 SLO.
+  The adaptive policy must degrade sampler quality during the spike (so
+  its p95 does not lose to greedy), then restore full quality once the
+  burst drains — the self-tuning contract of ``repro.tune``.
 - **process executor tier**: the same uniform-shape job stream through
   ``executor="process"`` with 1, 2 and 4 worker processes (shared-memory
   batch transport, models loaded from a disk registry by recipe hash),
@@ -44,11 +49,18 @@ from datetime import datetime, timezone
 import numpy as np
 
 from benchmarks.conftest import print_table, scale
-from repro.api import ObsConfig, PipelineConfig, ServeConfig, TrainConfig
+from repro.api import (
+    ObsConfig,
+    PipelineConfig,
+    ServeConfig,
+    TrainConfig,
+    TuneConfig,
+)
 from repro.core import ChatPattern
 from repro.data import DatasetConfig, STYLES, build_training_set
 from repro.diffusion import ConditionalDiffusionModel, DiffusionSchedule
 from repro.serve import (
+    AdaptivePolicy,
     ModelKey,
     ModelRegistry,
     PatternService,
@@ -89,6 +101,12 @@ WORKER_FLOOR = 1.0 if CPUS >= 2 else 0.75
 # magnitude.
 PROCESS_WORKER_COUNTS = (1, 2, 4)
 PROCESS_SPEEDUP_FLOOR = 1.3 if CPUS >= 4 else 0.2
+# Adaptive spike: burst size and the controller knobs.  The SLO is set
+# tight enough that a single worker cannot hold it at full quality, so
+# the adaptive engine must degrade to keep p95 — and must not end the
+# run degraded.
+SPIKE_JOBS = 10 if SMOKE else 16
+SPIKE_SAMPLES_PER_JOB = 1 if SMOKE else 2
 
 RESULT_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
@@ -269,6 +287,86 @@ def _run_executor_stream(model, registry, key, executor, workers):
     }
 
 
+def _measure_spike(model, policy, tune_config=None):
+    """One burst of full-quality jobs; per-job latency percentiles."""
+    engine = ServeEngine(
+        policy=(
+            AdaptivePolicy(config=tune_config)
+            if policy == "adaptive"
+            else policy
+        ),
+        gather_window=0.01,
+        max_batch=ENGINE_MAX_BATCH,
+    )
+    client = engine.bind(model)
+    with engine:
+        # Warm dispatch outside the clock.
+        client.submit(1, 0, seed=10_000).result(timeout=600)
+        submitted = []
+        jobs = []
+        for i in range(SPIKE_JOBS):
+            submitted.append(time.perf_counter())
+            jobs.append(client.submit(SPIKE_SAMPLES_PER_JOB, i % 2, seed=i))
+        latencies = []
+        for at, job in zip(submitted, jobs):
+            job.result(timeout=600)
+            latencies.append(time.perf_counter() - at)
+        degraded = sum(1 for job in jobs if job.degrade_level > 0)
+        restored = True
+        tail_degraded = 0
+        if policy == "adaptive":
+            # The calm tail: idle ticks must walk the level back to 0,
+            # after which a new job runs at full requested quality.
+            controller = engine.policy.controller
+            deadline = time.time() + 30
+            while controller.level > 0 and time.time() < deadline:
+                time.sleep(0.02)
+            restored = controller.level == 0
+            tail = client.submit(SPIKE_SAMPLES_PER_JOB, 0, seed=9_999)
+            tail.result(timeout=600)
+            tail_degraded = tail.degrade_level
+    result = {
+        "policy": policy,
+        "jobs": SPIKE_JOBS,
+        "latency_p50": round(float(np.percentile(latencies, 50)), 3),
+        "latency_p95": round(float(np.percentile(latencies, 95)), 3),
+        "degraded_jobs": degraded,
+        "restored": restored,
+        "tail_degrade_level": tail_degraded,
+    }
+    if policy == "adaptive":
+        controller = engine.policy.controller
+        result["degrades"] = controller.degrades
+        result["restores"] = controller.restores
+    return result
+
+
+def _run_adaptive_spike(model):
+    """Greedy vs adaptive on one identical burst, tight p95 SLO."""
+    greedy = _measure_spike(model, "greedy")
+    # SLO set from the measured full-quality p95: tight enough that the
+    # controller must react, loose enough to be holdable degraded.
+    tune = TuneConfig(
+        slo_p95=max(0.2, greedy["latency_p95"] * 0.5),
+        degrade_ladder=("bucketed",),
+        degrade_after=1,
+        restore_after=2,
+        queue_high=2,
+        queue_low=1,
+        tick_interval=0.005,
+    )
+    adaptive = _measure_spike(model, "adaptive", tune)
+    return {
+        "greedy": greedy,
+        "adaptive": adaptive,
+        "slo_p95": round(tune.slo_p95, 3),
+        # >= 1.0 means adaptive's p95 was no worse than greedy's.
+        "p95_ratio": round(
+            greedy["latency_p95"] / max(adaptive["latency_p95"], 1e-9), 3
+        ),
+    }
+
+
 def _run_process_tier(model):
     """Thread-vs-process scaling on one identical stream (1/2/4 procs)."""
     key = ModelKey(window=model.window)
@@ -331,6 +429,19 @@ def _check_regression(payload, history):
     # Process-tier ratio: only against anchors that have one (older
     # history entries predate the executor tier) and of the same core
     # class — a single-core anchor says nothing about a multi-core run.
+    # Adaptive spike: the p95 ratio vs greedy must not collapse against
+    # the committed anchor (older entries predate the adaptive policy,
+    # hence the .get guards).
+    anchor_spike = (anchor.get("adaptive_spike") or {}).get("p95_ratio")
+    payload_spike = (payload.get("adaptive_spike") or {}).get("p95_ratio")
+    if anchor_spike and payload_spike is not None:
+        floor = anchor_spike * REGRESSION_TOLERANCE
+        if payload_spike < floor:
+            failures.append(
+                f"adaptive spike p95_ratio {payload_spike}x regressed "
+                f"against the committed {anchor_spike}x "
+                f"(floor {floor:.2f}x)"
+            )
     anchor_process = anchor.get("speedup_process")
     if anchor_process and min(anchor.get("cpus", 1), 4) == min(
         payload["cpus"], 4
@@ -355,6 +466,7 @@ def _run(output_dir):
     batched_noobs = _run_batched(model, texts, obs_enabled=False)
     engine_single = _run_engine_stream(model, 1)
     engine_multi = _run_engine_stream(model, 2)
+    adaptive_spike = _run_adaptive_spike(model)
     thread_tier, process_tiers = _run_process_tier(model)
 
     payload = {
@@ -376,6 +488,7 @@ def _run(output_dir):
         "batched_noobs": batched_noobs,
         "engine_single": engine_single,
         "engine_multi": engine_multi,
+        "adaptive_spike": adaptive_spike,
         "thread_tier_2": thread_tier,
         "process_tiers": {
             str(workers): result
@@ -442,6 +555,21 @@ def _run(output_dir):
              engine_multi["workers_used"]],
         ],
     )
+    spike = payload["adaptive_spike"]
+    print_table(
+        f"Adaptive spike ({SPIKE_JOBS}-job burst, "
+        f"SLO p95 <= {spike['slo_p95']}s)",
+        ["policy", "p50 (s)", "p95 (s)", "degraded", "restored"],
+        [
+            ["greedy", spike["greedy"]["latency_p50"],
+             spike["greedy"]["latency_p95"],
+             spike["greedy"]["degraded_jobs"], "-"],
+            ["adaptive", spike["adaptive"]["latency_p50"],
+             spike["adaptive"]["latency_p95"],
+             spike["adaptive"]["degraded_jobs"],
+             spike["adaptive"]["restored"]],
+        ],
+    )
     print_table(
         f"Executor tiers ({ENGINE_JOBS}-job uniform stream, {CPUS} cpu(s))",
         ["tier", "wall (s)", "samples/s", "workers used"],
@@ -502,6 +630,14 @@ def test_serve_throughput(benchmark, output_dir):
     for result in payload["process_tiers"].values():
         assert result["samples"] > 0
         assert result["workers_used"] >= 1
+    # Adaptive spike: quality degraded during the burst, p95 no worse
+    # than greedy (with noise headroom), and full quality restored after.
+    spike = payload["adaptive_spike"]
+    assert spike["adaptive"]["degraded_jobs"] > 0, spike
+    assert spike["adaptive"]["restored"], spike
+    assert spike["adaptive"]["tail_degrade_level"] == 0, spike
+    assert spike["greedy"]["degraded_jobs"] == 0
+    assert spike["p95_ratio"] >= 0.9, spike
     assert leaked_segments() == []
     assert (
         payload["speedup_process"] >= PROCESS_SPEEDUP_FLOOR

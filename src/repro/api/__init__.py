@@ -18,6 +18,7 @@ from repro.api.config import (
     ServeConfig,
     StoreConfig,
     TrainConfig,
+    TuneConfig,
 )
 from repro.api.pipeline import (
     PatternPipeline,
@@ -40,5 +41,6 @@ __all__ = [
     "StageTiming",
     "StoreConfig",
     "TrainConfig",
+    "TuneConfig",
     "default_registry",
 ]

@@ -162,7 +162,9 @@ class StoreConfig(StageConfig):
 #: Registered batching policies of the serving engine.  The canonical
 #: implementations live in :mod:`repro.serve.engine`; the names are
 #: declared here so config validation never has to import the engine.
-SERVE_POLICIES = ("greedy", "shape_bucketed", "fair_share")
+#: ``adaptive`` is the self-tuning policy: greedy selection steered by the
+#: hysteresis controller configured through :class:`TuneConfig`.
+SERVE_POLICIES = ("greedy", "shape_bucketed", "fair_share", "adaptive")
 
 #: Registered executor back-ends of the serving engine (layer 3).
 #: ``thread`` runs sampling in-process; ``process`` fans batches out to
@@ -179,7 +181,10 @@ class ServeConfig(StageConfig):
     ``policy`` picks the batching policy (``greedy`` = classic
     gather-window FIFO, ``shape_bucketed`` = coalesce compatible jobs
     across the whole queue, ``fair_share`` = round-robin across request
-    sources).  ``executor`` picks the engine's execution tier:
+    sources, ``adaptive`` = greedy selection steered by the
+    :class:`TuneConfig` hysteresis controller, degrading sampler quality
+    under queue pressure to hold the latency SLO).  ``executor`` picks
+    the engine's execution tier:
     ``thread`` (default) samples in-process, ``process`` dispatches each
     batch to a spawned worker process over shared memory — isolation from
     a crashing model and true multi-core sampling, at the price of
@@ -299,6 +304,67 @@ class FaultConfig(StageConfig):
 
 
 @dataclass(frozen=True)
+class TuneConfig(StageConfig):
+    """Self-tuning knobs: the latency SLO and the adaptive-policy
+    hysteresis controller (see :mod:`repro.tune`).
+
+    ``slo_p95`` is the target p95 request latency in seconds — the
+    contract both halves of the tuning subsystem optimise for: the online
+    ``adaptive`` batch policy trades sampler quality for latency to hold
+    it, and the offline ``repro tune`` search scores candidate configs
+    against it.  ``degrade_ladder`` lists the step schedules the
+    controller walks through under sustained pressure, best quality
+    first (level 1 uses the first entry, level 2 the second, ...);
+    ``floor_steps`` is the quality floor no job is ever degraded below.
+    ``degrade_after`` / ``restore_after`` are the hysteresis widths:
+    consecutive pressured ticks before stepping down one level, and
+    consecutive calm ticks before stepping back up.  ``queue_high`` /
+    ``queue_low`` are the per-worker queue-depth thresholds defining
+    *pressured* and *calm*; ``gather_boost`` multiplies the engine's
+    gather window per degrade level (wider gathering = bigger batches
+    under load); ``tick_interval`` rate-limits controller decisions.
+    """
+
+    slo_p95: float = 2.0
+    degrade_ladder: Tuple[Union[str, int], ...] = (32, "bucketed")
+    floor_steps: Union[str, int] = "bucketed"
+    degrade_after: int = 2
+    restore_after: int = 5
+    queue_high: int = 8
+    queue_low: int = 2
+    gather_boost: float = 2.0
+    tick_interval: float = 0.05
+
+    def __post_init__(self):
+        if self.slo_p95 <= 0:
+            raise ConfigError("slo_p95 must be > 0 seconds")
+        if not self.degrade_ladder:
+            raise ConfigError(
+                "degrade_ladder must name at least one degraded schedule"
+            )
+        for spec in tuple(self.degrade_ladder) + (self.floor_steps,):
+            if spec is None:
+                raise ConfigError(
+                    "degrade_ladder/floor_steps entries must be explicit "
+                    "step schedules ('full' | 'bucketed' | int), not null"
+                )
+            try:
+                validate_sampler_steps(spec)
+            except ValueError as exc:
+                raise ConfigError(str(exc)) from exc
+        if self.degrade_after < 1:
+            raise ConfigError("degrade_after must be >= 1 ticks")
+        if self.restore_after < 1:
+            raise ConfigError("restore_after must be >= 1 ticks")
+        if self.queue_low < 0 or self.queue_high <= self.queue_low:
+            raise ConfigError("need queue_high > queue_low >= 0")
+        if self.gather_boost < 1.0:
+            raise ConfigError("gather_boost must be >= 1")
+        if self.tick_interval < 0:
+            raise ConfigError("tick_interval must be >= 0 seconds")
+
+
+@dataclass(frozen=True)
 class PipelineConfig(StageConfig):
     """The composed pipeline description behind every entrypoint.
 
@@ -314,6 +380,7 @@ class PipelineConfig(StageConfig):
     serve: ServeConfig = field(default_factory=ServeConfig)
     obs: ObsConfig = field(default_factory=ObsConfig)
     faults: FaultConfig = field(default_factory=FaultConfig)
+    tune: TuneConfig = field(default_factory=TuneConfig)
     model_cache: Optional[str] = None
 
     _SECTIONS = {
@@ -324,6 +391,7 @@ class PipelineConfig(StageConfig):
         "serve": ServeConfig,
         "obs": ObsConfig,
         "faults": FaultConfig,
+        "tune": TuneConfig,
     }
 
     def as_dict(self) -> Dict:

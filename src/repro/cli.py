@@ -9,7 +9,11 @@ Subcommands:
 - ``evaluate`` — legality/diversity report for a saved library.
 - ``export``   — convert a saved library to GDSII.
 - ``stats``    — summarize a metrics snapshot written by ``serve
-  --metrics-snapshot`` (JSON or Prometheus text exposition).
+  --metrics-snapshot`` (JSON or Prometheus text exposition); with
+  ``--watch SECS`` it re-renders as a live dashboard.
+- ``tune``     — offline autotuner: race serve-knob candidates over a
+  seeded workload spec (successive halving on the deterministic engine
+  simulator) and emit a tuned pipeline config plus a trial report.
 
 Every subcommand is a thin shell over the typed pipeline API
 (:class:`repro.api.PipelineConfig` -> :class:`repro.api.PatternPipeline`):
@@ -137,7 +141,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--policy", choices=SERVE_POLICIES, default=None,
         help="engine batching policy: greedy (gather-window FIFO), "
              "shape_bucketed (coalesce compatible jobs across the whole "
-             "queue) or fair_share (round-robin across request sources)",
+             "queue), fair_share (round-robin across request sources) or "
+             "adaptive (greedy plus an SLO-driven quality controller that "
+             "degrades sampler steps under queue pressure; tuned by the "
+             "config's [tune] section)",
     )
     srv.add_argument(
         "--executor", choices=SERVE_EXECUTORS, default=None,
@@ -235,8 +242,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="snapshot file written by 'serve --metrics-snapshot' "
              "(JSON, or the '.prom' text-exposition sibling)",
     )
+    st.add_argument(
+        "--watch", type=float, metavar="SECS", default=None,
+        help="re-read and re-render the snapshot every SECS seconds "
+             "(a live dashboard over 'serve --metrics-snapshot'); "
+             "Ctrl-C exits",
+    )
+    st.add_argument(
+        "--iterations", type=int, metavar="N", default=None,
+        help="with --watch, stop after N renders instead of running "
+             "until Ctrl-C (useful in scripts and CI)",
+    )
 
-    for command_parser in (chat, srv, gen, ext, ev, ex, st):
+    tn = sub.add_parser(
+        "tune",
+        help="autotune serve knobs against a workload spec (offline)",
+    )
+    tn.add_argument(
+        "workload",
+        help="workload spec JSON (phases of request traffic; see "
+             "repro.tune.WorkloadSpec)",
+    )
+    tn.add_argument(
+        "--budget", type=int, default=None, metavar="N",
+        help="cap the candidate grid at its first N entries (smaller = "
+             "faster, searched grid prefix is deterministic)",
+    )
+    tn.add_argument(
+        "--slo", type=float, default=None, metavar="SECS",
+        help="p95 latency SLO the tuner optimizes for (overrides the "
+             "config's tune.slo_p95)",
+    )
+    tn.add_argument(
+        "-o", "--output", metavar="PIPELINE_JSON", default=None,
+        help="write the tuned pipeline config here (loadable with "
+             "--config and servable as-is)",
+    )
+    tn.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="also write the human-readable trial report to PATH "
+             "(always printed to stdout)",
+    )
+
+    for command_parser in (chat, srv, gen, ext, ev, ex, st, tn):
         _add_global_options(command_parser, root=False)
     return parser
 
@@ -504,14 +552,12 @@ def _format_labels(labels) -> str:
     return "{" + ",".join(f"{k}={v}" for k, v in labels.items()) + "}"
 
 
-def _cmd_stats(args) -> int:
-    """Summarize a metrics snapshot file (JSON or Prometheus text)."""
+def _render_stats(path) -> int:
+    """Render one metrics snapshot file (JSON or Prometheus text)."""
     import json
-    from pathlib import Path
 
     from repro.obs.export import ExpositionError, parse_exposition
 
-    path = Path(args.snapshot)
     if not path.exists():
         print(f"no such snapshot: {path}", file=sys.stderr)
         return 2
@@ -563,6 +609,98 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    """One-shot snapshot summary, or a --watch SECS live dashboard."""
+    import time
+    from pathlib import Path
+
+    path = Path(args.snapshot)
+    if args.watch is None:
+        return _render_stats(path)
+    if args.watch <= 0:
+        print("--watch needs a positive number of seconds", file=sys.stderr)
+        return 2
+    rendered = 0
+    status = 0
+    try:
+        while True:
+            # Clear screen + home, like `watch(1)`, so the dashboard
+            # repaints in place instead of scrolling.
+            if sys.stdout.isatty():
+                print("\x1b[2J\x1b[H", end="")
+            print(
+                f"every {args.watch:g}s — "
+                f"{time.strftime('%Y-%m-%d %H:%M:%S')}"
+            )
+            status = _render_stats(path)
+            rendered += 1
+            if args.iterations is not None and rendered >= args.iterations:
+                break
+            time.sleep(args.watch)
+    except KeyboardInterrupt:
+        pass
+    except BrokenPipeError:
+        # Reader (e.g. `| head`) went away: that's a clean exit, but
+        # Python would still flush stdout at shutdown and print a
+        # spurious traceback — hand it a dead descriptor instead.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return status
+
+
+def _cmd_tune(args) -> int:
+    """Offline autotune: workload spec in, tuned pipeline config out."""
+    from pathlib import Path
+
+    from repro.api.config import ConfigError
+    from repro.tune import WorkloadSpec, render_report, successive_halving
+
+    try:
+        spec = WorkloadSpec.load(args.workload)
+    except FileNotFoundError:
+        print(f"no such workload spec: {args.workload}", file=sys.stderr)
+        return 2
+    except ConfigError as exc:
+        print(f"bad workload spec: {exc}", file=sys.stderr)
+        return 2
+    cfg = _pipeline_config(args)
+    tune_cfg = cfg.tune
+    if args.slo is not None:
+        try:
+            tune_cfg = tune_cfg.replace(slo_p95=args.slo)
+        except ConfigError as exc:
+            print(f"bad --slo: {exc}", file=sys.stderr)
+            return 2
+        cfg = cfg.replace(tune=tune_cfg)
+    try:
+        outcome = successive_halving(
+            spec,
+            tune=tune_cfg,
+            seed=args.seed,
+            budget=args.budget,
+            gather_window=cfg.serve.gather_window,
+            max_batch=cfg.serve.max_batch,
+        )
+    except (ConfigError, ValueError) as exc:
+        print(f"tune failed: {exc}", file=sys.stderr)
+        return 1
+    report = render_report(outcome)
+    print(report, end="")
+    if args.report:
+        Path(args.report).write_text(report)
+        print(f"report written to {args.report}")
+    if args.output:
+        tuned = outcome.tuned_config(cfg)
+        tuned.save(args.output)
+        print(f"tuned config written to {args.output}")
+        print(
+            "serve it with: repro --config "
+            f"{args.output} serve --requests-file ..."
+        )
+    return 0
+
+
 def _cmd_export(args) -> int:
     cfg = _pipeline_config(args)
     pipeline = _build_pipeline(args, cfg)
@@ -580,6 +718,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "export": _cmd_export,
     "stats": _cmd_stats,
+    "tune": _cmd_tune,
 }
 
 

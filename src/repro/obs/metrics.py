@@ -253,6 +253,20 @@ class Histogram(_Metric):
     ) -> Dict[str, float]:
         return {f"p{p:g}": self.percentile(p, **labels) for p in ps}
 
+    def raw_counts(self, **labels) -> Optional[List[int]]:
+        """Non-cumulative per-bucket counts of one series (a copy).
+
+        ``None`` when the series has never been observed.  Two successive
+        copies can be differenced and fed to :func:`bucket_percentile` to
+        derive *windowed* quantiles from a cumulative histogram — how the
+        adaptive batch policy tracks *recent* queue-wait pressure instead
+        of the since-boot distribution.
+        """
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            return list(series.counts) if series is not None else None
+
     def _series_snapshot(self, key, state: _HistogramSeries) -> Dict:
         counts = list(state.counts)
         cumulative: List[List] = []
@@ -296,6 +310,20 @@ def _bucket_percentile(
     return bounds[-1]
 
 
+def bucket_percentile(
+    bounds: Tuple[float, ...], counts: Sequence[int], p: float
+) -> float:
+    """Quantile over explicit bucket counts (e.g. a windowed delta).
+
+    The same interpolation :meth:`Histogram.percentile` uses, exposed for
+    callers that difference :meth:`Histogram.raw_counts` snapshots to get
+    a quantile over only the observations of the last window.
+    """
+    if not 0 <= p <= 100:
+        raise MetricError("percentile takes p in [0, 100]")
+    return _bucket_percentile(tuple(bounds), counts, p)
+
+
 class _NullInstrument:
     """Shared no-op instrument of a disabled registry.
 
@@ -330,6 +358,9 @@ class _NullInstrument:
 
     def percentiles(self, ps=(50, 95, 99), **labels) -> Dict[str, float]:
         return {f"p{p:g}": 0.0 for p in ps}
+
+    def raw_counts(self, **labels) -> None:
+        return None
 
 
 _NULL_INSTRUMENT = _NullInstrument()

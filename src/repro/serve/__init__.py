@@ -42,6 +42,7 @@ from repro.serve.batching import (
     model_supports_sampler_steps,
 )
 from repro.serve.engine import (
+    AdaptivePolicy,
     BatchPolicy,
     DeadlineExpiredError,
     EngineClient,
@@ -53,6 +54,7 @@ from repro.serve.engine import (
     ServeEngine,
     ShapeBucketedPolicy,
     TrajectoryPlan,
+    UnknownPolicyError,
     WorkerCrashedError,
     resolve_batch_policy,
 )
@@ -106,6 +108,7 @@ from repro.serve.store import (
 )
 
 __all__ = [
+    "AdaptivePolicy",
     "ArrayRef",
     "BatchPolicy",
     "CODE_SERVER_RESTART",
@@ -154,6 +157,7 @@ __all__ = [
     "TERMINAL_STATES",
     "ThreadExecutor",
     "TrajectoryPlan",
+    "UnknownPolicyError",
     "WorkerCrashedError",
     "error_code_for",
     "fit_model",

@@ -25,6 +25,7 @@ the real model, so modification/extension code paths work unchanged.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import List, Optional, Tuple, Union
 
@@ -62,7 +63,8 @@ class MicroBatchScheduler:
             trajectories (``"full"`` | ``"bucketed"`` | int; ``None`` keeps
             the model's own default).  Individual jobs may override it.
         policy: batching policy name or :class:`BatchPolicy` instance
-            (``"greedy"`` | ``"shape_bucketed"`` | ``"fair_share"``).
+            (``"greedy"`` | ``"shape_bucketed"`` | ``"fair_share"`` |
+            ``"adaptive"``).
         executor: execution tier (``"thread"`` | ``"process"``, or an
             :class:`~repro.serve.executors.ExecutorBackend` instance).
             The process tier needs an engine registry with a disk cache —
@@ -229,9 +231,16 @@ class BatchedSamplingModel:
         self._deadline = deadline
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._job = job
+        # One client is usually driven by one request thread, but nothing
+        # enforces that — operator code shares a client across the
+        # engine's worker threads (and the hammer test does, on purpose).
+        # ``+=`` on these counters is not atomic under free-threading, so
+        # accumulation takes this lock.
+        self._stats_lock = threading.Lock()
         self.queue_wait_seconds = 0.0
         self.sample_jobs = 0
         self.samples = 0
+        self.degraded_jobs = 0
         self.batch_sizes: List[int] = []
 
     def __getattr__(self, name: str):
@@ -298,10 +307,30 @@ class BatchedSamplingModel:
                     self._job.record_engine(
                         "execute", job.exec_started_at, job.exec_ended_at
                     )
-        self.queue_wait_seconds += job.queue_wait
-        self.sample_jobs += 1
-        self.samples += int(count)
-        self.batch_sizes.append(job.batch_samples)
+            if job.degrade_level > 0:
+                # The adaptive policy traded this job's sampler quality
+                # for latency; surface that in the trace and the
+                # lifecycle record so the response can report it.
+                self._tracer.record(
+                    "degraded", job.selected_at, job.exec_ended_at,
+                    level=job.degrade_level,
+                    sampler_steps=str(job.sampler_steps),
+                    requested=str(job.requested_sampler_steps),
+                )
+                if self._job is not None:
+                    self._job.record_engine(
+                        "degraded", job.selected_at, job.exec_ended_at,
+                        level=job.degrade_level,
+                        sampler_steps=str(job.sampler_steps),
+                        requested=str(job.requested_sampler_steps),
+                    )
+        with self._stats_lock:
+            self.queue_wait_seconds += job.queue_wait
+            self.sample_jobs += 1
+            self.samples += int(count)
+            if job.degrade_level > 0:
+                self.degraded_jobs += 1
+            self.batch_sizes.append(job.batch_samples)
         return result
 
 

@@ -51,10 +51,15 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro import faults
-from repro.api.config import SERVE_POLICIES
+from repro.api.config import SERVE_POLICIES, TuneConfig
 from repro.diffusion.model import SamplerSteps
-from repro.obs.metrics import DEFAULT_SIZE_BUCKETS, default_metrics
+from repro.obs.metrics import (
+    DEFAULT_SIZE_BUCKETS,
+    bucket_percentile,
+    default_metrics,
+)
 from repro.serve.stats import BatchRecord, EngineStats, SchedulerStats
+from repro.tune.controller import AdaptiveController, EngineLoadSnapshot
 
 
 class EngineError(RuntimeError):
@@ -92,6 +97,22 @@ class WorkerCrashedError(EngineError):
     """
 
     code = "worker_crashed"
+
+
+class UnknownPolicyError(ValueError):
+    """A batch-policy name is not in the registry.
+
+    Carries the registered names as ``known`` (and lists them in the
+    message), so callers — CLI validation, config errors — can show what
+    *would* have worked.
+    """
+
+    def __init__(self, policy, known: Sequence[str]):
+        self.policy = policy
+        self.known = tuple(sorted(known))
+        super().__init__(
+            f"unknown batch policy {policy!r}; known: {list(self.known)}"
+        )
 
 
 def model_supports_sampler_steps(model) -> bool:
@@ -136,6 +157,8 @@ class EngineJob:
         "selected_at",
         "exec_started_at",
         "exec_ended_at",
+        "requested_sampler_steps",
+        "degrade_level",
     )
 
     def __init__(
@@ -176,6 +199,11 @@ class EngineJob:
         self.selected_at = 0.0
         self.exec_started_at = 0.0
         self.exec_ended_at = 0.0
+        # Adaptive-policy provenance: when the policy degrades a job's
+        # step schedule at selection time, the original ask and the
+        # controller level land here so the response can report it.
+        self.requested_sampler_steps: SamplerSteps = None
+        self.degrade_level = 0
 
     @property
     def batch_key(self) -> Tuple:
@@ -266,6 +294,24 @@ class BatchPolicy:
         self, jobs: Sequence[EngineJob], max_batch: int
     ) -> List[EngineJob]:
         raise NotImplementedError
+
+    def attach(self, engine: "ServeEngine") -> None:
+        """Adoption hook: called once from ``ServeEngine.__init__``.
+
+        Stateless policies ignore it; the adaptive policy uses it to grab
+        the engine's metrics instruments and baseline gather window.
+        """
+
+    def tick(self, engine: "ServeEngine", now: float) -> None:
+        """Periodic load hook, called under the engine's queue lock.
+
+        Fires both when a worker is about to select a batch *and* on the
+        idle wait loop — so a policy reacting to load keeps reacting when
+        the queue is empty (that is what lets the adaptive policy restore
+        full quality after a spike drains, instead of freezing at its
+        last degraded level).  Must be cheap: it runs with admission
+        blocked.  The base hook is a no-op.
+        """
 
 
 class GreedyPolicy(BatchPolicy):
@@ -384,24 +430,111 @@ class FairSharePolicy(BatchPolicy):
         return picked
 
 
+class AdaptivePolicy(BatchPolicy):
+    """SLO-holding policy: greedy selection under a degrade controller.
+
+    The online half of the ``repro.tune`` self-tuning subsystem.  Each
+    tick (idle and pre-selection, under the queue lock) the policy feeds
+    the engine's :class:`~repro.tune.controller.EngineLoadSnapshot` —
+    queue depth, windowed queue-wait p95, worker busy fraction — to an
+    :class:`~repro.tune.controller.AdaptiveController`.  Under sustained
+    queue pressure the controller steps down a degrade ladder; while
+    degraded, selected jobs' effective ``sampler_steps`` are rewritten
+    toward ``"bucketed"`` (never below the configured floor, never above
+    what the job asked for) and the engine's gather window is widened so
+    batches coalesce harder.  When load calms, quality restores after the
+    hysteresis window.  Every transition is counted
+    (``repro_adaptive_degrade_total{direction}``), the current level is
+    exported (``repro_adaptive_level``), and each degraded job carries
+    its original ask in ``requested_sampler_steps``/``degrade_level`` so
+    the response layer can stamp a ``degraded`` engine event.
+
+    ``inner`` is the selection strategy being steered (greedy by default,
+    matching the classic gather-window behavior when at full quality).
+    """
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        controller: Optional[AdaptiveController] = None,
+        config: Optional[TuneConfig] = None,
+        inner: Optional[BatchPolicy] = None,
+    ):
+        if controller is not None and config is not None:
+            raise ValueError("pass controller or config, not both")
+        self.controller = (
+            controller
+            if controller is not None
+            else AdaptiveController(config)
+        )
+        self.inner = inner if inner is not None else GreedyPolicy()
+        self._base_gather: Optional[float] = None
+        self._m_transitions = None
+        self._m_level = None
+
+    def attach(self, engine: "ServeEngine") -> None:
+        self._base_gather = engine.gather_window
+        self._m_transitions = engine._m_adaptive_transitions
+        self._m_level = engine._m_adaptive_level
+
+    def tick(self, engine: "ServeEngine", now: float) -> None:
+        ctrl = self.controller
+        if not ctrl.due(now):
+            return
+        before = ctrl.level
+        level = ctrl.observe(engine._load_snapshot_locked(now))
+        if level == before:
+            return
+        if self._m_transitions is not None:
+            self._m_transitions.inc(
+                direction="degrade" if level > before else "restore"
+            )
+            self._m_level.set(level)
+        base = (
+            self._base_gather
+            if self._base_gather is not None
+            else engine.gather_window
+        )
+        # Wider gathering while degraded, but never wide enough to spend
+        # the SLO budget on waiting: cap at a quarter of the SLO.
+        cap = max(base, 0.25 * ctrl.config.slo_p95)
+        engine.gather_window = min(base * ctrl.gather_scale(), cap)
+
+    def select(self, jobs, max_batch):
+        picked = self.inner.select(jobs, max_batch)
+        level = self.controller.level
+        if level > 0:
+            for job in picked:
+                effective = self.controller.effective_steps(job.sampler_steps)
+                if effective != job.sampler_steps:
+                    job.requested_sampler_steps = job.sampler_steps
+                    job.sampler_steps = effective
+                    job.degrade_level = level
+        return picked
+
+
 _POLICY_CLASSES: Dict[str, Callable[[], BatchPolicy]] = {
     GreedyPolicy.name: GreedyPolicy,
     ShapeBucketedPolicy.name: ShapeBucketedPolicy,
     FairSharePolicy.name: FairSharePolicy,
+    AdaptivePolicy.name: AdaptivePolicy,
 }
 assert set(_POLICY_CLASSES) == set(SERVE_POLICIES)
 
 
 def resolve_batch_policy(policy: Union[str, BatchPolicy]) -> BatchPolicy:
-    """Accept a policy instance or one of the registered policy names."""
+    """Accept a policy instance or one of the registered policy names.
+
+    Unknown names raise :class:`UnknownPolicyError` (a ``ValueError``)
+    listing the registered names.
+    """
     if isinstance(policy, BatchPolicy):
         return policy
     try:
         return _POLICY_CLASSES[policy]()
     except KeyError:
-        raise ValueError(
-            f"unknown batch policy {policy!r}; known: {sorted(_POLICY_CLASSES)}"
-        ) from None
+        raise UnknownPolicyError(policy, _POLICY_CLASSES) from None
 
 
 # ---------------------------------------------------------------------------
@@ -416,7 +549,9 @@ class ServeEngine:
             :meth:`bind` to resolve :class:`ModelKey` recipes.  Optional —
             an engine fed only pre-fitted models never needs one.
         policy: batching policy name (``"greedy"`` | ``"shape_bucketed"``
-            | ``"fair_share"``) or a :class:`BatchPolicy` instance.
+            | ``"fair_share"`` | ``"adaptive"``) or a :class:`BatchPolicy`
+            instance (e.g. an :class:`AdaptivePolicy` built from a
+            specific :class:`~repro.api.config.TuneConfig`).
         engine_workers: executor threads draining batches in parallel.
         queue_limit: max queued jobs before :meth:`submit` fast-fails with
             :class:`QueueFullError` (``None`` = unbounded, the legacy
@@ -563,6 +698,24 @@ class ServeEngine:
             "1 while an executor worker slot is executing a batch",
             labels=("worker",),
         )
+        # Self-tuning instruments (stay at zero for static policies).
+        self._m_adaptive_transitions = m.counter(
+            "repro_adaptive_degrade_total",
+            "Adaptive-policy level transitions (quality degrade/restore)",
+            labels=("direction",),
+        )
+        self._m_adaptive_level = m.gauge(
+            "repro_adaptive_level",
+            "Current adaptive-policy degrade level (0 = full quality)",
+        )
+
+        # -- load-snapshot window state (read by the adaptive policy) --
+        # Trajectory execution time accumulates here (under
+        # ``_records_lock``) in addition to the per-worker counter, so
+        # snapshots derive a busy fraction without scanning records.
+        self._busy_total = 0.0
+        self._load_prev: Optional[Tuple] = None
+        self.policy.attach(self)
 
     # -- routing -------------------------------------------------------
 
@@ -794,10 +947,16 @@ class ServeEngine:
                 while not self._jobs:
                     if self._halt.is_set() or self._draining.is_set():
                         return None
+                    # Idle tick: load-reactive policies must keep seeing
+                    # the (calm) queue while nothing is arriving, or a
+                    # degraded level would outlive the spike that caused
+                    # it.  No-op for the static policies.
+                    self.policy.tick(self, time.perf_counter())
                     self._has_work.wait(timeout=0.05)
                 # Gather latency starts the instant this worker first sees
                 # queued work, so idle blocking above never counts.
                 saw_work = time.perf_counter()
+                self.policy.tick(self, saw_work)
                 expired.extend(self._expire_locked(time.perf_counter()))
                 if self._jobs:
                     if (
@@ -939,6 +1098,7 @@ class ServeEngine:
                     started_at=started,
                 )
             )
+            self._busy_total += wall
         self._m_batch_size.observe(plan.samples, policy=self.policy.name)
         self._m_batch_latency.observe(wall, policy=self.policy.name)
         self._m_worker_busy.inc(wall, worker=str(worker))
@@ -961,6 +1121,70 @@ class ServeEngine:
                     pass
 
     # -- observability -------------------------------------------------
+
+    def _load_snapshot_locked(
+        self, now: Optional[float] = None
+    ) -> EngineLoadSnapshot:
+        """Build a load snapshot; the caller holds the queue lock.
+
+        ``queue_wait_p95`` and ``busy_fraction`` are *windowed*: derived
+        from the deltas of the cumulative ``repro_queue_wait_seconds``
+        bucket counts and the busy-seconds total since the previous
+        snapshot, so the signals decay as soon as pressure does (the
+        cumulative histogram alone would stay high long after a spike).
+        With metrics disabled the p95 reads 0.0 and the controller falls
+        back to its queue-depth and oldest-wait signals.
+        """
+        if now is None:
+            now = time.perf_counter()
+        depth = len(self._jobs)
+        queued_samples = self._queued_samples_locked()
+        oldest_wait = (
+            now - min(job.submitted_at for job in self._jobs)
+            if self._jobs
+            else 0.0
+        )
+        counts = self._m_queue_wait.raw_counts()
+        with self._records_lock:
+            busy_total = self._busy_total
+        p95 = 0.0
+        busy_fraction = 0.0
+        if self._load_prev is not None:
+            prev_at, prev_counts, prev_busy = self._load_prev
+            window = now - prev_at
+            if window > 0:
+                busy_fraction = min(
+                    1.0,
+                    max(0.0, busy_total - prev_busy)
+                    / (window * self.engine_workers),
+                )
+            if counts is not None and prev_counts is not None:
+                delta = [c - p for c, p in zip(counts, prev_counts)]
+                if sum(delta) > 0:
+                    p95 = bucket_percentile(
+                        self._m_queue_wait.bounds, delta, 95.0
+                    )
+        self._load_prev = (now, counts, busy_total)
+        return EngineLoadSnapshot(
+            at=now,
+            queue_depth=depth,
+            queued_samples=queued_samples,
+            oldest_wait=oldest_wait,
+            queue_wait_p95=p95,
+            busy_fraction=busy_fraction,
+            workers=self.engine_workers,
+        )
+
+    def load_snapshot(self) -> EngineLoadSnapshot:
+        """A thread-consistent view of current engine load.
+
+        Note: windowed fields share their delta baseline with the
+        adaptive policy's ticks — external polling therefore narrows the
+        windows the policy sees (harmless, but worth knowing when reading
+        ``queue_wait_p95`` next to controller decisions).
+        """
+        with self._has_work:
+            return self._load_snapshot_locked()
 
     @property
     def batch_records(self) -> List[BatchRecord]:

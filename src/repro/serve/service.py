@@ -46,7 +46,12 @@ from repro.obs.export import SnapshotWriter
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.serve.batching import BatchedSamplingModel
-from repro.serve.engine import EngineClient, QueueFullError, ServeEngine
+from repro.serve.engine import (
+    AdaptivePolicy,
+    EngineClient,
+    QueueFullError,
+    ServeEngine,
+)
 from repro.serve.jobs import (
     CODE_SHUTDOWN,
     PERSISTING,
@@ -436,9 +441,18 @@ class PatternService:
             if self.running and self._client is not None:
                 return self
             if self._engine is None:
+                # The adaptive policy is configured, not just named: its
+                # hysteresis controller reads ``config.tune`` (SLO, degrade
+                # ladder, thresholds), which the bare registry name can't
+                # carry.
+                policy = (
+                    AdaptivePolicy(config=self.config.tune)
+                    if self.policy == "adaptive"
+                    else self.policy
+                )
                 self._engine = ServeEngine(
                     registry=self.registry,
-                    policy=self.policy,
+                    policy=policy,
                     executor=self.executor,
                     engine_workers=self.engine_workers,
                     queue_limit=self.queue_limit,
@@ -826,6 +840,7 @@ class PatternService:
                 queue_wait_seconds=client.queue_wait_seconds,
                 sample_jobs=client.sample_jobs,
                 samples=client.samples,
+                degraded_jobs=client.degraded_jobs,
                 batch_sizes=list(client.batch_sizes),
                 produced=result.produced if result is not None else 0,
                 dropped=result.dropped if result is not None else 0,

@@ -196,6 +196,7 @@ class RequestStats:
     queue_wait_seconds: float = 0.0
     sample_jobs: int = 0
     samples: int = 0
+    degraded_jobs: int = 0
     batch_sizes: List[int] = field(default_factory=list)
     produced: int = 0
     dropped: int = 0
@@ -222,6 +223,7 @@ class RequestStats:
             "queue_wait_seconds": round(self.queue_wait_seconds, 4),
             "sample_jobs": self.sample_jobs,
             "samples": self.samples,
+            "degraded_jobs": self.degraded_jobs,
             "mean_batch_size": round(self.mean_batch_size, 2),
             "samples_per_sec": round(self.samples_per_sec, 2),
             "produced": self.produced,
@@ -236,7 +238,13 @@ class RequestStats:
         return (
             f"request {self.request_id}: produced {self.produced}, "
             f"dropped {self.dropped}; {self.samples} sample(s) in "
-            f"{self.sample_jobs} job(s), mean batch {self.mean_batch_size:.1f}, "
+            f"{self.sample_jobs} job(s)"
+            + (
+                f" ({self.degraded_jobs} degraded)"
+                if self.degraded_jobs
+                else ""
+            )
+            + f", mean batch {self.mean_batch_size:.1f}, "
             f"queue wait {self.queue_wait_seconds * 1000:.0f} ms, "
             f"legalize {self.legalize_seconds * 1000:.0f} ms in "
             f"{self.legalize_calls} call(s), "

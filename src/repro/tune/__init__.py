@@ -1,0 +1,67 @@
+"""Self-tuning serve performance: the SLO-driven tuning subsystem.
+
+Two halves share one vocabulary (:class:`~repro.api.config.TuneConfig`,
+the latency SLO and hysteresis knobs):
+
+- **Online** — :class:`~repro.tune.controller.AdaptiveController`, the
+  pure hysteresis controller behind the engine's ``adaptive`` batch
+  policy (:class:`~repro.serve.engine.AdaptivePolicy`): under queue
+  pressure it degrades effective ``sampler_steps`` toward ``"bucketed"``
+  and widens batch gathering to hold the p95 SLO, restoring full quality
+  once load calms.
+- **Offline** — the ``repro tune`` autotuner: replay a seeded
+  :class:`~repro.tune.workload.WorkloadSpec` through the deterministic
+  engine simulator (:mod:`repro.tune.simulate`) for a grid of knob
+  candidates, race them with successive halving
+  (:func:`~repro.tune.search.successive_halving`), and emit a tuned
+  :class:`~repro.api.config.PipelineConfig` plus a human-readable trial
+  report (:mod:`repro.tune.report`).
+
+This package never imports :mod:`repro.serve` — the controller and the
+simulator stay pure so the engine can import the controller without a
+cycle, and simulated trials stay exactly reproducible.
+"""
+
+from repro.tune.controller import (
+    AdaptiveController,
+    EngineLoadSnapshot,
+    degrade_steps,
+    quality_rank,
+)
+from repro.tune.report import render_report
+from repro.tune.search import (
+    Candidate,
+    TrialResult,
+    TuneOutcome,
+    default_candidates,
+    score_metrics,
+    successive_halving,
+)
+from repro.tune.simulate import CostModel, TrialMetrics, simulate_trial
+from repro.tune.workload import (
+    ARRIVAL_PATTERNS,
+    Arrival,
+    WorkloadPhase,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "ARRIVAL_PATTERNS",
+    "AdaptiveController",
+    "Arrival",
+    "Candidate",
+    "CostModel",
+    "EngineLoadSnapshot",
+    "TrialMetrics",
+    "TrialResult",
+    "TuneOutcome",
+    "WorkloadPhase",
+    "WorkloadSpec",
+    "default_candidates",
+    "degrade_steps",
+    "quality_rank",
+    "render_report",
+    "score_metrics",
+    "simulate_trial",
+    "successive_halving",
+]

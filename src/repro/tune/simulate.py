@@ -1,0 +1,384 @@
+"""Deterministic discrete-event simulator of the serving engine.
+
+The offline tuner needs *reproducible* trials: the acceptance contract of
+``repro tune`` is "same workload spec + same seed → same winning config",
+which wall-clock runs against a live engine cannot promise (thread
+scheduling, machine load).  So candidate configs are scored against a
+virtual-clock model of the engine instead — the same four layers
+(admission with ``queue_limit`` rejection, gather window, batch policy,
+worker pool), the same trajectory grouping by ``(shape, sampler_steps)``,
+and for the ``adaptive`` policy the *real*
+:class:`~repro.tune.controller.AdaptiveController` ticking on synthesized
+:class:`~repro.tune.controller.EngineLoadSnapshot` views.
+
+Execution cost comes from :class:`CostModel`: a trajectory costs a fixed
+dispatch overhead plus, per denoiser evaluation, a batch-size-independent
+base (the cost batching amortizes) and a per-sample increment.  The
+defaults are shaped like the repo's neighborhood denoiser (full = 128
+evals, bucketed ~ 16); absolute seconds don't matter — the tuner only
+needs the *ranking* of candidates to be faithful, and optionally
+validates the winner against a live engine afterwards.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.api.config import ConfigError, SERVE_POLICIES, StageConfig, TuneConfig
+from repro.diffusion.schedule import validate_sampler_steps
+from repro.tune.controller import AdaptiveController, EngineLoadSnapshot
+from repro.tune.workload import Arrival
+
+
+@dataclass(frozen=True)
+class CostModel(StageConfig):
+    """Virtual execution cost of one batched trajectory.
+
+    ``batch_seconds = batch_overhead + evals * (step_base +
+    step_per_sample * samples)`` — per-step cost dominated by a fixed
+    component is exactly why micro-batching wins, and why degrading
+    ``full`` (128 evals) to ``bucketed`` (~16) under pressure buys back
+    nearly an order of magnitude of latency.
+    """
+
+    batch_overhead: float = 0.004
+    step_base: float = 0.0020
+    step_per_sample: float = 0.00025
+    full_steps: int = 128
+    bucketed_steps: int = 16
+
+    def __post_init__(self):
+        if min(self.batch_overhead, self.step_base, self.step_per_sample) < 0:
+            raise ConfigError("cost-model components must be >= 0")
+        if self.bucketed_steps < 1 or self.full_steps < self.bucketed_steps:
+            raise ConfigError("need full_steps >= bucketed_steps >= 1")
+
+    def evals(self, spec: Union[str, int, None]) -> int:
+        """Denoiser evaluations of one schedule spec."""
+        if spec is None or spec == "full":
+            return self.full_steps
+        if spec == "bucketed":
+            return self.bucketed_steps
+        return max(1, min(int(spec), self.full_steps))
+
+    def batch_seconds(self, samples: int, spec: Union[str, int, None]) -> float:
+        return self.batch_overhead + self.evals(spec) * (
+            self.step_base + self.step_per_sample * samples
+        )
+
+
+@dataclass(frozen=True)
+class Candidate(StageConfig):
+    """One point of the tuner's search space: the four searched knobs."""
+
+    policy: str = "greedy"
+    engine_workers: int = 1
+    queue_limit: Optional[int] = None
+    sampler_steps: Union[str, int] = "full"
+
+    def __post_init__(self):
+        if self.policy not in SERVE_POLICIES:
+            raise ConfigError(
+                f"unknown serve policy {self.policy!r}; known: "
+                f"{sorted(SERVE_POLICIES)}"
+            )
+        if self.engine_workers < 1:
+            raise ConfigError("engine_workers must be >= 1")
+        if self.queue_limit is not None and self.queue_limit < 1:
+            raise ConfigError("queue_limit must be >= 1 (or null)")
+        try:
+            validate_sampler_steps(self.sampler_steps)
+        except ValueError as exc:
+            raise ConfigError(str(exc)) from exc
+
+    def key(self) -> str:
+        """Stable human-readable identity (also the search tie-breaker)."""
+        limit = "inf" if self.queue_limit is None else str(self.queue_limit)
+        return (
+            f"{self.policy}/w{self.engine_workers}"
+            f"/q{limit}/s{self.sampler_steps}"
+        )
+
+
+@dataclass
+class TrialMetrics:
+    """What one simulated trial measured."""
+
+    requests: int
+    completed: int
+    rejected: int
+    p50_latency: float
+    p95_latency: float
+    p99_latency: float
+    mean_latency: float
+    throughput: float
+    quality: float
+    degrades: int
+    restores: int
+    final_level: int
+    makespan: float
+
+    def as_dict(self) -> Dict:
+        return {
+            "requests": self.requests,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "p50_latency": round(self.p50_latency, 4),
+            "p95_latency": round(self.p95_latency, 4),
+            "p99_latency": round(self.p99_latency, 4),
+            "mean_latency": round(self.mean_latency, 4),
+            "throughput": round(self.throughput, 2),
+            "quality": round(self.quality, 4),
+            "degrades": self.degrades,
+            "restores": self.restores,
+            "final_level": self.final_level,
+            "makespan": round(self.makespan, 4),
+        }
+
+
+def _percentile(sorted_values: List[float], p: float) -> float:
+    """Nearest-rank-with-interpolation percentile over a sorted list."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (p / 100.0) * (len(sorted_values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    frac = rank - low
+    return sorted_values[low] * (1.0 - frac) + sorted_values[high] * frac
+
+
+class _SimJob:
+    __slots__ = ("at", "count", "shape", "source", "requested", "effective")
+
+    def __init__(self, arrival: Arrival, configured_steps: Union[str, int]):
+        self.at = arrival.at
+        self.count = arrival.count
+        self.shape = arrival.shape
+        self.source = arrival.source
+        # What the workload *wants* (quality denominator): an explicit
+        # per-phase ask, else full quality.  What the candidate *runs*:
+        # the explicit ask wins (as a job-level override does on the live
+        # engine), otherwise the config's default schedule — so a
+        # statically degraded candidate pays for it in delivered quality,
+        # exactly like an adaptive degrade does.
+        ask = arrival.sampler_steps
+        self.requested = ask if ask is not None else "full"
+        self.effective = ask if ask is not None else configured_steps
+
+
+def _select(
+    policy: str,
+    queue: List[_SimJob],
+    max_batch: int,
+    served: Dict[str, int],
+) -> List[_SimJob]:
+    """The batch policies, mirrored onto sim jobs (arrival order kept)."""
+    if policy == "shape_bucketed":
+        buckets: "OrderedDict[Tuple, List[_SimJob]]" = OrderedDict()
+        for job in queue:
+            buckets.setdefault((job.shape, job.effective), []).append(job)
+        pool = min(
+            buckets.values(), key=lambda group: -sum(j.count for j in group)
+        )
+    elif policy == "fair_share":
+        by_source: "OrderedDict[str, deque]" = OrderedDict()
+        for job in queue:
+            by_source.setdefault(job.source, deque()).append(job)
+        arrival_rank = {source: i for i, source in enumerate(by_source)}
+        ordered = sorted(
+            by_source,
+            key=lambda s: (served.get(s, 0), arrival_rank[s]),
+        )
+        pool = []
+        while sum(j.count for j in pool) < max_batch:
+            progressed = False
+            for source in ordered:
+                if by_source[source]:
+                    pool.append(by_source[source].popleft())
+                    progressed = True
+                    if sum(j.count for j in pool) >= max_batch:
+                        break
+            if not progressed:
+                break
+    else:  # greedy and adaptive share FIFO-prefix selection
+        pool = queue
+    picked: List[_SimJob] = []
+    total = 0
+    for job in pool:
+        picked.append(job)
+        total += job.count
+        if total >= max_batch:
+            break
+    for job in picked:
+        served[job.source] = served.get(job.source, 0) + job.count
+    return picked
+
+
+def simulate_trial(
+    candidate: Candidate,
+    arrivals: List[Arrival],
+    tune: Optional[TuneConfig] = None,
+    cost: Optional[CostModel] = None,
+    gather_window: float = 0.02,
+    max_batch: int = 64,
+) -> TrialMetrics:
+    """Replay one arrival trace through the engine model of a candidate."""
+    tune = tune if tune is not None else TuneConfig()
+    cost = cost if cost is not None else CostModel()
+    controller = (
+        AdaptiveController(tune) if candidate.policy == "adaptive" else None
+    )
+    workers = [0.0] * candidate.engine_workers
+    base_gather = gather_window
+    queue: List[_SimJob] = []
+    served: Dict[str, int] = {}
+    latencies: List[float] = []
+    qualities: List[float] = []
+    recent_waits: "deque[Tuple[float, float]]" = deque()
+    completed = rejected = 0
+    completed_samples = 0
+    last_finish = 0.0
+    prev_busy = 0.0
+    prev_tick_at = 0.0
+    busy_acc = 0.0
+    i = 0
+
+    def admit(now: float) -> None:
+        nonlocal i, rejected
+        while i < len(arrivals) and arrivals[i].at <= now:
+            if (
+                candidate.queue_limit is not None
+                and len(queue) >= candidate.queue_limit
+            ):
+                rejected += 1
+            else:
+                queue.append(_SimJob(arrivals[i], candidate.sampler_steps))
+            i += 1
+
+    while True:
+        w = min(range(len(workers)), key=lambda k: (workers[k], k))
+        now = workers[w]
+        admit(now)
+        if not queue:
+            if i >= len(arrivals):
+                break
+            now = max(now, arrivals[i].at)
+            admit(now)
+        # Gather: wait for coalescing arrivals up to the (possibly
+        # adaptively widened) window, exactly like the live engine.
+        gather = base_gather
+        if controller is not None:
+            gather = min(
+                base_gather * controller.gather_scale(),
+                max(base_gather, 0.25 * tune.slo_p95),
+            )
+        start = now
+        if gather > 0 and sum(j.count for j in queue) < max_batch:
+            gather_end = now + gather
+            while (
+                i < len(arrivals)
+                and arrivals[i].at <= gather_end
+                and sum(j.count for j in queue) < max_batch
+            ):
+                start = max(now, arrivals[i].at)
+                admit(arrivals[i].at)
+            if sum(j.count for j in queue) < max_batch:
+                start = gather_end
+        if controller is not None:
+            # The live dispatcher ticks every ``tick_interval`` while
+            # workers execute, so the pressured/calm streaks accrue in
+            # wall time.  Replay those ticks for the virtual time that
+            # elapsed since the last one — a single tick per worker-free
+            # event would never reach ``degrade_after`` during a long
+            # batch, leaving the sim blind to exactly the overload the
+            # controller exists for.
+            interval = max(tune.tick_interval, 1e-3)
+            t_tick = prev_tick_at + interval
+            while t_tick <= start:
+                pending = [j for j in queue if j.at <= t_tick]
+                while recent_waits and recent_waits[0][0] < t_tick - 1.0:
+                    recent_waits.popleft()
+                waits = sorted(
+                    wait for (at, wait) in recent_waits if at <= t_tick
+                )
+                window = max(t_tick - prev_tick_at, 1e-9)
+                controller.observe(
+                    EngineLoadSnapshot(
+                        at=t_tick,
+                        queue_depth=len(pending),
+                        queued_samples=sum(j.count for j in pending),
+                        oldest_wait=(
+                            t_tick - min(j.at for j in pending)
+                            if pending
+                            else 0.0
+                        ),
+                        queue_wait_p95=_percentile(waits, 95.0),
+                        busy_fraction=min(
+                            1.0,
+                            (busy_acc - prev_busy)
+                            / (window * candidate.engine_workers),
+                        ),
+                        workers=candidate.engine_workers,
+                    )
+                )
+                prev_tick_at = t_tick
+                prev_busy = busy_acc
+                t_tick += interval
+        batch = _select(candidate.policy, queue, max_batch, served)
+        chosen = set(id(j) for j in batch)
+        queue[:] = [j for j in queue if id(j) not in chosen]
+        if controller is not None and controller.level > 0:
+            for job in batch:
+                job.effective = controller.effective_steps(job.effective)
+        for job in batch:
+            recent_waits.append((start, start - job.at))
+        # One trajectory per (shape, steps) group, run back to back on
+        # this worker — the engine's _plan/_execute contract.
+        groups: "OrderedDict[Tuple, List[_SimJob]]" = OrderedDict()
+        for job in batch:
+            groups.setdefault((job.shape, job.effective), []).append(job)
+        t = start
+        for (_, steps), group in groups.items():
+            samples = sum(j.count for j in group)
+            dur = cost.batch_seconds(samples, steps)
+            t += dur
+            busy_acc += dur
+            for job in group:
+                latencies.append(t - job.at)
+                qualities.append(
+                    min(
+                        1.0,
+                        cost.evals(job.effective)
+                        / max(1, cost.evals(job.requested)),
+                    )
+                )
+                completed += 1
+                completed_samples += job.count
+        workers[w] = t
+        last_finish = max(last_finish, t)
+
+    latencies.sort()
+    makespan = max(last_finish, arrivals[-1].at if arrivals else 0.0)
+    return TrialMetrics(
+        requests=len(arrivals),
+        completed=completed,
+        rejected=rejected,
+        p50_latency=_percentile(latencies, 50.0),
+        p95_latency=_percentile(latencies, 95.0),
+        p99_latency=_percentile(latencies, 99.0),
+        mean_latency=(
+            sum(latencies) / len(latencies) if latencies else 0.0
+        ),
+        throughput=(
+            completed_samples / makespan if makespan > 0 else 0.0
+        ),
+        quality=(sum(qualities) / len(qualities) if qualities else 0.0),
+        degrades=controller.degrades if controller is not None else 0,
+        restores=controller.restores if controller is not None else 0,
+        final_level=controller.level if controller is not None else 0,
+        makespan=makespan,
+    )

@@ -13,9 +13,13 @@ from repro.api.config import (
     ServeConfig,
     StoreConfig,
     TrainConfig,
+    TuneConfig,
 )
 
-SECTIONS = (TrainConfig, SampleConfig, LegalizeConfig, StoreConfig, ServeConfig)
+SECTIONS = (
+    TrainConfig, SampleConfig, LegalizeConfig, StoreConfig, ServeConfig,
+    TuneConfig,
+)
 
 
 def _variants():
@@ -34,6 +38,10 @@ def _variants():
                     max_workers=2, max_retries=0, base_seed=3,
                     policy="fair_share", executor="process", engine_workers=2,
                     queue_limit=128, deadline=30.0),
+        TuneConfig(slo_p95=1.5, degrade_ladder=(64, 16, "bucketed"),
+                   floor_steps=8, degrade_after=3, restore_after=4,
+                   queue_high=16, queue_low=4, gather_boost=1.5,
+                   tick_interval=0.1),
     ]
 
 
@@ -201,3 +209,38 @@ class TestSamplerSteps:
             SampleConfig(sampler_steps="warp")
         with pytest.raises(ConfigError):
             SampleConfig(sampler_steps=0)
+
+
+class TestTuneConfig:
+    def test_defaults_describe_a_sane_controller(self):
+        cfg = TuneConfig()
+        assert cfg.slo_p95 > 0
+        assert cfg.degrade_ladder  # at least one degraded rung
+        assert cfg.queue_high > cfg.queue_low
+
+    def test_adaptive_serve_policy_round_trips(self, tmp_path):
+        cfg = PipelineConfig()
+        cfg = cfg.replace(
+            serve=cfg.serve.replace(policy="adaptive"),
+            tune=cfg.tune.replace(slo_p95=0.75, degrade_ladder=(32,)),
+        )
+        loaded = PipelineConfig.load(cfg.save(tmp_path / "adaptive.json"))
+        assert loaded == cfg
+        assert loaded.serve.policy == "adaptive"
+        assert loaded.tune.degrade_ladder == (32,)
+
+    def test_ladder_list_normalizes_to_tuple(self):
+        cfg = TuneConfig.from_dict({"degrade_ladder": [64, "bucketed"]})
+        assert cfg.degrade_ladder == (64, "bucketed")
+
+    def test_validation_rejects_bad_knobs(self):
+        with pytest.raises(ConfigError):
+            TuneConfig(slo_p95=-1.0)
+        with pytest.raises(ConfigError):
+            TuneConfig(degrade_ladder=(None,))
+        with pytest.raises(ConfigError):
+            TuneConfig(floor_steps="warp")
+        with pytest.raises(ConfigError):
+            TuneConfig(restore_after=0)
+        with pytest.raises(ConfigError):
+            TuneConfig(tick_interval=-0.1)

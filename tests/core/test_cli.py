@@ -245,3 +245,107 @@ class TestServeEngineFlags:
     def test_parser_rejects_unknown_policy(self):
         with pytest.raises(SystemExit):
             cli.build_parser().parse_args(["serve", "x", "--policy", "fifo"])
+
+
+class TestTuneCommand:
+    def spec_path(self, tmp_path):
+        from repro.tune import WorkloadPhase, WorkloadSpec
+
+        spec = WorkloadSpec(
+            name="mini-spike", seed=3,
+            phases=(
+                WorkloadPhase(duration=2.0, rate=2.0, count=2),
+                WorkloadPhase(duration=1.0, rate=16.0, count=2,
+                              source="bulk"),
+                WorkloadPhase(duration=2.0, rate=2.0, count=2),
+            ),
+        )
+        return spec.save(tmp_path / "workload.json")
+
+    def test_tune_emits_report_and_loadable_config(self, tmp_path, capsys):
+        spec = self.spec_path(tmp_path)
+        out = tmp_path / "tuned.json"
+        report = tmp_path / "report.txt"
+        code = cli.main(
+            ["tune", str(spec), "--budget", "8", "--slo", "1.0",
+             "-o", str(out), "--report", str(report)]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "winner:" in captured
+        assert "serve knobs:" in captured
+        assert report.read_text() in captured
+        tuned = PipelineConfig.load(out)  # loadable and servable as-is
+        from repro.api.config import SERVE_POLICIES
+
+        assert tuned.serve.policy in SERVE_POLICIES
+
+    def test_tune_is_deterministic_for_a_fixed_seed(self, tmp_path, capsys):
+        spec = self.spec_path(tmp_path)
+        one, two = tmp_path / "one.json", tmp_path / "two.json"
+        assert cli.main(
+            ["tune", str(spec), "--budget", "8", "-o", str(one)]
+        ) == 0
+        assert cli.main(
+            ["tune", str(spec), "--budget", "8", "-o", str(two)]
+        ) == 0
+        capsys.readouterr()
+        assert one.read_text() == two.read_text()
+
+    def test_seed_flag_overrides_the_spec_seed(self, tmp_path, capsys):
+        spec = self.spec_path(tmp_path)
+        assert cli.main(["tune", str(spec), "--budget", "4",
+                         "--seed", "99"]) == 0
+        assert "seed 99" in capsys.readouterr().out
+
+    def test_missing_and_malformed_specs_exit_2(self, tmp_path, capsys):
+        assert cli.main(["tune", str(tmp_path / "absent.json")]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"name\": \"x\"}")  # no phases
+        assert cli.main(["tune", str(bad)]) == 2
+        capsys.readouterr()
+
+    def test_bad_slo_exits_2(self, tmp_path, capsys):
+        spec = self.spec_path(tmp_path)
+        assert cli.main(["tune", str(spec), "--slo", "-1.0"]) == 2
+        capsys.readouterr()
+
+
+class TestStatsWatch:
+    def snapshot(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps({
+            "metrics": [
+                {"name": "repro_adaptive_level", "type": "gauge",
+                 "series": [{"labels": {}, "value": 1.0}]},
+            ],
+        }))
+        return path
+
+    def test_watch_renders_the_requested_iterations(self, tmp_path, capsys):
+        path = self.snapshot(tmp_path)
+        code = cli.main(
+            ["stats", str(path), "--watch", "0.01", "--iterations", "3"]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert captured.count("repro_adaptive_level = 1") == 3
+        assert captured.count("every 0.01s") == 3
+
+    def test_watch_rejects_nonpositive_interval(self, tmp_path, capsys):
+        path = self.snapshot(tmp_path)
+        assert cli.main(["stats", str(path), "--watch", "0"]) == 2
+        capsys.readouterr()
+
+    def test_watch_reports_missing_snapshot(self, tmp_path, capsys):
+        absent = tmp_path / "absent.json"
+        code = cli.main(
+            ["stats", str(absent), "--watch", "0.01", "--iterations", "1"]
+        )
+        assert code == 2
+        capsys.readouterr()
+
+    def test_one_shot_stats_still_works(self, tmp_path, capsys):
+        path = self.snapshot(tmp_path)
+        assert cli.main(["stats", str(path)]) == 0
+        assert "repro_adaptive_level = 1" in capsys.readouterr().out

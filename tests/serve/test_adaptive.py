@@ -1,0 +1,258 @@
+"""The online half of self-tuning: the ``adaptive`` policy on the live
+engine, the policy registry's typed error, and the config round-trip."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api.config import PipelineConfig, TuneConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import (
+    AdaptivePolicy,
+    ServeEngine,
+    UnknownPolicyError,
+    resolve_batch_policy,
+)
+from repro.serve.engine import FairSharePolicy, GreedyPolicy
+from repro.tune import AdaptiveController
+
+
+class StepRecordingModel:
+    """Slow sampling back-end that records each batch's step schedule."""
+
+    def __init__(self, delay=0.0):
+        self.window = 16
+        self.fitted = True
+        self.supports_sampler_steps = True
+        self.delay = delay
+        self.calls = []
+        self._lock = threading.Lock()
+
+    def sample_batch(self, conditions, rng, shape=None, sampler_steps=None):
+        shape = shape or (self.window, self.window)
+        with self._lock:
+            self.calls.append(sampler_steps)
+        if self.delay:
+            time.sleep(self.delay)
+        return np.zeros((len(conditions), *shape), dtype=np.uint8)
+
+
+def pressure_config(**overrides):
+    """Hair-trigger controller so tests pressure it with tiny queues."""
+    knobs = dict(
+        slo_p95=0.5, degrade_ladder=(32, "bucketed"), degrade_after=1,
+        restore_after=2, queue_high=3, queue_low=1, tick_interval=0.0,
+    )
+    knobs.update(overrides)
+    return TuneConfig(**knobs)
+
+
+class TestPolicyRegistry:
+    def test_unknown_name_raises_typed_error_listing_known(self):
+        with pytest.raises(UnknownPolicyError) as excinfo:
+            resolve_batch_policy("fifo")
+        err = excinfo.value
+        assert isinstance(err, ValueError)  # old except clauses still work
+        assert err.policy == "fifo"
+        assert err.known == (
+            "adaptive", "fair_share", "greedy", "shape_bucketed"
+        )
+        for name in err.known:
+            assert name in str(err)
+
+    def test_engine_constructor_propagates_the_error(self):
+        with pytest.raises(UnknownPolicyError):
+            ServeEngine(policy="fifo")
+
+    def test_adaptive_resolves_from_the_registry(self):
+        policy = resolve_batch_policy("adaptive")
+        assert isinstance(policy, AdaptivePolicy)
+        assert isinstance(policy.inner, GreedyPolicy)
+
+    def test_instances_pass_through(self):
+        fair = FairSharePolicy()
+        assert resolve_batch_policy(fair) is fair
+        custom = AdaptivePolicy(config=pressure_config())
+        assert resolve_batch_policy(custom) is custom
+
+    def test_controller_and_config_are_exclusive(self):
+        with pytest.raises(ValueError):
+            AdaptivePolicy(
+                controller=AdaptiveController(), config=TuneConfig()
+            )
+
+
+class TestServeConfigRoundTrip:
+    def test_adaptive_round_trips_through_pipeline_json(self):
+        cfg = PipelineConfig()
+        cfg = cfg.replace(
+            serve=cfg.serve.replace(policy="adaptive"),
+            tune=cfg.tune.replace(slo_p95=1.5, degrade_after=3),
+        )
+        loaded = PipelineConfig.loads(cfg.dumps())
+        assert loaded == cfg
+        assert loaded.serve.policy == "adaptive"
+        assert loaded.tune.slo_p95 == 1.5
+        assert loaded.tune.degrade_after == 3
+
+    def test_config_policy_feeds_the_engine(self):
+        engine = ServeEngine(policy="adaptive")
+        assert isinstance(engine.policy, AdaptivePolicy)
+
+
+class TestAdaptiveEngine:
+    def test_degrades_under_pressure_and_restores_when_calm(self):
+        policy = AdaptivePolicy(config=pressure_config())
+        metrics = MetricsRegistry()
+        engine = ServeEngine(
+            policy=policy, gather_window=0.0, metrics=metrics
+        )
+        model = StepRecordingModel(delay=0.05)
+        client = engine.bind(model)
+        jobs = [client.submit(1, 0, seed=i) for i in range(12)]
+        with engine:
+            for job in jobs:
+                job.result(timeout=60)
+            assert policy.controller.degrades >= 1
+            # Idle ticks happen in the dispatcher's wait loop: give the
+            # calm streak time to walk the level back to 0.
+            deadline = time.time() + 10
+            while policy.controller.level > 0 and time.time() < deadline:
+                time.sleep(0.05)
+            assert policy.controller.level == 0
+            assert policy.controller.restores >= 1
+            # A post-spike job runs at full requested quality again.
+            tail = client.submit(1, 0, seed=99)
+            tail.result(timeout=60)
+            assert tail.degrade_level == 0
+        # The spike's batches ran degraded schedules.
+        assert any(steps in (32, "bucketed") for steps in model.calls)
+        transitions = metrics.get("repro_adaptive_degrade_total")
+        assert transitions.value(direction="degrade") >= 1
+        assert transitions.value(direction="restore") >= 1
+        assert metrics.get("repro_adaptive_level").value() == 0.0
+
+    def test_degraded_jobs_carry_their_original_ask(self):
+        policy = AdaptivePolicy(config=pressure_config())
+        engine = ServeEngine(policy=policy, gather_window=0.0)
+        model = StepRecordingModel(delay=0.05)
+        client = engine.bind(model)
+        jobs = [client.submit(1, 0, seed=i) for i in range(12)]
+        with engine:
+            for job in jobs:
+                job.result(timeout=60)
+        degraded = [j for j in jobs if j.degrade_level > 0]
+        assert degraded
+        for job in degraded:
+            assert job.requested_sampler_steps is None  # asked for default
+            assert job.sampler_steps in (32, "bucketed")
+
+    def test_never_degrades_below_the_floor_or_an_explicit_ask(self):
+        policy = AdaptivePolicy(config=pressure_config(floor_steps=32))
+        engine = ServeEngine(policy=policy, gather_window=0.0)
+        model = StepRecordingModel(delay=0.05)
+        client = engine.bind(model)
+        jobs = [
+            client.submit(1, 0, seed=i, sampler_steps=8) for i in range(12)
+        ]
+        with engine:
+            for job in jobs:
+                job.result(timeout=60)
+        # Floor 32 stops the ladder's "bucketed" rung; the explicit ask
+        # of 8 is already below the floor and must pass through untouched.
+        assert set(model.calls) == {8}
+        assert all(job.degrade_level == 0 for job in jobs)
+
+    def test_widens_gather_window_while_degraded(self):
+        policy = AdaptivePolicy(config=pressure_config(restore_after=10 ** 6))
+        engine = ServeEngine(policy=policy, gather_window=0.01)
+        model = StepRecordingModel(delay=0.05)
+        client = engine.bind(model)
+        jobs = [client.submit(1, 0, seed=i) for i in range(12)]
+        with engine:
+            for job in jobs:
+                job.result(timeout=60)
+            assert policy.controller.level > 0
+            assert engine.gather_window > 0.01
+            # Capped: widening must never eat the whole SLO budget.
+            assert engine.gather_window <= max(0.01, 0.25 * 0.5)
+
+    def test_load_snapshot_is_publicly_scrapeable(self):
+        engine = ServeEngine(gather_window=0.0)
+        client = engine.bind(StepRecordingModel())
+        client.submit(2, 0, seed=1)
+        snapshot = engine.load_snapshot()
+        assert snapshot.queue_depth == 1
+        assert snapshot.queued_samples == 2
+        assert snapshot.workers == engine.engine_workers
+        assert snapshot.oldest_wait >= 0.0
+        with engine:
+            pass
+
+
+class TestDegradedEngineEvent:
+    """A degraded job surfaces a ``degraded`` engine event + trace span."""
+
+    class _FakeEngineJob:
+        def __init__(self):
+            self.submitted_at = 1.0
+            self.selected_at = 2.0
+            self.exec_started_at = 2.5
+            self.exec_ended_at = 3.0
+            self.batch_samples = 4
+            self.queue_wait = 1.0
+            self.sampler_steps = "bucketed"
+            self.requested_sampler_steps = "full"
+            self.degrade_level = 2
+
+        def result(self):
+            return np.zeros((1, 16, 16), dtype=np.uint8)
+
+    class _FakeScheduler:
+        def __init__(self):
+            self.model = StepRecordingModel()
+
+        def submit(self, count, condition, **kwargs):
+            return TestDegradedEngineEvent._FakeEngineJob()
+
+    class _RecordingJob:
+        def __init__(self):
+            self.events = []
+
+        def check_cancelled(self):
+            pass
+
+        def record_engine(self, hop, started, ended, **fields):
+            self.events.append((hop, fields))
+
+    def test_degraded_hop_is_recorded_with_the_original_ask(self):
+        from repro.serve import BatchedSamplingModel
+
+        lifecycle = self._RecordingJob()
+        client = BatchedSamplingModel(
+            self._FakeScheduler(), job=lifecycle
+        )
+        client.sample(1, 0, np.random.default_rng(0))
+        hops = dict(lifecycle.events)
+        assert "degraded" in hops
+        assert hops["degraded"] == {
+            "level": 2,
+            "sampler_steps": "bucketed",
+            "requested": "full",
+        }
+        assert client.degraded_jobs == 1
+        # Undegraded jobs don't emit the hop.
+        plain = self._FakeEngineJob()
+        plain.degrade_level = 0
+
+        class PlainScheduler(self._FakeScheduler):
+            def submit(self, count, condition, **kwargs):
+                return plain
+
+        quiet = self._RecordingJob()
+        client2 = BatchedSamplingModel(PlainScheduler(), job=quiet)
+        client2.sample(1, 0, np.random.default_rng(0))
+        assert "degraded" not in dict(quiet.events)
+        assert client2.degraded_jobs == 0

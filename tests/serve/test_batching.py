@@ -1,5 +1,6 @@
 """Unit tests for the micro-batching scheduler and its model client."""
 
+import threading
 import time
 from types import SimpleNamespace
 
@@ -257,3 +258,62 @@ class TestSchedulerEngineKnobs:
         assert engine_stats.engine_workers == 2
         assert engine_stats.policy == "shape_bucketed"
         assert engine_stats.submitted == 4
+
+
+class TestClientThreadSafety:
+    """One client shared across threads: the stat books must balance.
+
+    Operator code (and the engine's own worker threads) may drive a
+    single :class:`BatchedSamplingModel` concurrently; ``+=`` on its
+    counters is not atomic, so accumulation is locked.  This hammer test
+    loses updates reliably on an unlocked implementation.
+    """
+
+    def test_hammered_shared_client_keeps_exact_totals(self):
+        model = SimpleNamespace(
+            window=16,
+            fitted=True,
+            sample_batch=lambda conditions, rng, shape=None: np.zeros(
+                (len(conditions), *shape), dtype=np.uint8
+            ),
+        )
+        scheduler = MicroBatchScheduler(
+            model, gather_window=0.001, engine_workers=4
+        )
+        client = BatchedSamplingModel(scheduler)
+        threads_n, per_thread = 8, 25
+        errors = []
+
+        def worker(i):
+            rng = np.random.default_rng(i)
+            try:
+                for k in range(per_thread):
+                    out = client.sample(1 + (i + k) % 3, 0, rng)
+                    assert out.shape[1:] == (16, 16)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(threads_n)
+        ]
+        with scheduler:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not errors
+        expected_jobs = threads_n * per_thread
+        expected_samples = sum(
+            1 + (i + k) % 3
+            for i in range(threads_n)
+            for k in range(per_thread)
+        )
+        # Exact, not approximate: a lost update shows up as a short count.
+        assert client.sample_jobs == expected_jobs
+        assert client.samples == expected_samples
+        assert len(client.batch_sizes) == expected_jobs
+        assert client.degraded_jobs == 0
+        assert client.queue_wait_seconds >= 0.0
+        assert scheduler.stats().jobs == expected_jobs
+        assert scheduler.stats().samples == expected_samples

@@ -1,0 +1,193 @@
+"""Unit + property tests for the adaptive hysteresis controller.
+
+The property tests pin the two safety guarantees the README advertises:
+the quality floor (no load pattern can push a job's schedule below
+``floor_steps``) and no-stuck-degraded (enough idle ticks always walk
+the level back to 0, whatever happened before).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.config import ConfigError, TuneConfig
+from repro.tune import (
+    AdaptiveController,
+    EngineLoadSnapshot,
+    degrade_steps,
+    quality_rank,
+)
+
+CALM = dict(queue_depth=0, queued_samples=0, oldest_wait=0.0,
+            queue_wait_p95=0.0, busy_fraction=0.0)
+PRESSURED = dict(queue_depth=64, queued_samples=128, oldest_wait=5.0,
+                 queue_wait_p95=5.0, busy_fraction=1.0)
+
+
+def snap(at, **load):
+    return EngineLoadSnapshot(at=at, **load)
+
+
+class TestQualityOrder:
+    def test_full_outranks_ints_outranks_bucketed(self):
+        assert quality_rank("full") > quality_rank(10 ** 6)
+        assert quality_rank(None) == quality_rank("full")
+        assert quality_rank(64) > quality_rank(32)
+        assert quality_rank(1) > quality_rank("bucketed")
+
+    def test_degrade_never_upgrades(self):
+        assert degrade_steps("bucketed", 32) == "bucketed"
+        assert degrade_steps(16, 32) == 16
+        assert degrade_steps("full", 32) == 32
+        assert degrade_steps(None, "bucketed") == "bucketed"
+
+
+class TestHysteresis:
+    def test_degrades_after_streak_and_not_before(self):
+        ctl = AdaptiveController(
+            TuneConfig(degrade_after=3, tick_interval=0.0)
+        )
+        for i in range(2):
+            assert ctl.observe(snap(float(i), **PRESSURED)) == 0
+        assert ctl.observe(snap(2.0, **PRESSURED)) == 1
+        assert ctl.degrades == 1
+
+    def test_neutral_tick_resets_both_streaks(self):
+        cfg = TuneConfig(
+            degrade_after=2, restore_after=2, queue_high=8, queue_low=2,
+            tick_interval=0.0,
+        )
+        ctl = AdaptiveController(cfg)
+        ctl.observe(snap(0.0, **PRESSURED))
+        # Between queue_low and queue_high: neither pressured nor calm.
+        neutral = dict(CALM, queue_depth=4)
+        ctl.observe(snap(1.0, **neutral))
+        ctl.observe(snap(2.0, **PRESSURED))
+        assert ctl.level == 0  # streak restarted; one tick is not enough
+
+    def test_rate_limit_swallows_fast_ticks(self):
+        ctl = AdaptiveController(
+            TuneConfig(degrade_after=2, tick_interval=0.5)
+        )
+        for at in (0.0, 0.1, 0.2, 0.3):  # only the first is due
+            ctl.observe(snap(at, **PRESSURED))
+        assert ctl.level == 0
+        ctl.observe(snap(0.6, **PRESSURED))
+        assert ctl.level == 1
+
+    def test_ladder_walks_down_then_back_up(self):
+        cfg = TuneConfig(
+            degrade_ladder=(32, "bucketed"), degrade_after=1,
+            restore_after=2, tick_interval=0.0,
+        )
+        ctl = AdaptiveController(cfg)
+        at = iter(range(100))
+        assert ctl.observe(snap(float(next(at)), **PRESSURED)) == 1
+        assert ctl.effective_steps("full") == 32
+        assert ctl.observe(snap(float(next(at)), **PRESSURED)) == 2
+        assert ctl.effective_steps("full") == "bucketed"
+        assert ctl.gather_scale() == pytest.approx(cfg.gather_boost ** 2)
+        for _ in range(4):
+            ctl.observe(snap(float(next(at)), **CALM))
+        assert ctl.level == 0
+        assert ctl.effective_steps("full") == "full"
+        assert (ctl.degrades, ctl.restores) == (2, 2)
+
+    def test_reset_keeps_lifetime_counts(self):
+        ctl = AdaptiveController(TuneConfig(degrade_after=1, tick_interval=0.0))
+        ctl.observe(snap(0.0, **PRESSURED))
+        ctl.reset()
+        assert ctl.level == 0
+        assert ctl.degrades == 1
+
+    def test_floor_clamps_the_ladder(self):
+        cfg = TuneConfig(
+            degrade_ladder=(32, "bucketed"), floor_steps=16,
+            degrade_after=1, tick_interval=0.0,
+        )
+        ctl = AdaptiveController(cfg)
+        ctl.observe(snap(0.0, **PRESSURED))
+        ctl.observe(snap(1.0, **PRESSURED))
+        assert ctl.level == 2
+        # The ladder says "bucketed" but the floor says 16.
+        assert ctl.effective_steps("full") == 16
+
+
+# -- property tests ----------------------------------------------------
+
+ladder_rungs = st.one_of(
+    st.just("bucketed"), st.integers(min_value=1, max_value=256)
+)
+tune_configs = st.builds(
+    TuneConfig,
+    degrade_ladder=st.lists(ladder_rungs, min_size=1, max_size=4).map(tuple),
+    floor_steps=ladder_rungs,
+    degrade_after=st.integers(min_value=1, max_value=3),
+    restore_after=st.integers(min_value=1, max_value=3),
+    tick_interval=st.just(0.0),
+)
+load_ticks = st.lists(
+    st.booleans(),  # True = pressured tick, False = calm tick
+    min_size=0,
+    max_size=40,
+)
+requests = st.one_of(
+    st.just("full"), st.just("bucketed"), st.none(),
+    st.integers(min_value=1, max_value=256),
+)
+
+
+def drive(ctl, pattern):
+    for at, pressed in enumerate(pattern):
+        ctl.observe(snap(float(at), **(PRESSURED if pressed else CALM)))
+
+
+class TestControllerProperties:
+    @given(cfg=tune_configs, pattern=load_ticks, requested=requests)
+    @settings(max_examples=200, deadline=None)
+    def test_effective_steps_never_below_floor(self, cfg, pattern, requested):
+        """No load pattern pushes a job below min(floor, its own ask)."""
+        ctl = AdaptiveController(cfg)
+        drive(ctl, pattern)
+        effective = ctl.effective_steps(requested)
+        floor = min(quality_rank(cfg.floor_steps), quality_rank(requested))
+        assert quality_rank(effective) >= floor
+        # And degrading never upgrades: effective <= requested.
+        assert quality_rank(effective) <= quality_rank(requested)
+
+    @given(cfg=tune_configs, pattern=load_ticks)
+    @settings(max_examples=200, deadline=None)
+    def test_idle_engine_always_restores_full_quality(self, cfg, pattern):
+        """levels * restore_after idle ticks always reach level 0."""
+        ctl = AdaptiveController(cfg)
+        drive(ctl, pattern)
+        start = float(len(pattern))
+        for k in range(ctl.levels * cfg.restore_after):
+            ctl.observe(snap(start + k, **CALM))
+        assert ctl.level == 0
+        assert ctl.effective_steps("full") == "full"
+
+    @given(cfg=tune_configs, pattern=load_ticks)
+    @settings(max_examples=200, deadline=None)
+    def test_level_stays_on_the_ladder(self, cfg, pattern):
+        ctl = AdaptiveController(cfg)
+        drive(ctl, pattern)
+        assert 0 <= ctl.level <= len(cfg.degrade_ladder)
+        # Every transition is counted: the books always balance.
+        assert ctl.degrades - ctl.restores == ctl.level
+
+
+class TestTuneConfigValidation:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ConfigError):
+            TuneConfig(slo_p95=0.0)
+        with pytest.raises(ConfigError):
+            TuneConfig(degrade_ladder=())
+        with pytest.raises(ConfigError):
+            TuneConfig(degrade_after=0)
+        with pytest.raises(ConfigError):
+            TuneConfig(queue_high=2, queue_low=4)
+        with pytest.raises(ConfigError):
+            TuneConfig(gather_boost=0.5)
+        with pytest.raises(ConfigError):
+            TuneConfig(degrade_ladder=("nonsense",))

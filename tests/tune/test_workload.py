@@ -1,0 +1,111 @@
+"""Workload specs: validation, seeded determinism, JSON round-trip."""
+
+import pytest
+
+from repro.api.config import ConfigError
+from repro.tune import WorkloadPhase, WorkloadSpec
+
+
+def spike_spec(**overrides):
+    data = {
+        "name": "spike",
+        "seed": 7,
+        "phases": [
+            {"duration": 2.0, "rate": 3.0, "count": 2},
+            {"duration": 1.0, "rate": 12.0, "count": 1, "source": "bulk",
+             "arrival": "burst"},
+            {"duration": 2.0, "rate": 3.0, "count": 2,
+             "sampler_steps": "bucketed"},
+        ],
+    }
+    data.update(overrides)
+    return WorkloadSpec.from_dict(data)
+
+
+class TestValidation:
+    def test_rejects_empty_and_bad_phases(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(name="empty", phases=())
+        with pytest.raises(ConfigError):
+            WorkloadPhase(duration=0.0)
+        with pytest.raises(ConfigError):
+            WorkloadPhase(rate=-1.0)
+        with pytest.raises(ConfigError):
+            WorkloadPhase(count=0)
+        with pytest.raises(ConfigError):
+            WorkloadPhase(arrival="fractal")
+        with pytest.raises(ConfigError):
+            WorkloadPhase(shape=(64,))
+        with pytest.raises(ConfigError):
+            WorkloadPhase(sampler_steps="sometimes")
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec.from_dict(
+                {"name": "x", "phases": [{"duration": 1.0}], "typo": 1}
+            )
+
+    def test_dict_phases_are_normalized_to_dataclasses(self):
+        spec = spike_spec()
+        assert all(isinstance(p, WorkloadPhase) for p in spec.phases)
+        assert spec.duration == pytest.approx(5.0)
+        assert spec.expected_requests == 6 + 12 + 6
+
+
+class TestArrivals:
+    def test_same_seed_same_trace(self):
+        spec = spike_spec()
+        assert spec.arrivals() == spec.arrivals()
+        assert spec.arrivals(seed=3) == spec.arrivals(seed=3)
+
+    def test_different_seed_different_trace(self):
+        spec = spike_spec()
+        assert spec.arrivals(seed=1) != spec.arrivals(seed=2)
+
+    def test_trace_is_sorted_and_phase_tagged(self):
+        arrivals = spike_spec().arrivals()
+        assert arrivals == sorted(arrivals, key=lambda a: a.at)
+        assert {a.phase for a in arrivals} == {0, 1, 2}
+        # Burst phase drops its whole budget at the phase boundary.
+        burst = [a for a in arrivals if a.phase == 1]
+        assert len(burst) == 12
+        assert all(a.at == pytest.approx(2.0) for a in burst)
+        assert all(a.source == "bulk" for a in burst)
+        # Phase-pinned quality rides each arrival.
+        assert all(
+            a.sampler_steps == "bucketed" for a in arrivals if a.phase == 2
+        )
+
+    def test_uniform_phase_spaces_evenly(self):
+        spec = WorkloadSpec(
+            name="flat", seed=0,
+            phases=(WorkloadPhase(duration=2.0, rate=2.0, arrival="uniform"),),
+        )
+        arrivals = spec.arrivals()
+        assert [a.at for a in arrivals] == pytest.approx([0.0, 0.5, 1.0, 1.5])
+
+
+class TestRoundTrip:
+    def test_json_save_load_is_identity(self, tmp_path):
+        spec = spike_spec()
+        path = spec.save(tmp_path / "spike.json")
+        loaded = WorkloadSpec.load(path)
+        assert loaded == spec
+        assert loaded.arrivals() == spec.arrivals()
+
+    def test_malformed_json_is_a_config_error(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        with pytest.raises(ConfigError):
+            WorkloadSpec.load(path)
+
+    def test_committed_ci_spec_loads(self):
+        from pathlib import Path
+
+        spec = WorkloadSpec.load(
+            Path(__file__).resolve().parents[2]
+            / "benchmarks" / "workloads" / "spike.json"
+        )
+        assert spec.name == "spike"
+        assert len(spec.phases) == 3
+        assert spec.arrivals() == spec.arrivals()
